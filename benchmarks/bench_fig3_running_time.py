@@ -1,0 +1,24 @@
+"""Benchmark: Figure 3 — running time of all six algorithms under
+configuration C1 on the four smaller networks.
+
+Paper finding to reproduce (shape, not absolute numbers): SeqGRD-NM is
+orders of magnitude faster than every algorithm that computes Monte-Carlo
+marginals (greedyWM, Balance-C, SeqGRD), with TCIM and MaxGRD in between.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import figure3, summarize_by
+
+
+def test_figure3_running_times(benchmark, scale):
+    rows = run_once(benchmark, figure3, scale)
+    report("Figure 3 — running time (s) under C1", rows,
+           columns=["network", "budget", "algorithm", "runtime_s", "welfare"])
+
+    mean_runtime = summarize_by(rows, "algorithm", "runtime_s")
+    # SeqGRD-NM must be the fastest of the welfare-aware algorithms and
+    # clearly faster than the simulation-heavy baselines.
+    assert mean_runtime["SeqGRD-NM"] <= mean_runtime["greedyWM"]
+    assert mean_runtime["SeqGRD-NM"] <= mean_runtime["Balance-C"]
+    assert mean_runtime["SeqGRD-NM"] <= mean_runtime["SeqGRD"]

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 4 — expected social welfare under configurations C1-C4
+on the Douban-Movie stand-in.
+
+Paper finding to reproduce: SeqGRD, SeqGRD-NM and greedyWM dominate; MaxGRD
+loses clearly under soft competition (C3/C4) because it allocates only one
+of the two items.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import figure4, summarize_by
+
+
+def test_figure4_social_welfare(benchmark, scale):
+    rows = run_once(benchmark, figure4, scale)
+    report("Figure 4 — social welfare under C1-C4 (Douban-Movie stand-in)",
+           rows,
+           columns=["configuration", "budget", "algorithm", "welfare",
+                    "runtime_s"])
+
+    soft = [row for row in rows if row["configuration"] in ("C3", "C4")]
+    seq_welfare = summarize_by(soft, "algorithm", "welfare").get("SeqGRD-NM", 0)
+    max_welfare = summarize_by(soft, "algorithm", "welfare").get("MaxGRD", 0)
+    # under soft competition allocating both items beats allocating one
+    assert seq_welfare > max_welfare

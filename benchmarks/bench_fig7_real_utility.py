@@ -1,0 +1,23 @@
+"""Benchmark: Figure 7 — running time and welfare under the learned Last.fm
+genre utilities (Table 5) on the NetHEPT and Orkut stand-ins.
+
+Paper finding to reproduce: SeqGRD-NM remains the fastest by a wide margin;
+under the pure-competition real utilities SeqGRD and SeqGRD-NM produce the
+same welfare, and both clearly beat MaxGRD and TCIM (which favour a single
+genre).
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import figure7, summarize_by
+
+
+def test_figure7_real_utilities(benchmark, scale):
+    rows = run_once(benchmark, figure7, scale)
+    report("Figure 7 — learned Last.fm utilities (4 genres)", rows,
+           columns=["network", "budget", "algorithm", "welfare", "runtime_s"])
+
+    runtime = summarize_by(rows, "algorithm", "runtime_s")
+    welfare = summarize_by(rows, "algorithm", "welfare")
+    assert runtime["SeqGRD-NM"] <= runtime["SeqGRD"]
+    assert welfare["SeqGRD-NM"] >= welfare["MaxGRD"]

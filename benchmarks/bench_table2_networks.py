@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (network statistics of the benchmark
+networks / their synthetic stand-ins)."""
+
+from conftest import report, run_once
+
+from repro.experiments import table2
+
+
+def test_table2_network_statistics(benchmark, scale):
+    rows = run_once(benchmark, table2, scale)
+    report("Table 2 — network statistics (synthetic stand-ins)", rows)
+    assert len(rows) == 5
+    assert all(row["edges"] > 0 for row in rows)

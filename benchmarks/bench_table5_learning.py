@@ -1,0 +1,13 @@
+"""Benchmark: Table 5 — learning the genre utilities from (synthetic)
+Last.fm listening logs with the discrete-choice procedure of §6.4.1."""
+
+from conftest import report, run_once
+
+from repro.experiments import table5
+
+
+def test_table5_learned_utilities(benchmark, scale):
+    rows = run_once(benchmark, table5, 50_000, rng=scale.seed)
+    report("Table 5 — learned genre utilities vs published values", rows)
+    for row in rows:
+        assert abs(row["learned_utility"] - row["published_utility"]) < 0.3

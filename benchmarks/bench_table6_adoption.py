@@ -1,0 +1,39 @@
+"""Benchmark: Table 6 — adoption counts vs social welfare for Round-robin,
+Snake and SeqGRD-NM under the real (Last.fm) and synthetic (Table 4)
+configurations.
+
+Paper finding to reproduce: the three strategies produce nearly identical
+*total* adoption counts, but SeqGRD-NM shifts adoptions from the inferior
+items to the superior ones and thereby achieves the highest welfare.
+"""
+
+import pytest
+from conftest import report, run_once
+
+from repro.experiments import table6
+
+
+def test_table6_adoption_vs_welfare(benchmark, scale):
+    rows = run_once(benchmark, table6, scale)
+    report("Table 6 — adoption count vs social welfare", rows)
+
+    # group rows by (network, budget, configuration) and compare SeqGRD-NM
+    # with Round-robin within each group
+    groups = {}
+    for row in rows:
+        key = (row["network"], row["budget"], row["configuration"])
+        groups.setdefault(key, {})[row["algorithm"]] = row
+    assert groups
+    welfare_wins = 0
+    for key, by_algo in groups.items():
+        ours = by_algo.get("SeqGRD-NM")
+        reference = by_algo.get("Round-robin")
+        if not ours or not reference:
+            continue
+        # total adoptions stay comparable (within 15%)
+        assert ours["total_adoptions"] == pytest.approx(
+            reference["total_adoptions"], rel=0.15)
+        if ours["welfare"] >= reference["welfare"]:
+            welfare_wins += 1
+    # SeqGRD-NM wins (or ties) on welfare in the majority of settings
+    assert welfare_wins >= max(1, len(groups) // 2)

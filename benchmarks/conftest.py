@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§6) via the workloads in :mod:`repro.experiments`.  The scale of the
+workloads is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke`` by default so the whole suite runs in minutes; ``default`` or
+``large`` reproduce the trends more faithfully at the cost of longer runs).
+
+Each benchmark prints the regenerated rows in the same layout the paper
+reports, so the output can be compared against EXPERIMENTS.md directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale
+from repro.experiments.reporting import format_table
+
+
+def bench_scale():
+    """The experiment scale selected for this benchmark run."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its value.
+
+    The experiment workloads are far too heavy for statistical repetition;
+    one timed round per workload matches how the paper reports running
+    times.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def report(title, rows, columns=None):
+    """Print a regenerated table so it appears in the benchmark output."""
+    print()
+    print(format_table(rows, columns=columns, title=title))

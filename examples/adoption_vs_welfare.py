@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Adoption count vs social welfare (paper §6.4.3, Table 6).
+
+Does maximizing welfare sacrifice adoptions?  The paper's answer: no — the
+*total* number of adoptions stays essentially the same, welfare is gained by
+shifting adoptions from inferior items to superior ones.  This example
+reproduces that comparison between Round-robin, Snake and SeqGRD-NM under
+the three-item blocking configuration of Table 4.
+
+Run with:  python examples/adoption_vs_welfare.py
+"""
+
+from repro import (
+    blocking_config,
+    estimate_welfare,
+    load_network,
+    round_robin,
+    seqgrd_nm,
+    snake,
+)
+
+
+def main() -> None:
+    graph = load_network("nethept", scale=0.05, rng=17)
+    model = blocking_config()
+    budgets = {item: 10 for item in model.items}
+    print(f"network: {graph.num_nodes} nodes; items and expected utilities:")
+    for item in model.items:
+        print(f"  {item}: U = {model.deterministic_utility(item):.2f}")
+    print(f"  bundle {{i,k}}: U = {model.deterministic_utility(['i', 'k']):.2f} "
+          f"(partial competition); every other bundle is negative")
+
+    strategies = {
+        "Round-robin": round_robin(graph, model, budgets, rng=4),
+        "Snake": snake(graph, model, budgets, rng=4),
+        "SeqGRD-NM": seqgrd_nm(graph, model, budgets, rng=4),
+    }
+
+    print(f"\n{'strategy':<14}{'welfare':>10}{'total adopt':>13}"
+          + "".join(f"{item:>9}" for item in model.items))
+    reference = None
+    for name, result in strategies.items():
+        welfare = estimate_welfare(graph, model, result.combined_allocation(),
+                                   n_samples=300, rng=23)
+        total = sum(welfare.adoption_counts.values())
+        row = (f"{name:<14}{welfare.mean:>10.1f}{total:>13.1f}"
+               + "".join(f"{welfare.adoption_counts[item]:>9.1f}"
+                         for item in model.items))
+        print(row)
+        if name == "Round-robin":
+            reference = welfare
+    if reference is not None:
+        print("\n(Compare the last row with the first: welfare is higher, the "
+              "total adoption count is similar, and the drop is concentrated "
+              "on the inferior items j and k — the Table 6 effect.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Watching item blocking happen, round by round.
+
+Competitive welfare maximization is hard precisely because adopting one item
+can block a better one (paper §4).  This example uses the traced UIC
+simulator to show the phenomenon on the three-item configuration of Table 4:
+the inferior item ``j`` seeded close to ``i``'s audience races ahead of
+``i`` and blocks it, which is exactly what SeqGRD's marginal check avoids
+(Figure 6(c)).
+
+Run with:  python examples/item_blocking_trace.py
+"""
+
+from repro import Allocation, blocking_config, load_network, seqgrd, seqgrd_nm
+from repro.diffusion.trace import render_trace, trace_uic
+
+
+def main() -> None:
+    graph = load_network("nethept", scale=0.03, rng=31)
+    model = blocking_config()
+    print("items and expected utilities:")
+    for item in model.items:
+        print(f"  {item}: U = {model.deterministic_utility(item):.2f}")
+    print(f"  {{i,k}}: U = {model.deterministic_utility(['i', 'k']):.2f}  "
+          f"(partial competition); {{i,j}} and {{j,k}} are negative\n")
+
+    # a deliberately bad allocation: j seeded right next to i's seeds
+    hub = int(graph.out_degrees().argmax())
+    neighbours = [int(v) for v in graph.out_neighbors(hub)[0][:2]]
+    bad = Allocation({"i": [hub], "j": neighbours[:1], "k": neighbours[1:2]})
+    trace = trace_uic(graph, model, bad, rng=5)
+    blocked = trace.blocking_events()
+    print("=== naive allocation (j seeded next to i) ===")
+    print(render_trace(trace, max_events=12))
+    print(f"blocking events (a node declined an item it was aware of): "
+          f"{len(blocked)}\n")
+
+    # compare SeqGRD (with marginal check) against SeqGRD-NM
+    budgets = {"i": 10, "j": 6, "k": 6}
+    with_check = seqgrd(graph, model, budgets, n_marginal_samples=100, rng=7,
+                        evaluate_welfare=True, n_evaluation_samples=300)
+    without = seqgrd_nm(graph, model, budgets, rng=7,
+                        evaluate_welfare=True, n_evaluation_samples=300)
+    print("=== SeqGRD vs SeqGRD-NM on the same budgets ===")
+    print(f"SeqGRD    welfare: {with_check.estimated_welfare:8.1f}   "
+          f"(items deferred by the marginal check: "
+          f"{with_check.details['appended_items'] or 'none'})")
+    print(f"SeqGRD-NM welfare: {without.estimated_welfare:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

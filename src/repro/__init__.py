@@ -1,0 +1,128 @@
+"""repro — Competitive social welfare maximization under the UIC model.
+
+A from-scratch Python reproduction of *"Maximizing Social Welfare in a
+Competitive Diffusion Model"* (Banerjee, Chen & Lakshmanan, PVLDB 2020).
+
+The public API re-exported here covers the typical workflow:
+
+>>> from repro import load_network, two_item_config, seqgrd, estimate_welfare
+>>> graph = load_network("nethept", scale=0.05, rng=7)
+>>> model = two_item_config("C1")
+>>> result = seqgrd(graph, model, budgets={"i": 10, "j": 10}, rng=7)
+>>> welfare = estimate_welfare(graph, model, result.combined_allocation(),
+...                            n_samples=200, rng=7)
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.allocation import Allocation, validate_budgets
+from repro.core import (
+    AllocationResult,
+    best_of,
+    maxgrd,
+    prima_plus,
+    seqgrd,
+    seqgrd_nm,
+    supgrd,
+)
+from repro.baselines import (
+    balance_c,
+    degree_allocation,
+    greedy_wm,
+    random_allocation,
+    round_robin,
+    snake,
+    tcim,
+)
+from repro.diffusion import (
+    estimate_adoption_counts,
+    estimate_marginal_welfare,
+    estimate_spread,
+    estimate_welfare,
+    simulate_ic,
+    simulate_uic,
+)
+from repro.graphs import DirectedGraph, load_network, weighted_cascade
+from repro.rrsets import IMMOptions, imm, marginal_imm
+from repro.utility import (
+    GaussianNoise,
+    ItemCatalog,
+    TruncatedGaussianNoise,
+    UniformNoise,
+    UtilityModel,
+    ZeroNoise,
+    blocking_config,
+    hardness_config,
+    lastfm_config,
+    multi_item_config,
+    single_item_config,
+    theorem1_config,
+    two_item_config,
+)
+from repro.exceptions import (
+    AlgorithmError,
+    AllocationError,
+    GraphError,
+    ReproError,
+    UtilityModelError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # allocations and results
+    "Allocation",
+    "validate_budgets",
+    "AllocationResult",
+    # core algorithms
+    "seqgrd",
+    "seqgrd_nm",
+    "maxgrd",
+    "supgrd",
+    "best_of",
+    "prima_plus",
+    # baselines
+    "greedy_wm",
+    "tcim",
+    "balance_c",
+    "round_robin",
+    "snake",
+    "degree_allocation",
+    "random_allocation",
+    # diffusion / estimation
+    "simulate_uic",
+    "simulate_ic",
+    "estimate_welfare",
+    "estimate_marginal_welfare",
+    "estimate_spread",
+    "estimate_adoption_counts",
+    # graphs
+    "DirectedGraph",
+    "load_network",
+    "weighted_cascade",
+    # RR sets
+    "imm",
+    "marginal_imm",
+    "IMMOptions",
+    # utility models
+    "ItemCatalog",
+    "UtilityModel",
+    "ZeroNoise",
+    "GaussianNoise",
+    "UniformNoise",
+    "TruncatedGaussianNoise",
+    "two_item_config",
+    "blocking_config",
+    "multi_item_config",
+    "lastfm_config",
+    "hardness_config",
+    "theorem1_config",
+    "single_item_config",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "UtilityModelError",
+    "AllocationError",
+    "AlgorithmError",
+]

@@ -1,0 +1,209 @@
+"""Seed allocations: which nodes are seeded with which items.
+
+An *allocation* ``S ⊂ V × I`` assigns items to seed nodes subject to
+per-item budgets ``b_i`` (paper §3).  :class:`Allocation` is an immutable
+mapping from item name to an ordered tuple of seed nodes; it supports the
+set-like operations the algorithms need (union with a fixed allocation,
+enumeration of (node, item) pairs, budget validation) and conversion to the
+per-node item bitmasks consumed by the diffusion simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AllocationError
+from repro.utility.items import ItemCatalog, ItemLike
+
+Pair = Tuple[int, str]
+
+
+class Allocation:
+    """Immutable item -> seed-node allocation.
+
+    Parameters
+    ----------
+    seeds_by_item:
+        Mapping from item name to an iterable of node ids.  Order is
+        preserved (several algorithms allocate the "top" seeds of an ordered
+        list); duplicate nodes within one item are rejected.
+    """
+
+    def __init__(self, seeds_by_item: Optional[Mapping[str, Iterable[int]]] = None) -> None:
+        data: Dict[str, Tuple[int, ...]] = {}
+        if seeds_by_item:
+            for item, nodes in seeds_by_item.items():
+                nodes = tuple(int(v) for v in nodes)
+                if len(set(nodes)) != len(nodes):
+                    raise AllocationError(
+                        f"duplicate seed nodes for item {item!r}: {nodes}")
+                if nodes:
+                    data[str(item)] = nodes
+        self._seeds: Dict[str, Tuple[int, ...]] = data
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Allocation":
+        """The empty allocation (no seeds)."""
+        return cls({})
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Pair]) -> "Allocation":
+        """Build an allocation from ``(node, item)`` pairs."""
+        seeds: Dict[str, List[int]] = {}
+        for node, item in pairs:
+            seeds.setdefault(str(item), []).append(int(node))
+        return cls(seeds)
+
+    @classmethod
+    def single(cls, node: int, item: str) -> "Allocation":
+        """Allocation containing the single pair ``(node, item)``."""
+        return cls({item: [node]})
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> Tuple[str, ...]:
+        """Items that have at least one seed."""
+        return tuple(self._seeds)
+
+    def seeds_for(self, item: str) -> Tuple[int, ...]:
+        """Ordered seed nodes of ``item`` (empty tuple if unallocated)."""
+        return self._seeds.get(str(item), ())
+
+    def all_seeds(self) -> Tuple[int, ...]:
+        """Sorted distinct seed nodes across all items (the set ``S^S``)."""
+        nodes: set = set()
+        for seeds in self._seeds.values():
+            nodes.update(seeds)
+        return tuple(sorted(nodes))
+
+    def pairs(self) -> Iterator[Pair]:
+        """Iterate over ``(node, item)`` pairs."""
+        for item, seeds in self._seeds.items():
+            for node in seeds:
+                yield node, item
+
+    def num_pairs(self) -> int:
+        """Number of ``(node, item)`` pairs in the allocation."""
+        return sum(len(seeds) for seeds in self._seeds.values())
+
+    def seed_count(self, item: str) -> int:
+        """Number of seeds allocated to ``item``."""
+        return len(self.seeds_for(item))
+
+    def is_empty(self) -> bool:
+        """Whether the allocation contains no pairs."""
+        return not self._seeds
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "Allocation") -> "Allocation":
+        """Union of two allocations (duplicate pairs are collapsed)."""
+        merged: Dict[str, List[int]] = {item: list(seeds)
+                                        for item, seeds in self._seeds.items()}
+        for item, seeds in other._seeds.items():
+            existing = merged.setdefault(item, [])
+            for node in seeds:
+                if node not in existing:
+                    existing.append(node)
+        return Allocation(merged)
+
+    def adding(self, node: int, item: str) -> "Allocation":
+        """New allocation with the pair ``(node, item)`` added."""
+        return self.union(Allocation.single(node, item))
+
+    def restricted_to(self, items: Iterable[str]) -> "Allocation":
+        """Allocation restricted to the given items."""
+        keep = {str(i) for i in items}
+        return Allocation({item: seeds for item, seeds in self._seeds.items()
+                           if item in keep})
+
+    # ------------------------------------------------------------------
+    # validation / conversion
+    # ------------------------------------------------------------------
+    def validate(self, catalog: ItemCatalog, num_nodes: int,
+                 budgets: Optional[Mapping[str, int]] = None) -> None:
+        """Check items exist, node ids are valid and budgets are respected."""
+        for item, seeds in self._seeds.items():
+            catalog.index(item)  # raises for unknown items
+            for node in seeds:
+                if not 0 <= node < num_nodes:
+                    raise AllocationError(
+                        f"seed node {node} for item {item!r} out of range "
+                        f"[0, {num_nodes})")
+            if budgets is not None:
+                budget = budgets.get(item)
+                if budget is not None and len(seeds) > budget:
+                    raise AllocationError(
+                        f"item {item!r} has {len(seeds)} seeds but budget "
+                        f"{budget}")
+
+    def node_item_masks(self, catalog: ItemCatalog, num_nodes: int) -> np.ndarray:
+        """Per-node bitmask of items seeded at that node (length ``num_nodes``)."""
+        masks = np.zeros(num_nodes, dtype=np.int64)
+        for item, seeds in self._seeds.items():
+            bit = catalog.singleton_mask(item)
+            for node in seeds:
+                if not 0 <= node < num_nodes:
+                    raise AllocationError(
+                        f"seed node {node} out of range [0, {num_nodes})")
+                masks[node] |= bit
+        return masks
+
+    def as_dict(self) -> Dict[str, Tuple[int, ...]]:
+        """Plain dictionary view (item -> tuple of seed nodes)."""
+        return dict(self._seeds)
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __contains__(self, pair: object) -> bool:
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            return False
+        node, item = pair
+        return int(node) in self._seeds.get(str(item), ())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        mine = {item: frozenset(seeds) for item, seeds in self._seeds.items()}
+        theirs = {item: frozenset(seeds) for item, seeds in other._seeds.items()}
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(frozenset((item, frozenset(seeds))
+                              for item, seeds in self._seeds.items()))
+
+    def __len__(self) -> int:
+        return self.num_pairs()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{item}: {list(seeds)}"
+                          for item, seeds in self._seeds.items())
+        return f"Allocation({{{inner}}})"
+
+
+def validate_budgets(budgets: Mapping[str, int], catalog: ItemCatalog) -> Dict[str, int]:
+    """Normalize and validate a budget vector ``b``.
+
+    Budgets must be non-negative integers for items known to ``catalog``.
+    """
+    normalized: Dict[str, int] = {}
+    for item, budget in budgets.items():
+        catalog.index(item)
+        if int(budget) != budget or budget < 0:
+            raise AllocationError(
+                f"budget for item {item!r} must be a non-negative integer, "
+                f"got {budget}")
+        normalized[str(item)] = int(budget)
+    return normalized
+
+
+__all__ = ["Allocation", "Pair", "validate_budgets"]

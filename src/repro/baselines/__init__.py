@@ -1,0 +1,24 @@
+"""Baseline algorithms the paper compares against."""
+
+from repro.baselines.greedy_wm import greedy_wm
+from repro.baselines.celf import celf_greedy_wm
+from repro.baselines.tcim import tcim
+from repro.baselines.balance_c import balance_c, balanced_exposure
+from repro.baselines.heuristics import (
+    degree_allocation,
+    random_allocation,
+    round_robin,
+    snake,
+)
+
+__all__ = [
+    "greedy_wm",
+    "celf_greedy_wm",
+    "tcim",
+    "balance_c",
+    "balanced_exposure",
+    "round_robin",
+    "snake",
+    "degree_allocation",
+    "random_allocation",
+]

@@ -1,0 +1,112 @@
+"""greedyWM baseline — greedy (node, item) selection on marginal welfare.
+
+greedyWM (paper §6.1.2) maximizes the social welfare directly: it repeatedly
+adds the (node, item) pair with the largest Monte-Carlo estimate of marginal
+welfare until every budget is exhausted.  It produces consistently good
+welfare but is extremely slow — each candidate evaluation is a full
+Monte-Carlo welfare estimate — which is exactly the behaviour the paper
+reports (it cannot finish on Orkut within 6 hours).
+
+To keep the baseline runnable at all, the candidate node pool can be
+restricted (``candidate_pool``): by default the pool is the whole node set,
+matching the paper; passing e.g. the top-degree nodes gives a faster
+approximate variant that is clearly flagged in the result details.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.allocation import Allocation, validate_budgets
+from repro.core.results import AllocationResult
+from repro.diffusion.estimators import estimate_marginal_welfare, estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import DirectedGraph
+from repro.utility.model import UtilityModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def greedy_wm(graph: DirectedGraph, model: UtilityModel,
+              budgets: Mapping[str, int],
+              fixed_allocation: Optional[Allocation] = None,
+              n_marginal_samples: int = 200,
+              candidate_pool: Optional[Sequence[int]] = None,
+              evaluate_welfare: bool = False,
+              n_evaluation_samples: int = 500,
+              rng: RngLike = None) -> AllocationResult:
+    """Greedy welfare maximization over (node, item) pairs.
+
+    Parameters
+    ----------
+    candidate_pool:
+        Nodes considered as seed candidates.  ``None`` means every node in
+        the graph (the paper's greedyWM); a smaller pool (e.g. the top-k
+        out-degree nodes) makes the baseline tractable on larger graphs.
+    n_marginal_samples:
+        Monte-Carlo samples per marginal evaluation (paper: 5000).
+    """
+    rng = ensure_rng(rng)
+    fixed_allocation = fixed_allocation or Allocation.empty()
+    budgets = validate_budgets(budgets, model.catalog)
+    remaining = {item: budget for item, budget in budgets.items() if budget > 0}
+    if not remaining:
+        raise AlgorithmError("at least one item must have a positive budget")
+
+    start = time.perf_counter()
+    if candidate_pool is None:
+        pool: List[int] = list(range(graph.num_nodes))
+    else:
+        pool = sorted(set(int(v) for v in candidate_pool))
+    used_nodes: Dict[str, set] = {item: set() for item in remaining}
+
+    allocation = Allocation.empty()
+    selections: List[Tuple[int, str, float]] = []
+    while any(b > 0 for b in remaining.values()):
+        base = allocation.union(fixed_allocation)
+        best_pair: Optional[Tuple[int, str]] = None
+        best_gain = float("-inf")
+        for item, budget in remaining.items():
+            if budget <= 0:
+                continue
+            for node in pool:
+                if node in used_nodes[item]:
+                    continue
+                gain = estimate_marginal_welfare(
+                    graph, model, base, Allocation.single(node, item),
+                    n_samples=n_marginal_samples, rng=rng)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_pair = (node, item)
+        if best_pair is None:
+            break
+        node, item = best_pair
+        allocation = allocation.adding(node, item)
+        used_nodes[item].add(node)
+        remaining[item] -= 1
+        selections.append((node, item, best_gain))
+
+    runtime = time.perf_counter() - start
+    estimated = None
+    if evaluate_welfare:
+        estimated = estimate_welfare(graph, model,
+                                     allocation.union(fixed_allocation),
+                                     n_samples=n_evaluation_samples,
+                                     rng=rng).mean
+    return AllocationResult(
+        allocation=allocation,
+        fixed_allocation=fixed_allocation,
+        algorithm="greedyWM",
+        estimated_welfare=estimated,
+        runtime_seconds=runtime,
+        details={
+            "selections": selections,
+            "candidate_pool_size": len(pool),
+            "restricted_pool": candidate_pool is not None,
+        },
+    )
+
+
+__all__ = ["greedy_wm"]

@@ -1,0 +1,337 @@
+"""Command-line interface for the CWelMax reproduction.
+
+The CLI wraps the most common workflows so they can be driven from a shell
+or a job scheduler without writing Python:
+
+* ``repro networks`` — list the benchmark networks and their statistics.
+* ``repro generate`` — write a synthetic stand-in network to an edge list.
+* ``repro run`` — run one seed-selection algorithm on a network and utility
+  configuration and report the allocation, welfare and adoption counts.
+* ``repro experiment`` — regenerate one of the paper's figures or tables and
+  print it as a text table.
+* ``repro learn`` — learn item utilities from a selection-log file
+  (``user-selections`` as comma-separated items per line).
+
+Invoke with ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.allocation import Allocation
+from repro.baselines import greedy_wm, round_robin, snake, tcim
+from repro.core import best_of, maxgrd, seqgrd, seqgrd_nm, supgrd
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import ReproError
+from repro.experiments import (
+    figure3,
+    figure4,
+    figure5,
+    figure6_blocking,
+    figure6_items,
+    figure6_scalability,
+    figure7,
+    format_table,
+    get_scale,
+    table2,
+    table5,
+    table6,
+)
+from repro.graphs.datasets import NETWORKS, load_network, network_statistics
+from repro.graphs.loaders import read_edge_list, write_edge_list
+from repro.rrsets.imm import IMMOptions, imm
+from repro.utility.configs import (
+    blocking_config,
+    lastfm_config,
+    multi_item_config,
+    single_item_config,
+    two_item_config,
+)
+from repro.utility.learning import learn_utilities, utility_model_from_logs
+
+#: configuration name -> factory used by ``repro run``
+CONFIGURATIONS = {
+    "C1": lambda: two_item_config("C1"),
+    "C2": lambda: two_item_config("C2"),
+    "C3": lambda: two_item_config("C3"),
+    "C4": lambda: two_item_config("C4"),
+    "C5": lambda: two_item_config("C5"),
+    "C6": lambda: two_item_config("C6"),
+    "blocking": blocking_config,
+    "lastfm": lastfm_config,
+    "single": single_item_config,
+    "multi3": lambda: multi_item_config(3),
+    "multi5": lambda: multi_item_config(5),
+}
+
+#: experiment name -> callable used by ``repro experiment``
+EXPERIMENTS = {
+    "table2": table2,
+    "table5": lambda scale: table5(rng=get_scale(scale).seed),
+    "table6": table6,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6-items": figure6_items,
+    "figure6-blocking": figure6_blocking,
+    "figure6-scalability": figure6_scalability,
+    "figure7": figure7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Competitive social welfare maximization (CWelMax) "
+                    "reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # networks ---------------------------------------------------------
+    networks = sub.add_parser("networks",
+                              help="list benchmark networks and statistics")
+    networks.add_argument("--scale", type=float, default=None,
+                          help="fraction of the published node count")
+    networks.add_argument("--seed", type=int, default=2020)
+    networks.add_argument("--stats", action="store_true",
+                          help="generate the stand-ins and print statistics")
+
+    # generate ---------------------------------------------------------
+    generate = sub.add_parser("generate",
+                              help="write a synthetic network to an edge list")
+    generate.add_argument("network", choices=sorted(NETWORKS))
+    generate.add_argument("output", type=Path)
+    generate.add_argument("--scale", type=float, default=None)
+    generate.add_argument("--seed", type=int, default=2020)
+    generate.add_argument("--weighting", default="weighted_cascade",
+                          choices=["weighted_cascade", "uniform", "none"])
+
+    # run ----------------------------------------------------------------
+    run = sub.add_parser("run", help="run one seed-selection algorithm")
+    run.add_argument("--algorithm", default="SeqGRD-NM",
+                     choices=["SeqGRD", "SeqGRD-NM", "MaxGRD", "SupGRD",
+                              "BestOf", "greedyWM", "TCIM", "Round-robin",
+                              "Snake"])
+    run.add_argument("--network", default="nethept",
+                     help="benchmark network name or path to an edge list")
+    run.add_argument("--scale", type=float, default=None)
+    run.add_argument("--configuration", default="C1",
+                     choices=sorted(CONFIGURATIONS))
+    run.add_argument("--budget", type=int, default=10,
+                     help="seed budget per item")
+    run.add_argument("--budgets", type=str, default=None,
+                     help='per-item budgets as JSON, e.g. \'{"i": 10, "j": 5}\'')
+    run.add_argument("--fixed-imm-item", type=str, default=None,
+                     help="item whose seeds are pre-fixed to the top IMM nodes")
+    run.add_argument("--fixed-imm-budget", type=int, default=50)
+    run.add_argument("--samples", type=int, default=300,
+                     help="Monte-Carlo samples for the final welfare estimate")
+    run.add_argument("--marginal-samples", type=int, default=100)
+    run.add_argument("--max-rr-sets", type=int, default=100_000)
+    run.add_argument("--epsilon", type=float, default=0.5)
+    run.add_argument("--ell", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=2020)
+    run.add_argument("--json", action="store_true",
+                     help="print machine-readable JSON instead of text")
+
+    # experiment ---------------------------------------------------------
+    experiment = sub.add_parser("experiment",
+                                help="regenerate one of the paper's "
+                                     "figures/tables")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", default="smoke",
+                            help="experiment scale preset "
+                                 "(smoke/default/large)")
+    experiment.add_argument("--json", action="store_true")
+
+    # learn --------------------------------------------------------------
+    learn = sub.add_parser("learn",
+                           help="learn item utilities from a selection log")
+    learn.add_argument("logfile", type=Path,
+                       help="one selection per line, items comma-separated")
+    learn.add_argument("--items", type=str, default=None,
+                       help="comma-separated list of items to learn")
+    learn.add_argument("--json", action="store_true")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+def _cmd_networks(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in NETWORKS.items():
+        row = {
+            "name": name,
+            "published_nodes": spec.num_nodes,
+            "published_edges": spec.num_edges,
+            "published_avg_degree": spec.avg_degree,
+            "directed": spec.directed,
+            "default_scale": spec.default_scale,
+        }
+        if args.stats:
+            graph = load_network(name, scale=args.scale, rng=args.seed)
+            stats = network_statistics(graph)
+            row.update({"standin_nodes": stats["nodes"],
+                        "standin_edges": stats["edges"],
+                        "standin_avg_degree": stats["avg_degree"]})
+        rows.append(row)
+    print(format_table(rows, title="benchmark networks"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_network(args.network, scale=args.scale, rng=args.seed,
+                         weighting_scheme=args.weighting)
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges "
+          f"to {args.output}")
+    return 0
+
+
+def _load_graph(name_or_path: str, scale: Optional[float], seed: int):
+    path = Path(name_or_path)
+    if path.exists():
+        return read_edge_list(path)
+    return load_network(name_or_path, scale=scale, rng=seed)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.network, args.scale, args.seed)
+    model = CONFIGURATIONS[args.configuration]()
+    options = IMMOptions(epsilon=args.epsilon, ell=args.ell,
+                         max_rr_sets=args.max_rr_sets)
+
+    if args.budgets:
+        budgets: Dict[str, int] = {str(k): int(v)
+                                   for k, v in json.loads(args.budgets).items()}
+    else:
+        budgets = {item: args.budget for item in model.items}
+
+    fixed = Allocation.empty()
+    if args.fixed_imm_item:
+        fixed_item = args.fixed_imm_item
+        seeds = imm(graph, args.fixed_imm_budget, options=options,
+                    rng=args.seed).seeds
+        fixed = Allocation({fixed_item: seeds})
+        budgets.pop(fixed_item, None)
+
+    algorithm = args.algorithm
+    common = dict(options=options, rng=args.seed)
+    if algorithm == "SeqGRD":
+        result = seqgrd(graph, model, budgets, fixed,
+                        n_marginal_samples=args.marginal_samples, **common)
+    elif algorithm == "SeqGRD-NM":
+        result = seqgrd_nm(graph, model, budgets, fixed, **common)
+    elif algorithm == "MaxGRD":
+        result = maxgrd(graph, model, budgets, fixed,
+                        n_marginal_samples=args.marginal_samples, **common)
+    elif algorithm == "SupGRD":
+        ((item, budget),) = budgets.items() if len(budgets) == 1 else \
+            (max(budgets.items(), key=lambda kv: kv[1]),)
+        result = supgrd(graph, model, budget, fixed, superior_item=item,
+                        enforce_preconditions=False, **common)
+    elif algorithm == "BestOf":
+        result = best_of(graph, model, budgets, fixed,
+                         n_marginal_samples=args.marginal_samples,
+                         n_evaluation_samples=args.samples, **common)
+    elif algorithm == "greedyWM":
+        result = greedy_wm(graph, model, budgets, fixed,
+                           n_marginal_samples=args.marginal_samples,
+                           rng=args.seed)
+    elif algorithm == "TCIM":
+        result = tcim(graph, model, budgets, fixed, **common)
+    elif algorithm == "Round-robin":
+        result = round_robin(graph, model, budgets, fixed, **common)
+    else:  # Snake
+        result = snake(graph, model, budgets, fixed, **common)
+
+    welfare = estimate_welfare(graph, model, result.combined_allocation(),
+                               n_samples=args.samples, rng=args.seed)
+    payload = {
+        "algorithm": result.algorithm,
+        "network": graph.name,
+        "configuration": args.configuration,
+        "budgets": budgets,
+        "runtime_seconds": round(result.runtime_seconds, 4),
+        "expected_welfare": round(welfare.mean, 3),
+        "welfare_std_error": round(welfare.std_error, 3),
+        "adoption_counts": {k: round(v, 2)
+                            for k, v in welfare.adoption_counts.items()},
+        "allocation": {item: list(nodes)
+                       for item, nodes in result.allocation.as_dict().items()},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"algorithm        : {payload['algorithm']}")
+        print(f"network          : {payload['network']} "
+              f"({graph.num_nodes} nodes, {graph.num_edges} edges)")
+        print(f"configuration    : {payload['configuration']}")
+        print(f"runtime          : {payload['runtime_seconds']} s")
+        print(f"expected welfare : {payload['expected_welfare']} "
+              f"(± {1.96 * welfare.std_error:.2f})")
+        for item, count in payload["adoption_counts"].items():
+            print(f"  adopters of {item!r}: {count}")
+        for item, nodes in payload["allocation"].items():
+            print(f"  seeds[{item}]: {nodes}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS[args.name]
+    rows = runner(args.scale)
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+    else:
+        print(format_table(rows, title=args.name))
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    logs = []
+    with args.logfile.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            logs.append({part.strip() for part in line.split(",") if part.strip()})
+    items = ([part.strip() for part in args.items.split(",")]
+             if args.items else None)
+    utilities = learn_utilities(logs, items=items)
+    if args.json:
+        print(json.dumps(utilities, indent=2))
+    else:
+        rows = [{"item": item, "utility": round(value, 3)}
+                for item, value in sorted(utilities.items(),
+                                          key=lambda kv: -kv[1])]
+        print(format_table(rows, title="learned utilities"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "networks": _cmd_networks,
+        "generate": _cmd_generate,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "learn": _cmd_learn,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

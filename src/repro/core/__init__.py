@@ -1,0 +1,26 @@
+"""The paper's contribution: CWelMax seed-selection algorithms."""
+
+from repro.allocation import Allocation, validate_budgets
+from repro.core.results import AllocationResult
+from repro.core.prima import PrimaResult, prima_plus
+from repro.core.seqgrd import seqgrd, seqgrd_nm
+from repro.core.maxgrd import maxgrd
+from repro.core.supgrd import supgrd
+from repro.core.combined import best_of
+from repro.core.fairness import ExposureReport, exposure_report, fair_seqgrd
+
+__all__ = [
+    "Allocation",
+    "validate_budgets",
+    "AllocationResult",
+    "PrimaResult",
+    "prima_plus",
+    "seqgrd",
+    "seqgrd_nm",
+    "maxgrd",
+    "supgrd",
+    "best_of",
+    "ExposureReport",
+    "exposure_report",
+    "fair_seqgrd",
+]

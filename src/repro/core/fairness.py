@@ -1,0 +1,208 @@
+"""Fairness-aware welfare maximization (the paper's future-work direction).
+
+§7 of the paper notes that welfare maximization "does not directly ensure
+fairness: for a campaigner who often pays for advertising, ensuring that her
+item is seen at least by a certain number of users is critical" and leaves
+fairness-aware welfare maximization as future work.  This module provides a
+concrete, practical instantiation of that direction on top of the existing
+machinery:
+
+* :func:`exposure_report` measures, per item, the expected number of
+  adopters and its share of all adoptions for a given allocation.
+* :func:`fair_seqgrd` wraps SeqGRD(-NM) with a *minimum expected adoption*
+  constraint per item: after the welfare-greedy allocation is computed, items
+  whose expected adoption falls short of their floor steal seeds — one at a
+  time, always the seed whose reassignment costs the least welfare — from
+  over-served items until every floor is met (or no legal swap remains).
+
+The repair loop never changes the total number of seeds per the budget
+vector, so the result is always a feasible CWelMax allocation; it trades
+welfare for fairness in a controlled, observable way (the result records
+every swap and the welfare before/after).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.allocation import Allocation
+from repro.core.results import AllocationResult
+from repro.core.seqgrd import seqgrd
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.imm import IMMOptions
+from repro.utility.model import UtilityModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ExposureReport:
+    """Per-item exposure of an allocation."""
+
+    expected_adopters: Dict[str, float]
+    adoption_share: Dict[str, float]
+    total_adoptions: float
+    welfare: float
+
+    def worst_item(self) -> Tuple[str, float]:
+        """The item with the lowest expected adoption and its value."""
+        item = min(self.expected_adopters, key=self.expected_adopters.get)
+        return item, self.expected_adopters[item]
+
+    def satisfies(self, floors: Mapping[str, float]) -> bool:
+        """Whether every item meets its minimum expected adoption."""
+        return all(self.expected_adopters.get(item, 0.0) >= floor - 1e-9
+                   for item, floor in floors.items())
+
+
+def exposure_report(graph: DirectedGraph, model: UtilityModel,
+                    allocation: Allocation, n_samples: int = 500,
+                    rng: RngLike = None) -> ExposureReport:
+    """Measure per-item expected adopters, shares and welfare."""
+    estimate = estimate_welfare(graph, model, allocation,
+                                n_samples=n_samples, rng=rng)
+    total = sum(estimate.adoption_counts.values())
+    shares = {item: (count / total if total > 0 else 0.0)
+              for item, count in estimate.adoption_counts.items()}
+    return ExposureReport(
+        expected_adopters=dict(estimate.adoption_counts),
+        adoption_share=shares,
+        total_adoptions=total,
+        welfare=estimate.mean,
+    )
+
+
+def fair_seqgrd(graph: DirectedGraph, model: UtilityModel,
+                budgets: Mapping[str, int],
+                min_adoptions: Mapping[str, float],
+                fixed_allocation: Optional[Allocation] = None,
+                marginal_check: bool = False,
+                n_marginal_samples: int = 100,
+                n_evaluation_samples: int = 300,
+                max_swaps: Optional[int] = None,
+                options: Optional[IMMOptions] = None,
+                rng: RngLike = None) -> AllocationResult:
+    """SeqGRD(-NM) with per-item minimum expected adoption floors.
+
+    Parameters
+    ----------
+    min_adoptions:
+        Item -> minimum expected number of adopters.  Items not listed have
+        no floor.  Floors that exceed what the item could reach even with
+        every seed are unreachable; the repair loop then stops when no swap
+        improves the worst shortfall and the result's details flag the items
+        that remain short.
+    max_swaps:
+        Upper bound on the number of seed reassignments (defaults to the
+        total seed budget).
+
+    Returns
+    -------
+    AllocationResult
+        ``details`` documents the starting welfare, the swaps performed
+        (seed, from-item, to-item, welfare after) and the final exposure.
+    """
+    rng = ensure_rng(rng)
+    options = options or IMMOptions()
+    fixed_allocation = fixed_allocation or Allocation.empty()
+    unknown = [item for item in min_adoptions if item not in budgets]
+    if unknown:
+        raise AlgorithmError(
+            f"minimum adoptions specified for items without budgets: "
+            f"{sorted(unknown)}")
+    for item, floor in min_adoptions.items():
+        if floor < 0:
+            raise AlgorithmError(f"minimum adoptions for {item!r} must be >= 0")
+
+    start = time.perf_counter()
+    base = seqgrd(graph, model, budgets, fixed_allocation,
+                  marginal_check=marginal_check,
+                  n_marginal_samples=n_marginal_samples,
+                  options=options, rng=rng)
+    allocation = base.allocation
+    report = exposure_report(graph, model,
+                             allocation.union(fixed_allocation),
+                             n_samples=n_evaluation_samples, rng=rng)
+    initial_welfare = report.welfare
+
+    swaps: List[Dict[str, object]] = []
+    budget_total = sum(max(0, b) for b in budgets.values())
+    remaining_swaps = budget_total if max_swaps is None else int(max_swaps)
+
+    while remaining_swaps > 0 and not report.satisfies(min_adoptions):
+        shortfalls = {
+            item: floor - report.expected_adopters.get(item, 0.0)
+            for item, floor in min_adoptions.items()
+            if report.expected_adopters.get(item, 0.0) < floor - 1e-9
+        }
+        needy_item = max(shortfalls, key=shortfalls.get)
+
+        # candidate donors: items above their own floor (or without one)
+        # that still have at least one seed to give
+        donors = [item for item in allocation.items
+                  if item != needy_item
+                  and allocation.seed_count(item) > 0
+                  and report.expected_adopters.get(item, 0.0)
+                  > min_adoptions.get(item, 0.0) + 1e-9]
+        if not donors:
+            break
+
+        best_candidate: Optional[Tuple[Allocation, ExposureReport]] = None
+        best_welfare = float("-inf")
+        for donor in donors:
+            # move the donor's last (least valuable in greedy order) seed
+            seed = allocation.seeds_for(donor)[-1]
+            moved = {item: [v for v in nodes if not (item == donor and v == seed)]
+                     for item, nodes in allocation.as_dict().items()}
+            moved.setdefault(needy_item, [])
+            moved[needy_item] = list(moved[needy_item]) + [seed]
+            candidate = Allocation({k: v for k, v in moved.items() if v})
+            candidate_report = exposure_report(
+                graph, model, candidate.union(fixed_allocation),
+                n_samples=n_evaluation_samples, rng=rng)
+            gain = (candidate_report.expected_adopters.get(needy_item, 0.0)
+                    - report.expected_adopters.get(needy_item, 0.0))
+            if gain <= 1e-9:
+                continue
+            if candidate_report.welfare > best_welfare:
+                best_welfare = candidate_report.welfare
+                best_candidate = (candidate, candidate_report)
+                best_donor, best_seed = donor, seed
+
+        if best_candidate is None:
+            break
+        allocation, report = best_candidate
+        swaps.append({
+            "seed": int(best_seed),
+            "from_item": best_donor,
+            "to_item": needy_item,
+            "welfare_after": round(report.welfare, 3),
+        })
+        remaining_swaps -= 1
+
+    runtime = time.perf_counter() - start
+    unmet = {item: floor for item, floor in min_adoptions.items()
+             if report.expected_adopters.get(item, 0.0) < floor - 1e-9}
+    return AllocationResult(
+        allocation=allocation,
+        fixed_allocation=fixed_allocation,
+        algorithm="FairSeqGRD" if marginal_check else "FairSeqGRD-NM",
+        estimated_welfare=report.welfare,
+        runtime_seconds=runtime,
+        details={
+            "initial_welfare": initial_welfare,
+            "final_welfare": report.welfare,
+            "welfare_cost_of_fairness": round(initial_welfare - report.welfare, 3),
+            "swaps": swaps,
+            "exposure": report.expected_adopters,
+            "adoption_share": report.adoption_share,
+            "unmet_floors": unmet,
+            "base_result": base,
+        },
+    )
+
+
+__all__ = ["ExposureReport", "exposure_report", "fair_seqgrd"]

@@ -1,0 +1,50 @@
+"""Result objects returned by the CWelMax algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.allocation import Allocation
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of one seed-selection algorithm run.
+
+    Attributes
+    ----------
+    allocation:
+        The newly selected allocation (items of ``I2`` only).
+    fixed_allocation:
+        The pre-existing allocation ``S_P`` the algorithm was run on top of.
+    algorithm:
+        Name of the algorithm that produced the allocation.
+    estimated_welfare:
+        Monte-Carlo estimate of ``ρ(S ∪ S_P)`` if the caller asked for an
+        evaluation (``None`` otherwise).
+    runtime_seconds:
+        Wall-clock time of the seed selection (excludes any final welfare
+        evaluation requested by the caller).
+    details:
+        Algorithm-specific diagnostics (number of RR sets, per-item order,
+        skipped items, …).
+    """
+
+    allocation: Allocation
+    fixed_allocation: Allocation
+    algorithm: str
+    estimated_welfare: Optional[float] = None
+    runtime_seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def combined_allocation(self) -> Allocation:
+        """The full allocation ``S ∪ S_P`` that will actually propagate."""
+        return self.allocation.union(self.fixed_allocation)
+
+    def seeds_for(self, item: str):
+        """Seeds selected for ``item`` by this run (excludes ``S_P``)."""
+        return self.allocation.seeds_for(item)
+
+
+__all__ = ["AllocationResult"]

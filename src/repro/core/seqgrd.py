@@ -1,0 +1,171 @@
+"""SeqGRD and SeqGRD-NM (paper Algorithm 1).
+
+SeqGRD selects one pool of ``Σ b_i`` seed nodes with PRIMA+ (approximately
+optimal *marginal* spread on top of the fixed allocation ``S_P``), sorts the
+unallocated items by expected truncated utility, and hands the highest-
+utility items the top seeds.  An optional *marginal check* simulates whether
+adding an item's allocation actually increases welfare — skipping (for now)
+items that would block higher-utility items — and afterwards appends every
+skipped item so all budgets are exhausted, which is what the
+``u_min/u_max · (1 - 1/e - ε)`` guarantee of Theorem 3 relies on.
+
+SeqGRD-NM ("no marginal") is the same algorithm without the marginal check:
+same approximation guarantee, much faster (no Monte-Carlo simulations), but
+it can suffer from item blocking in configurations like Table 4
+(Figure 6(c)).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.allocation import Allocation, validate_budgets
+from repro.core.prima import prima_plus
+from repro.core.results import AllocationResult
+from repro.diffusion.estimators import estimate_marginal_welfare, estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.imm import IMMOptions
+from repro.utility.model import UtilityModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def seqgrd(graph: DirectedGraph, model: UtilityModel,
+           budgets: Mapping[str, int],
+           fixed_allocation: Optional[Allocation] = None,
+           marginal_check: bool = True,
+           n_marginal_samples: int = 200,
+           options: Optional[IMMOptions] = None,
+           evaluate_welfare: bool = False,
+           n_evaluation_samples: int = 500,
+           rng: RngLike = None) -> AllocationResult:
+    """Run SeqGRD (or SeqGRD-NM when ``marginal_check=False``).
+
+    Parameters
+    ----------
+    graph, model:
+        The CWelMax instance.
+    budgets:
+        Budget ``b_i`` for every item in ``I_2`` (the items to allocate).
+        Items present in ``fixed_allocation`` must not appear here.
+    fixed_allocation:
+        The existing allocation ``S_P`` (defaults to empty).
+    marginal_check:
+        Whether to perform the Monte-Carlo marginal-welfare check of
+        Algorithm 1 line 8.  ``False`` gives SeqGRD-NM.
+    n_marginal_samples:
+        Monte-Carlo samples per marginal check (the paper uses 5000; the
+        default here is smaller so pure-Python runs stay fast — raise it for
+        higher fidelity).
+    options:
+        IMM/PRIMA+ accuracy options (ε, ℓ, sampling caps).
+    evaluate_welfare:
+        When true, the returned result carries a Monte-Carlo estimate of
+        ``ρ(S ∪ S_P)``.
+    """
+    rng = ensure_rng(rng)
+    options = options or IMMOptions()
+    fixed_allocation = fixed_allocation or Allocation.empty()
+    budgets = validate_budgets(budgets, model.catalog)
+    _check_item_split(budgets, fixed_allocation)
+
+    start = time.perf_counter()
+    items = [item for item, budget in budgets.items() if budget > 0]
+    fixed_seeds = fixed_allocation.all_seeds()
+    total_budget = sum(budgets[item] for item in items)
+
+    prima = prima_plus(graph, fixed_seeds, [budgets[i] for i in items],
+                       total_budget, options=options, rng=rng)
+    available: List[int] = list(prima.seeds)
+
+    # sort items by expected truncated utility, highest first (line 4)
+    utilities = {item: model.expected_truncated_utility(item, rng=rng)
+                 for item in items}
+    ordered_items = sorted(items, key=lambda it: utilities[it], reverse=True)
+
+    allocation = Allocation.empty()
+    added: List[str] = []
+    skipped: List[str] = []
+    marginals: Dict[str, float] = {}
+    for item in ordered_items:
+        budget = budgets[item]
+        candidate_nodes = available[:budget]
+        if not candidate_nodes:
+            skipped.append(item)
+            continue
+        candidate = Allocation({item: candidate_nodes})
+        if marginal_check:
+            base = allocation.union(fixed_allocation)
+            marginal = estimate_marginal_welfare(
+                graph, model, base, candidate,
+                n_samples=n_marginal_samples, rng=rng)
+            marginals[item] = marginal
+            if marginal <= 0.0:
+                skipped.append(item)
+                continue
+        allocation = allocation.union(candidate)
+        added.append(item)
+        del available[:budget]
+
+    # append the skipped items in arbitrary order to exhaust budgets
+    # (Algorithm 1 lines 14-18) — required for the approximation guarantee.
+    for item in skipped:
+        budget = budgets[item]
+        candidate_nodes = available[:budget]
+        if not candidate_nodes:
+            continue
+        allocation = allocation.union(Allocation({item: candidate_nodes}))
+        del available[:budget]
+
+    runtime = time.perf_counter() - start
+    algorithm = "SeqGRD" if marginal_check else "SeqGRD-NM"
+    estimated = None
+    if evaluate_welfare:
+        estimated = estimate_welfare(graph, model,
+                                     allocation.union(fixed_allocation),
+                                     n_samples=n_evaluation_samples,
+                                     rng=rng).mean
+    return AllocationResult(
+        allocation=allocation,
+        fixed_allocation=fixed_allocation,
+        algorithm=algorithm,
+        estimated_welfare=estimated,
+        runtime_seconds=runtime,
+        details={
+            "item_order": ordered_items,
+            "item_utilities": utilities,
+            "added_in_first_pass": added,
+            "appended_items": skipped,
+            "marginal_estimates": marginals,
+            "num_rr_sets": prima.num_rr_sets,
+            "prima_prefix_spreads": prima.prefix_marginal_spreads,
+        },
+    )
+
+
+def seqgrd_nm(graph: DirectedGraph, model: UtilityModel,
+              budgets: Mapping[str, int],
+              fixed_allocation: Optional[Allocation] = None,
+              options: Optional[IMMOptions] = None,
+              evaluate_welfare: bool = False,
+              n_evaluation_samples: int = 500,
+              rng: RngLike = None) -> AllocationResult:
+    """SeqGRD-NM: SeqGRD without the Monte-Carlo marginal check."""
+    return seqgrd(graph, model, budgets, fixed_allocation,
+                  marginal_check=False, options=options,
+                  evaluate_welfare=evaluate_welfare,
+                  n_evaluation_samples=n_evaluation_samples, rng=rng)
+
+
+def _check_item_split(budgets: Mapping[str, int],
+                      fixed_allocation: Allocation) -> None:
+    """``I_1`` (fixed) and ``I_2`` (to allocate) must be disjoint."""
+    overlap = set(budgets) & set(fixed_allocation.items)
+    if overlap:
+        raise AlgorithmError(
+            f"items {sorted(overlap)} appear both in the budget vector and "
+            f"in the fixed allocation; I1 and I2 must be disjoint")
+
+
+__all__ = ["seqgrd", "seqgrd_nm"]

@@ -1,0 +1,159 @@
+"""SupGRD (paper §5.3) — constant-factor welfare maximization for the
+superior-item special case.
+
+SupGRD applies when (i) the item universe has a *superior item* ``i_m``
+whose utility beats every other item under any noise realisation, (ii) the
+seeds of all inferior items are already fixed (``I_2 = {i_m}``), and (iii)
+items are in pure competition.  Under these conditions the welfare is
+monotone and submodular in the superior item's seed set (Lemmas 4 and 5),
+so an IMM-style algorithm over *weighted RR sets* (Definition 2) achieves a
+``(1 - 1/e - ε)``-approximation (Theorem 5).
+
+A weighted RR set's weight is the welfare gained if its root switches from
+the best fixed item reaching it to ``i_m``; covering the sampled sets with
+``b_{i_m}`` seeds therefore estimates the marginal welfare directly
+(Lemma 6), and the sampling bounds of IMM apply with the search upper bound
+``UB = n · U⁺(i_m)``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.allocation import Allocation
+from repro.core.results import AllocationResult
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.imm import IMMOptions, run_imm_engine
+from repro.rrsets.rrset import WeightedRRSampler
+from repro.utility.model import UtilityModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def supgrd(graph: DirectedGraph, model: UtilityModel,
+           budget: int,
+           fixed_allocation: Allocation,
+           superior_item: Optional[str] = None,
+           enforce_preconditions: bool = True,
+           options: Optional[IMMOptions] = None,
+           evaluate_welfare: bool = False,
+           n_evaluation_samples: int = 500,
+           rng: RngLike = None) -> AllocationResult:
+    """Select ``budget`` seeds for the superior item on top of ``S_P``.
+
+    Parameters
+    ----------
+    graph, model:
+        The CWelMax instance.
+    budget:
+        Budget ``b_{i_m}`` of the superior item.
+    fixed_allocation:
+        Fixed allocation of the inferior items (``S_P``).
+    superior_item:
+        Name of the superior item; inferred from the model's noise bounds
+        when omitted.
+    enforce_preconditions:
+        When ``True`` (default) the preconditions of Theorem 5 are checked
+        and violations raise :class:`AlgorithmError`; ``False`` lets callers
+        run SupGRD as a heuristic outside its guaranteed regime.
+    """
+    rng = ensure_rng(rng)
+    options = options or IMMOptions()
+    if budget < 0:
+        raise AlgorithmError("budget must be >= 0")
+
+    if superior_item is None:
+        superior_item = model.superior_item()
+        if superior_item is None:
+            raise AlgorithmError(
+                "the utility model has no certifiable superior item; pass "
+                "superior_item explicitly or use SeqGRD/MaxGRD")
+    else:
+        model.catalog.index(superior_item)
+
+    if enforce_preconditions:
+        _check_preconditions(model, superior_item, fixed_allocation)
+
+    start = time.perf_counter()
+    sampler_state = WeightedRRSampler(graph, model, superior_item,
+                                      fixed_allocation, rng=rng)
+    superior_utility = sampler_state.superior_utility
+    if superior_utility <= 0.0:
+        # the superior item can never be adopted with positive utility
+        allocation = Allocation.empty()
+        runtime = time.perf_counter() - start
+        return AllocationResult(allocation, fixed_allocation, "SupGRD",
+                                runtime_seconds=runtime,
+                                details={"superior_item": superior_item,
+                                         "num_rr_sets": 0})
+
+    def sampler(generator: np.random.Generator):
+        rr = sampler_state.sample(generator)
+        return rr.nodes, rr.weight
+
+    imm_result = run_imm_engine(
+        graph.num_nodes, budget, sampler,
+        max_value=float(graph.num_nodes) * superior_utility,
+        options=options, rng=rng)
+    allocation = Allocation({superior_item: imm_result.seeds}) \
+        if imm_result.seeds else Allocation.empty()
+    runtime = time.perf_counter() - start
+
+    estimated = None
+    if evaluate_welfare:
+        estimated = estimate_welfare(graph, model,
+                                     allocation.union(fixed_allocation),
+                                     n_samples=n_evaluation_samples,
+                                     rng=rng).mean
+    return AllocationResult(
+        allocation=allocation,
+        fixed_allocation=fixed_allocation,
+        algorithm="SupGRD",
+        estimated_welfare=estimated,
+        runtime_seconds=runtime,
+        details={
+            "superior_item": superior_item,
+            "superior_truncated_utility": superior_utility,
+            "estimated_marginal_welfare": imm_result.estimated_value,
+            "num_rr_sets": imm_result.num_rr_sets,
+            "lower_bound": imm_result.lower_bound,
+        },
+    )
+
+
+def _check_preconditions(model: UtilityModel, superior_item: str,
+                         fixed_allocation: Allocation) -> None:
+    """Validate the three conditions required by Theorem 5."""
+    certified = model.superior_item()
+    if certified is None:
+        raise AlgorithmError(
+            "SupGRD requires bounded noise and a superior item; the model "
+            "cannot certify one (set enforce_preconditions=False to run "
+            "SupGRD as a heuristic)")
+    if certified != superior_item:
+        raise AlgorithmError(
+            f"item {superior_item!r} is not the superior item; the model "
+            f"certifies {certified!r}")
+    inferior = [name for name in model.items if name != superior_item]
+    missing = [item for item in inferior
+               if not fixed_allocation.seeds_for(item)]
+    if missing and inferior:
+        # all inferior items must have fixed seeds (I2 = {i_m}); items with
+        # zero budget everywhere are tolerated only if explicitly absent
+        raise AlgorithmError(
+            f"SupGRD requires the seeds of every inferior item to be fixed; "
+            f"missing allocations for {missing}")
+    if superior_item in fixed_allocation.items:
+        raise AlgorithmError(
+            "the superior item must not already be allocated in S_P")
+    if not model.is_pure_competition():
+        raise AlgorithmError(
+            "SupGRD requires pure competition between all items "
+            "(every multi-item bundle must have negative utility)")
+
+
+__all__ = ["supgrd"]

@@ -1,0 +1,44 @@
+"""UIC / IC diffusion simulation and Monte-Carlo estimation."""
+
+from repro.diffusion.worlds import (
+    EdgeWorld,
+    LazyEdgeWorld,
+    PossibleWorld,
+    sample_edge_world,
+)
+from repro.diffusion.uic import DiffusionResult, best_bundle, simulate_uic
+from repro.diffusion.trace import AdoptionEvent, DiffusionTrace, render_trace, trace_uic
+from repro.diffusion.ic import reachable_set, simulate_ic, spread_in_world
+from repro.diffusion.estimators import (
+    WelfareEstimate,
+    estimate_adoption_counts,
+    estimate_marginal_spread,
+    estimate_marginal_welfare,
+    estimate_spread,
+    estimate_welfare,
+    exact_welfare_enumeration,
+)
+
+__all__ = [
+    "EdgeWorld",
+    "LazyEdgeWorld",
+    "PossibleWorld",
+    "sample_edge_world",
+    "DiffusionResult",
+    "best_bundle",
+    "simulate_uic",
+    "AdoptionEvent",
+    "DiffusionTrace",
+    "trace_uic",
+    "render_trace",
+    "simulate_ic",
+    "reachable_set",
+    "spread_in_world",
+    "WelfareEstimate",
+    "estimate_welfare",
+    "estimate_marginal_welfare",
+    "estimate_spread",
+    "estimate_marginal_spread",
+    "estimate_adoption_counts",
+    "exact_welfare_enumeration",
+]

@@ -1,0 +1,61 @@
+"""Classic single-item Independent Cascade (IC) simulation.
+
+The IC model is both a baseline substrate (TCIM, Balance-C and IMM reason
+about single-item spread) and the backbone of the analysis: the influence
+spread ``σ(S)`` bounds the social welfare via ``u_min·σ(S) ≤ ρ(S) ≤
+u_max·σ(S)`` (paper Lemma 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.diffusion.worlds import EdgeWorld, LazyEdgeWorld
+from repro.graphs.graph import DirectedGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+EdgeWorldLike = Union[EdgeWorld, LazyEdgeWorld]
+
+
+def simulate_ic(graph: DirectedGraph, seeds: Iterable[int],
+                rng: RngLike = None,
+                edge_world: Optional[EdgeWorldLike] = None) -> Set[int]:
+    """Run one IC diffusion from ``seeds`` and return the active node set."""
+    rng = ensure_rng(rng)
+    if edge_world is None:
+        edge_world = LazyEdgeWorld(graph, rng)
+    active: Set[int] = set(int(v) for v in seeds)
+    frontier: deque = deque(active)
+    while frontier:
+        node = frontier.popleft()
+        for target in edge_world.out_neighbors(node):
+            target = int(target)
+            if target not in active:
+                active.add(target)
+                frontier.append(target)
+    return active
+
+
+def reachable_set(edge_world: EdgeWorldLike, seeds: Iterable[int]) -> Set[int]:
+    """Nodes reachable from ``seeds`` in a fixed edge world (``Γ_w(S)``)."""
+    active: Set[int] = set(int(v) for v in seeds)
+    frontier: deque = deque(active)
+    while frontier:
+        node = frontier.popleft()
+        for target in edge_world.out_neighbors(node):
+            target = int(target)
+            if target not in active:
+                active.add(target)
+                frontier.append(target)
+    return active
+
+
+def spread_in_world(edge_world: EdgeWorldLike, seeds: Iterable[int]) -> int:
+    """Number of nodes reachable from ``seeds`` in a fixed edge world."""
+    return len(reachable_set(edge_world, seeds))
+
+
+__all__ = ["simulate_ic", "reachable_set", "spread_in_world"]

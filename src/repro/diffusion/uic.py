@@ -1,0 +1,191 @@
+"""Forward simulation of the UIC (utility-driven independent cascade) model.
+
+The model (paper §3): every node keeps a *desire set* (items it has been
+informed about) and an *adoption set* (the utility-maximizing subset of the
+desire set it has adopted so far).  At ``t = 1`` the seed nodes' desire sets
+are initialised from the allocation and they adopt the best bundle with
+non-negative utility.  Whenever a node adopts a new item at time ``t-1`` it
+makes one influence attempt on each out-neighbour (success probability
+``p_uv``, one coin per edge in possible-world terms); informed neighbours
+add the item to their desire set and re-optimize their adoption, which must
+be a superset of their previous adoption (adoption is progressive).  The
+process stops when no adoption changes.
+
+Both the desire and the adoption set of a node are bitmasks over the item
+catalog, and the per-world utilities of all ``2^m`` bundles are tabulated
+once, so the adoption ``argmax`` is a submask scan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.allocation import Allocation
+from repro.diffusion.worlds import EdgeWorld, LazyEdgeWorld, sample_edge_world
+from repro.graphs.graph import DirectedGraph
+from repro.utility.model import UtilityModel
+from repro.utils.rng import RngLike, ensure_rng
+
+EdgeWorldLike = Union[EdgeWorld, LazyEdgeWorld]
+
+
+@dataclass
+class DiffusionResult:
+    """Outcome of one deterministic UIC diffusion (one possible world).
+
+    Attributes
+    ----------
+    adoption_masks:
+        Per-node bitmask of adopted items at convergence.
+    welfare:
+        Sum over nodes of the utility of their adopted bundle in this world
+        (``ρ_w(S)``).
+    adoption_counts:
+        Number of adopters per item (item name -> count).
+    num_adopters:
+        Number of nodes that adopted at least one item.
+    rounds:
+        Number of diffusion rounds until convergence.
+    """
+
+    adoption_masks: np.ndarray
+    welfare: float
+    adoption_counts: Dict[str, int]
+    num_adopters: int
+    rounds: int
+
+    def adopted_bundle(self, node: int, model: UtilityModel) -> tuple:
+        """Item names adopted by ``node``."""
+        return model.catalog.items_of(int(self.adoption_masks[node]))
+
+
+def best_bundle(desire_mask: int, adopted_mask: int,
+                utilities: np.ndarray) -> int:
+    """Utility-maximizing bundle ``T`` with ``A ⊆ T ⊆ R`` and ``U(T) ≥ 0``.
+
+    Ties are broken towards smaller bundles (fewer items) and then smaller
+    masks so the simulation is deterministic.  If no candidate has
+    non-negative utility the previous adoption is kept (the previous
+    adoption always has non-negative utility by induction, the empty bundle
+    having utility 0).
+    """
+    free = desire_mask & ~adopted_mask
+    best_mask = adopted_mask
+    best_utility = float(utilities[adopted_mask])
+    if best_utility < 0.0:
+        best_utility = float("-inf")
+        best_mask = adopted_mask
+    # enumerate submasks of `free`, including 0 (keep current adoption)
+    sub = free
+    while True:
+        candidate = adopted_mask | sub
+        utility = float(utilities[candidate])
+        if utility >= 0.0:
+            better = utility > best_utility + 1e-12
+            tie = abs(utility - best_utility) <= 1e-12
+            if better or (tie and _prefer(candidate, best_mask)):
+                best_utility = utility
+                best_mask = candidate
+        if sub == 0:
+            break
+        sub = (sub - 1) & free
+    return best_mask
+
+
+def _prefer(candidate: int, incumbent: int) -> bool:
+    """Tie-break: fewer items first, then smaller mask."""
+    c_bits, i_bits = bin(candidate).count("1"), bin(incumbent).count("1")
+    if c_bits != i_bits:
+        return c_bits < i_bits
+    return candidate < incumbent
+
+
+def simulate_uic(graph: DirectedGraph, model: UtilityModel,
+                 allocation: Allocation,
+                 rng: RngLike = None,
+                 edge_world: Optional[EdgeWorldLike] = None,
+                 noise_world: Optional[np.ndarray] = None,
+                 max_rounds: Optional[int] = None) -> DiffusionResult:
+    """Run one UIC diffusion and return its :class:`DiffusionResult`.
+
+    Parameters
+    ----------
+    graph, model, allocation:
+        The CWelMax instance (graph, utility model) and the seed allocation
+        ``S`` (possibly a union of a fixed allocation and a new one).
+    rng:
+        Randomness source used to sample whatever part of the possible world
+        is not supplied explicitly.
+    edge_world:
+        Fixed edge world; when omitted a :class:`LazyEdgeWorld` is used so
+        edge coins are flipped on demand.
+    noise_world:
+        Fixed noise world (length-``m`` vector); sampled from the model's
+        noise distributions when omitted.
+    max_rounds:
+        Safety cap on the number of rounds (defaults to ``n``).
+    """
+    rng = ensure_rng(rng)
+    n = graph.num_nodes
+    catalog = model.catalog
+    if noise_world is None:
+        noise_world = model.sample_noise_world(rng)
+    utilities = model.utility_table(noise_world)
+    if edge_world is None:
+        edge_world = LazyEdgeWorld(graph, rng)
+
+    desire = np.zeros(n, dtype=np.int64)
+    adopted = np.zeros(n, dtype=np.int64)
+
+    seed_masks = allocation.node_item_masks(catalog, n)
+    seeds = np.nonzero(seed_masks)[0]
+
+    # time t = 1: seeds are informed of their allocated items and adopt
+    frontier: deque = deque()
+    for node in seeds:
+        desire[node] = seed_masks[node]
+        new_adoption = best_bundle(int(desire[node]), 0, utilities)
+        if new_adoption:
+            adopted[node] = new_adoption
+            frontier.append((int(node), new_adoption))
+
+    rounds = 0
+    limit = n if max_rounds is None else int(max_rounds)
+    while frontier and rounds < limit:
+        rounds += 1
+        # synchronous round: first gather every inform event of this time
+        # step, then let each informed node re-optimize its adoption once.
+        pending: Dict[int, int] = {}
+        while frontier:
+            node, new_items = frontier.popleft()
+            live_targets = edge_world.out_neighbors(node)
+            for target in live_targets:
+                target = int(target)
+                missing = new_items & ~desire[target]
+                if missing:
+                    pending[target] = pending.get(target, 0) | missing
+        next_frontier: deque = deque()
+        for target, informed in pending.items():
+            desire[target] |= informed
+            previous = int(adopted[target])
+            updated = best_bundle(int(desire[target]), previous, utilities)
+            if updated != previous:
+                adopted[target] = updated
+                next_frontier.append((target, updated & ~previous))
+        frontier = next_frontier
+
+    welfare = float(np.sum(utilities[adopted]))
+    counts: Dict[str, int] = {}
+    for name, bit in catalog.iter_singletons():
+        counts[name] = int(np.count_nonzero(adopted & bit))
+    num_adopters = int(np.count_nonzero(adopted))
+    return DiffusionResult(adoption_masks=adopted, welfare=welfare,
+                           adoption_counts=counts, num_adopters=num_adopters,
+                           rounds=rounds)
+
+
+__all__ = ["simulate_uic", "best_bundle", "DiffusionResult"]

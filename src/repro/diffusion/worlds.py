@@ -1,0 +1,100 @@
+"""Possible-world semantics of the UIC model.
+
+A possible world ``w = (w1, w2)`` is an *edge world* (a deterministic graph
+obtained by flipping one independent coin per edge with probability
+``p_uv``) together with a *noise world* (one sampled noise term per item).
+Propagation and adoption inside a possible world are fully deterministic,
+which is what the analysis in the paper (and the RR-set machinery) exploits.
+
+:class:`EdgeWorld` materializes the live out-edges of every node.
+:class:`LazyEdgeWorld` flips the coins for a node's out-edges the first time
+that node becomes an influencer and caches the outcome — equivalent in
+distribution, and much cheaper when a diffusion only reaches a small part of
+a large graph (the common case with weighted-cascade probabilities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import DirectedGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class EdgeWorld:
+    """A deterministic edge world: live out-neighbours of every node."""
+
+    live_out: List[np.ndarray]
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Live out-neighbours of ``node`` in this world."""
+        return self.live_out[node]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.live_out)
+
+    def num_live_edges(self) -> int:
+        """Total number of live edges in this world."""
+        return int(sum(len(a) for a in self.live_out))
+
+
+def sample_edge_world(graph: DirectedGraph, rng: RngLike = None) -> EdgeWorld:
+    """Sample a full edge world by flipping one coin per edge."""
+    rng = ensure_rng(rng)
+    live: List[np.ndarray] = []
+    for node in range(graph.num_nodes):
+        targets, probs = graph.out_neighbors(node)
+        if len(targets) == 0:
+            live.append(targets)
+            continue
+        coins = rng.random(len(targets)) < probs
+        live.append(targets[coins])
+    return EdgeWorld(live_out=live)
+
+
+class LazyEdgeWorld:
+    """Edge world whose coins are flipped on first use and then cached.
+
+    Within one diffusion this is indistinguishable from a fully sampled
+    :class:`EdgeWorld`: each edge's coin is flipped exactly once no matter
+    how many items its source node eventually adopts.
+    """
+
+    def __init__(self, graph: DirectedGraph, rng: RngLike = None) -> None:
+        self._graph = graph
+        self._rng = ensure_rng(rng)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Live out-neighbours of ``node``, sampling coins on first access."""
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        targets, probs = self._graph.out_neighbors(node)
+        if len(targets) == 0:
+            live = targets
+        else:
+            coins = self._rng.random(len(targets)) < probs
+            live = targets[coins]
+        self._cache[node] = live
+        return live
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.num_nodes
+
+
+@dataclass
+class PossibleWorld:
+    """A fully specified possible world ``(w1, w2)``."""
+
+    edge_world: EdgeWorld
+    noise_world: np.ndarray
+
+
+__all__ = ["EdgeWorld", "LazyEdgeWorld", "PossibleWorld", "sample_edge_world"]

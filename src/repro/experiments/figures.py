@@ -1,0 +1,296 @@
+"""Workloads reproducing every figure of the paper's evaluation (§6).
+
+Each ``figure*`` function returns a list of :class:`dict` rows (one per
+plotted point) so the benches and EXPERIMENTS.md can tabulate them.  The
+workload *structure* follows the paper exactly — same utility
+configurations, same algorithm line-ups, same sweeps — while the network
+sizes, budgets and sample counts are scaled by an
+:class:`~repro.experiments.config.ExperimentScale` so a pure-Python run
+finishes quickly (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.allocation import Allocation
+from repro.core import seqgrd, seqgrd_nm, supgrd
+from repro.diffusion.estimators import estimate_welfare
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.networks import benchmark_network
+from repro.experiments.runners import RunRecord, run_algorithm
+from repro.graphs.sampling import bfs_sample
+from repro.graphs.weighting import uniform as uniform_weighting
+from repro.rrsets.imm import imm
+from repro.utility.configs import (
+    blocking_config,
+    lastfm_config,
+    multi_item_config,
+    two_item_config,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+
+#: algorithm line-up of Figures 3 and 4 (two-item experiments, §6.2)
+TWO_ITEM_ALGORITHMS = ("greedyWM", "Balance-C", "TCIM", "MaxGRD",
+                       "SeqGRD", "SeqGRD-NM")
+#: algorithm line-up of Figures 6(a)/(b) and 7 (more than two items)
+MULTI_ITEM_ALGORITHMS = ("greedyWM", "TCIM", "MaxGRD", "SeqGRD", "SeqGRD-NM")
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — running time under configuration C1
+# ----------------------------------------------------------------------
+def figure3(scale=None,
+            networks: Sequence[str] = ("nethept", "douban-book",
+                                       "douban-movie", "orkut"),
+            algorithms: Sequence[str] = TWO_ITEM_ALGORITHMS,
+            budgets: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+    """Running times of the six algorithms under configuration C1.
+
+    The paper's Figure 3 plots running time against budgets {10, 30, 50} on
+    NetHEPT, Douban-Book, Douban-Movie and Orkut; greedyWM and Balance-C are
+    omitted on Orkut because they do not finish — here they run on every
+    network because the stand-ins are small, but they remain the slowest by
+    orders of magnitude.
+    """
+    scale = get_scale(scale)
+    budgets = list(budgets or scale.budget_sweep)
+    model = two_item_config("C1")
+    rows: List[Dict[str, object]] = []
+    for network in networks:
+        graph = benchmark_network(network, scale)
+        for budget in budgets:
+            for algorithm in algorithms:
+                record = run_algorithm(
+                    algorithm, graph, model,
+                    budgets={"i": budget, "j": budget},
+                    scale=scale, configuration="C1",
+                    rng=scale.seed + budget)
+                rows.append(record.as_row())
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — social welfare under configurations C1-C4 (Douban-Movie)
+# ----------------------------------------------------------------------
+def figure4(scale=None, network: str = "douban-movie",
+            configurations: Sequence[str] = ("C1", "C2", "C3", "C4"),
+            algorithms: Sequence[str] = TWO_ITEM_ALGORITHMS,
+            budgets: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+    """Expected social welfare under the four two-item configurations.
+
+    C1–C3 sweep a uniform budget for both items; C4 fixes item ``i``'s
+    budget at the top of the sweep and varies item ``j``'s budget
+    (non-uniform budgets), mirroring Table 3.
+    """
+    scale = get_scale(scale)
+    budgets = list(budgets or scale.budget_sweep)
+    graph = benchmark_network(network, scale)
+    rows: List[Dict[str, object]] = []
+    for configuration in configurations:
+        model = two_item_config(configuration)
+        for budget in budgets:
+            if configuration == "C4":
+                budget_map = {"i": max(budgets), "j": budget}
+            else:
+                budget_map = {"i": budget, "j": budget}
+            for algorithm in algorithms:
+                record = run_algorithm(
+                    algorithm, graph, model, budgets=budget_map,
+                    scale=scale, configuration=configuration,
+                    rng=scale.seed + budget)
+                rows.append(record.as_row())
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — SupGRD vs SeqGRD-NM under C5/C6 (Orkut, Twitter)
+# ----------------------------------------------------------------------
+def figure5(scale=None,
+            networks: Sequence[str] = ("orkut", "twitter"),
+            configurations: Sequence[str] = ("C5", "C6"),
+            budgets: Optional[Sequence[int]] = None,
+            inferior_budget: Optional[int] = None) -> List[Dict[str, object]]:
+    """SupGRD vs SeqGRD-NM with the inferior item pre-seeded by IMM.
+
+    Following §6.2.3, the top ``inferior_budget`` IMM nodes are fixed as the
+    seeds of the inferior item ``j``; the superior item ``i``'s budget is
+    swept and both algorithms select its seeds on top of that fixed
+    allocation.  Welfare and running time are reported for both.
+    """
+    scale = get_scale(scale)
+    budgets = list(budgets or scale.budget_sweep)
+    inferior_budget = inferior_budget or max(budgets)
+    rows: List[Dict[str, object]] = []
+    for network in networks:
+        graph = benchmark_network(network, scale)
+        imm_seeds = imm(graph, inferior_budget, options=scale.imm_options,
+                        rng=scale.seed).seeds
+        fixed = Allocation({"j": imm_seeds})
+        for configuration in configurations:
+            model = two_item_config(configuration, bounded_noise=True)
+            for budget in budgets:
+                for algorithm in ("SupGRD", "SeqGRD-NM"):
+                    record = run_algorithm(
+                        algorithm, graph, model, budgets={"i": budget},
+                        fixed_allocation=fixed, scale=scale,
+                        configuration=configuration,
+                        superior_item="i",
+                        rng=scale.seed + budget)
+                    rows.append(record.as_row())
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6(a)/(b) — impact of the number of items (NetHEPT)
+# ----------------------------------------------------------------------
+def figure6_items(scale=None, network: str = "nethept",
+                  item_counts: Sequence[int] = (1, 2, 3, 4, 5),
+                  algorithms: Sequence[str] = MULTI_ITEM_ALGORITHMS,
+                  budget: Optional[int] = None) -> List[Dict[str, object]]:
+    """Running time and welfare as the number of items grows (§6.3.1).
+
+    Every item has expected utility 1 and items are in pure competition;
+    every item receives the same budget.
+    """
+    scale = get_scale(scale)
+    budget = budget or max(scale.budget_sweep)
+    graph = benchmark_network(network, scale)
+    rows: List[Dict[str, object]] = []
+    for num_items in item_counts:
+        model = multi_item_config(num_items)
+        budget_map = {name: budget for name in model.items}
+        for algorithm in algorithms:
+            record = run_algorithm(
+                algorithm, graph, model, budgets=budget_map, scale=scale,
+                configuration=f"{num_items}-items",
+                rng=scale.seed + num_items)
+            row = record.as_row()
+            row["num_items"] = num_items
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6(c) — effect of the marginal check (Table 4 configuration)
+# ----------------------------------------------------------------------
+def figure6_blocking(scale=None, network: str = "nethept",
+                     superior_budget: Optional[int] = None,
+                     inferior_budgets: Optional[Sequence[int]] = None
+                     ) -> List[Dict[str, object]]:
+    """SeqGRD vs SeqGRD-NM under the item-blocking configuration of Table 4.
+
+    Item ``i`` has the highest utility and a large fixed budget; the budgets
+    of the inferior items ``j`` and ``k`` are swept upwards, which increases
+    the amount of blocking SeqGRD-NM suffers from while SeqGRD's marginal
+    check postpones the blocking allocation of ``j`` (§6.3.2).
+    """
+    scale = get_scale(scale)
+    graph = benchmark_network(network, scale)
+    model = blocking_config()
+    superior_budget = superior_budget or 5 * max(scale.budget_sweep)
+    if inferior_budgets is None:
+        top = max(scale.budget_sweep)
+        inferior_budgets = [top * k for k in (1, 2, 3, 4, 5)]
+    rows: List[Dict[str, object]] = []
+    for inferior_budget in inferior_budgets:
+        budget_map = {"i": superior_budget, "j": inferior_budget,
+                      "k": inferior_budget}
+        for algorithm in ("SeqGRD", "SeqGRD-NM"):
+            record = run_algorithm(
+                algorithm, graph, model, budgets=budget_map, scale=scale,
+                configuration="Table4", rng=scale.seed + inferior_budget)
+            row = record.as_row()
+            row["inferior_budget"] = inferior_budget
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6(d) — scalability of SeqGRD-NM with network size (Orkut)
+# ----------------------------------------------------------------------
+def figure6_scalability(scale=None, network: str = "orkut",
+                        fractions: Sequence[float] = (0.5, 0.6, 0.7, 0.8,
+                                                      0.9, 1.0),
+                        num_items: int = 3,
+                        budget: Optional[int] = None,
+                        uniform_probability: float = 0.01
+                        ) -> List[Dict[str, object]]:
+    """SeqGRD-NM running time on BFS-grown subgraphs of Orkut (§6.3.3).
+
+    Two edge-probability settings are measured: weighted cascade
+    (``1/d_in``) and a constant probability (0.01), matching the paper's
+    "time 1" and "time 2" series.
+    """
+    scale = get_scale(scale)
+    budget = budget or max(scale.budget_sweep)
+    base = benchmark_network(network, scale)
+    model = multi_item_config(num_items)
+    budget_map = {name: budget for name in model.items}
+    rows: List[Dict[str, object]] = []
+    rng = ensure_rng(scale.seed)
+    for fraction in fractions:
+        subgraph = bfs_sample(base, fraction, rng=rng) if fraction < 1.0 else base
+        for setting, graph in (
+                ("weighted-cascade", subgraph),
+                ("uniform-0.01", uniform_weighting(subgraph, uniform_probability))):
+            timer = Timer()
+            with timer.measure("seqgrd-nm"):
+                result = seqgrd_nm(graph, model, budget_map,
+                                   options=scale.imm_options, rng=scale.seed)
+            rows.append({
+                "algorithm": "SeqGRD-NM",
+                "network": network,
+                "configuration": setting,
+                "fraction": fraction,
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "runtime_s": round(timer.total("seqgrd-nm"), 3),
+                "num_seeds": result.allocation.num_pairs(),
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — real (Last.fm) utility configuration (NetHEPT, Orkut)
+# ----------------------------------------------------------------------
+def figure7(scale=None,
+            networks: Sequence[str] = ("nethept", "orkut"),
+            algorithms: Sequence[str] = ("TCIM", "MaxGRD", "SeqGRD",
+                                         "SeqGRD-NM"),
+            budgets: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+    """Running time and welfare under the learned Last.fm genre utilities.
+
+    Four genre items (Table 5) in pure competition, uniform budgets swept as
+    in the paper's 10–40 range (scaled).
+    """
+    scale = get_scale(scale)
+    budgets = list(budgets or scale.small_budget_sweep)
+    model = lastfm_config()
+    rows: List[Dict[str, object]] = []
+    for network in networks:
+        graph = benchmark_network(network, scale)
+        for budget in budgets:
+            budget_map = {name: budget for name in model.items}
+            for algorithm in algorithms:
+                record = run_algorithm(
+                    algorithm, graph, model, budgets=budget_map, scale=scale,
+                    configuration="lastfm", rng=scale.seed + budget)
+                rows.append(record.as_row())
+    return rows
+
+
+__all__ = [
+    "TWO_ITEM_ALGORITHMS",
+    "MULTI_ITEM_ALGORITHMS",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6_items",
+    "figure6_blocking",
+    "figure6_scalability",
+    "figure7",
+]

@@ -1,0 +1,42 @@
+"""Benchmark networks used by the experiments, built once and cached."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.graphs.datasets import load_network, network_statistics
+from repro.graphs.graph import DirectedGraph
+
+
+@lru_cache(maxsize=32)
+def _cached_network(name: str, scale_fraction: Optional[float],
+                    seed: int, weighting: str) -> DirectedGraph:
+    return load_network(name, scale=scale_fraction, rng=seed,
+                        weighting_scheme=weighting)
+
+
+def benchmark_network(name: str, scale=None,
+                      weighting: str = "weighted_cascade") -> DirectedGraph:
+    """The synthetic stand-in network ``name`` at the given experiment scale.
+
+    Networks are cached per (name, scale, weighting) so repeated experiment
+    runs in the same process reuse the same graph.
+    """
+    scale = get_scale(scale)
+    fraction = scale.network_fraction(name.lower())
+    return _cached_network(name.lower(), fraction, scale.seed, weighting)
+
+
+def table2_statistics(scale=None) -> list:
+    """Network statistics rows in the layout of the paper's Table 2."""
+    scale = get_scale(scale)
+    rows = []
+    for name in ("nethept", "douban-book", "douban-movie", "orkut", "twitter"):
+        graph = benchmark_network(name, scale)
+        rows.append(network_statistics(graph))
+    return rows
+
+
+__all__ = ["benchmark_network", "table2_statistics"]

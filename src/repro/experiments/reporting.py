@@ -1,0 +1,63 @@
+"""Plain-text tabulation of experiment rows.
+
+The benches print their results with :func:`format_table` so the regenerated
+figures/tables can be read directly from the pytest-benchmark output and
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {col: len(str(col)) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for cells in rendered:
+        lines.append(" | ".join(cell.ljust(widths[col])
+                                for cell, col in zip(cells, columns)))
+    return "\n".join(lines)
+
+
+def summarize_by(rows: Sequence[Dict[str, object]], group_key: str,
+                 value_key: str) -> Dict[object, float]:
+    """Average ``value_key`` per distinct value of ``group_key``."""
+    sums: Dict[object, float] = {}
+    counts: Dict[object, int] = {}
+    for row in rows:
+        group = row.get(group_key)
+        value = row.get(value_key)
+        if value is None:
+            continue
+        sums[group] = sums.get(group, 0.0) + float(value)
+        counts[group] = counts.get(group, 0) + 1
+    return {group: sums[group] / counts[group] for group in sums}
+
+
+__all__ = ["format_table", "summarize_by"]

@@ -1,0 +1,25 @@
+"""Probabilistic directed-graph substrate for the CWelMax reproduction."""
+
+from repro.graphs.graph import DirectedGraph, Edge
+from repro.graphs import analysis, generators, weighting, datasets, loaders, sampling
+from repro.graphs.analysis import extended_statistics
+from repro.graphs.datasets import load_network, network_names, network_statistics
+from repro.graphs.weighting import weighted_cascade, uniform, trivalency
+
+__all__ = [
+    "DirectedGraph",
+    "Edge",
+    "analysis",
+    "extended_statistics",
+    "generators",
+    "weighting",
+    "datasets",
+    "loaders",
+    "sampling",
+    "load_network",
+    "network_names",
+    "network_statistics",
+    "weighted_cascade",
+    "uniform",
+    "trivalency",
+]

@@ -1,0 +1,164 @@
+"""Structural analysis helpers for the graph substrate.
+
+These utilities support the experiment harness (extended Table 2 statistics,
+sanity checks on the synthetic stand-ins) and are generally useful when
+preparing a new network for CWelMax: degree distributions, weak/strong
+connectivity, probability summaries, and a cheap single-source reachability
+estimate that upper-bounds influence spread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import DirectedGraph
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary statistics of a degree distribution."""
+
+    mean: float
+    median: float
+    maximum: int
+    percentile_90: float
+    percentile_99: float
+    gini: float
+
+    @classmethod
+    def from_degrees(cls, degrees: np.ndarray) -> "DegreeSummary":
+        if len(degrees) == 0:
+            return cls(0.0, 0.0, 0, 0.0, 0.0, 0.0)
+        degrees = np.asarray(degrees, dtype=np.float64)
+        return cls(
+            mean=float(degrees.mean()),
+            median=float(np.median(degrees)),
+            maximum=int(degrees.max()),
+            percentile_90=float(np.percentile(degrees, 90)),
+            percentile_99=float(np.percentile(degrees, 99)),
+            gini=gini_coefficient(degrees),
+        )
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 = uniform).
+
+    Used as a one-number summary of degree skew: social networks such as
+    Orkut/Twitter have a far higher degree Gini than Erdős–Rényi graphs.
+    """
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if len(values) == 0 or values.sum() == 0:
+        return 0.0
+    n = len(values)
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.sum(index * values) / (n * values.sum()))
+                 - (n + 1.0) / n)
+
+
+def degree_summaries(graph: DirectedGraph) -> Dict[str, DegreeSummary]:
+    """Degree summaries for the out- and in-degree distributions."""
+    return {
+        "out": DegreeSummary.from_degrees(graph.out_degrees()),
+        "in": DegreeSummary.from_degrees(graph.in_degrees()),
+    }
+
+
+def weakly_connected_components(graph: DirectedGraph) -> List[List[int]]:
+    """Weakly connected components (edge direction ignored), largest first."""
+    n = graph.num_nodes
+    seen = np.zeros(n, dtype=bool)
+    components: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        queue: deque = deque([start])
+        seen[start] = True
+        component = [start]
+        while queue:
+            node = queue.popleft()
+            out_nbrs, _ = graph.out_neighbors(node)
+            in_nbrs, _ = graph.in_neighbors(node)
+            for nbr in list(out_nbrs) + list(in_nbrs):
+                nbr = int(nbr)
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    component.append(nbr)
+                    queue.append(nbr)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component_fraction(graph: DirectedGraph) -> float:
+    """Fraction of nodes inside the largest weakly connected component."""
+    if graph.num_nodes == 0:
+        return 0.0
+    components = weakly_connected_components(graph)
+    return len(components[0]) / graph.num_nodes
+
+
+def probability_summary(graph: DirectedGraph) -> Dict[str, float]:
+    """Summary of the edge-probability distribution."""
+    probs = np.array([p for _, _, p in graph.edges()], dtype=np.float64)
+    if len(probs) == 0:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "sum": 0.0}
+    return {
+        "mean": float(probs.mean()),
+        "min": float(probs.min()),
+        "max": float(probs.max()),
+        "sum": float(probs.sum()),
+    }
+
+
+def reachable_fraction(graph: DirectedGraph, node: int) -> float:
+    """Fraction of nodes reachable from ``node`` ignoring probabilities.
+
+    This is a deterministic upper bound on the normalized influence spread
+    ``σ({node}) / n`` — useful as a quick sanity check of seed candidates.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    seen = {int(node)}
+    queue: deque = deque([int(node)])
+    while queue:
+        current = queue.popleft()
+        targets, _ = graph.out_neighbors(current)
+        for target in targets:
+            target = int(target)
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return len(seen) / n
+
+
+def extended_statistics(graph: DirectedGraph) -> Dict[str, object]:
+    """Extended Table-2-style statistics used by the experiment harness."""
+    degrees = degree_summaries(graph)
+    return {
+        "name": graph.name,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "avg_degree": round(graph.average_degree(), 2),
+        "max_out_degree": degrees["out"].maximum,
+        "out_degree_gini": round(degrees["out"].gini, 3),
+        "in_degree_gini": round(degrees["in"].gini, 3),
+        "largest_wcc_fraction": round(largest_component_fraction(graph), 3),
+        "mean_edge_probability": round(probability_summary(graph)["mean"], 4),
+    }
+
+
+__all__ = [
+    "DegreeSummary",
+    "gini_coefficient",
+    "degree_summaries",
+    "weakly_connected_components",
+    "largest_component_fraction",
+    "probability_summary",
+    "reachable_fraction",
+    "extended_statistics",
+]

@@ -1,0 +1,149 @@
+"""Synthetic stand-ins for the paper's benchmark networks (Table 2).
+
+The paper evaluates on NetHEPT, Douban-Book, Douban-Movie, Orkut and
+Twitter.  These datasets cannot be shipped with the repository and the two
+largest ones (3M and 41M nodes) are out of reach for pure-Python RR sampling
+anyway, so :func:`load_network` builds synthetic graphs whose node count,
+average degree, degree skew and directedness mimic Table 2 — optionally
+scaled down by a ``scale`` factor so the full experiment suite runs in
+seconds on a laptop.  The default scales are chosen per network and recorded
+in :data:`NETWORKS`; pass ``scale=1.0`` to generate a full-size stand-in
+(slow for Orkut/Twitter).
+
+This substitution is documented in DESIGN.md: the algorithms only see the
+CSR adjacency and edge probabilities, so the qualitative findings of the
+paper (who wins, how running time grows with edges and budgets) are
+preserved at reduced scale even though absolute numbers differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import GraphError
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Published statistics of one benchmark network (paper Table 2)."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    directed: bool
+    #: generator family used for the synthetic stand-in
+    model: str
+    #: default down-scaling factor applied by :func:`load_network`
+    default_scale: float
+
+
+#: Table 2 of the paper, plus the generator/scale used for the stand-in.
+NETWORKS: Dict[str, NetworkSpec] = {
+    "nethept": NetworkSpec("nethept", 15_200, 31_400, 4.13, False,
+                           model="erdos_renyi", default_scale=0.2),
+    "douban-book": NetworkSpec("douban-book", 23_300, 141_000, 6.5, True,
+                               model="pref_attach", default_scale=0.15),
+    "douban-movie": NetworkSpec("douban-movie", 34_900, 274_000, 7.9, True,
+                                model="pref_attach", default_scale=0.1),
+    "orkut": NetworkSpec("orkut", 3_070_000, 117_000_000, 77.5, False,
+                         model="pref_attach", default_scale=0.002),
+    "twitter": NetworkSpec("twitter", 41_700_000, 1_470_000_000, 70.5, True,
+                           model="power_law", default_scale=0.0002),
+}
+
+
+def network_names() -> list:
+    """Names of the available benchmark stand-ins."""
+    return list(NETWORKS)
+
+
+def network_spec(name: str) -> NetworkSpec:
+    """Published statistics for network ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key not in NETWORKS:
+        raise GraphError(
+            f"unknown network {name!r}; choose from {sorted(NETWORKS)}")
+    return NETWORKS[key]
+
+
+def load_network(name: str, scale: Optional[float] = None,
+                 rng: RngLike = None,
+                 weighting_scheme: str = "weighted_cascade",
+                 uniform_probability: float = 0.01) -> DirectedGraph:
+    """Build the synthetic stand-in for benchmark network ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`network_names` (case-insensitive).
+    scale:
+        Fraction of the published node count to generate.  Defaults to the
+        per-network ``default_scale`` which keeps even Orkut/Twitter
+        stand-ins around a few thousand nodes.
+    rng:
+        Seed or generator for reproducibility.
+    weighting_scheme:
+        ``"weighted_cascade"`` (paper default, ``p = 1/d_in``), ``"uniform"``
+        or ``"none"`` (leave probabilities at 1.0).
+    uniform_probability:
+        Probability used when ``weighting_scheme == "uniform"``.
+    """
+    spec = network_spec(name)
+    rng = ensure_rng(rng)
+    scale = spec.default_scale if scale is None else float(scale)
+    if scale <= 0:
+        raise GraphError("scale must be > 0")
+    n = max(32, int(round(spec.num_nodes * scale)))
+    avg_degree = spec.avg_degree
+
+    if spec.model == "erdos_renyi":
+        graph = generators.erdos_renyi(
+            n, avg_degree, rng=rng, directed=spec.directed, name=spec.name)
+    elif spec.model == "pref_attach":
+        # every attachment contributes 1 directed edge (directed networks)
+        # or 2 (undirected networks stored as both directions), so divide by
+        # two only in the undirected case to match the published avg degree
+        out_degree = max(1, int(round(avg_degree if spec.directed
+                                      else avg_degree / 2)))
+        graph = generators.preferential_attachment(
+            n, out_degree, rng=rng, directed=spec.directed, name=spec.name)
+    elif spec.model == "power_law":
+        graph = generators.power_law_configuration(
+            n, exponent=2.2, avg_degree=avg_degree, rng=rng, name=spec.name)
+    else:  # pragma: no cover - defensive, specs are static
+        raise GraphError(f"unknown generator model {spec.model!r}")
+
+    if weighting_scheme == "weighted_cascade":
+        graph = weighting.weighted_cascade(graph)
+    elif weighting_scheme == "uniform":
+        graph = weighting.uniform(graph, uniform_probability)
+    elif weighting_scheme != "none":
+        raise GraphError(f"unknown weighting scheme {weighting_scheme!r}")
+    return graph
+
+
+def network_statistics(graph: DirectedGraph) -> Dict[str, object]:
+    """Summary statistics in the layout of the paper's Table 2."""
+    return {
+        "name": graph.name,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "avg_degree": round(graph.average_degree(), 2),
+        "max_out_degree": int(graph.out_degrees().max()) if len(graph) else 0,
+        "max_in_degree": int(graph.in_degrees().max()) if len(graph) else 0,
+    }
+
+
+__all__ = [
+    "NetworkSpec",
+    "NETWORKS",
+    "network_names",
+    "network_spec",
+    "load_network",
+    "network_statistics",
+]

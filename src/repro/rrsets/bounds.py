@@ -1,0 +1,76 @@
+"""Martingale sampling bounds of IMM (Tang et al.) used by the paper.
+
+The sampling phase of IMM — and of PRIMA+ / SupGRD which extend it — needs
+two quantities (paper §5.3, Eqs. 6–8):
+
+* ``λ*`` (Eq. 6): the number of RR sets required, *per unit of OPT*, for the
+  final node selection to be a ``(1 - 1/e - ε)``-approximation w.h.p.:
+  ``λ* = 2n((1 - 1/e)·α + β)² ε⁻²`` with
+  ``α = sqrt(ℓ ln n + ln 2)`` and
+  ``β = sqrt((1 - 1/e)(ln C(n, k) + ℓ ln n + ln 2))``.
+* ``λ'`` (Eq. 8): the number used during the statistical test that searches
+  for a lower bound of OPT:
+  ``λ' = (2 + 2/3 ε')(ln C(n, k) + ℓ' ln n + ln log2 n) · n / ε'²``.
+
+Both use ``ln C(n, k)`` computed with log-gamma so huge ``n`` never
+overflows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AlgorithmError
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``ln C(n, k)`` computed stably via log-gamma."""
+    if k < 0 or n < 0:
+        raise AlgorithmError("n and k must be non-negative")
+    if k > n:
+        return float("-inf")
+    if k == 0 or k == n:
+        return 0.0
+    return (math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1))
+
+
+def lambda_star(n: int, k: int, epsilon: float, ell: float) -> float:
+    """``λ*`` of Eq. (6): RR sets per unit of OPT for the final selection."""
+    if n < 1:
+        raise AlgorithmError("n must be >= 1")
+    if epsilon <= 0:
+        raise AlgorithmError("epsilon must be > 0")
+    one_minus_inv_e = 1.0 - 1.0 / math.e
+    log_n = math.log(max(n, 2))
+    alpha = math.sqrt(ell * log_n + math.log(2.0))
+    beta = math.sqrt(one_minus_inv_e
+                     * (log_binomial(n, min(k, n)) + ell * log_n + math.log(2.0)))
+    return 2.0 * n * (one_minus_inv_e * alpha + beta) ** 2 / (epsilon ** 2)
+
+
+def lambda_prime(n: int, k: int, epsilon_prime: float, ell_prime: float) -> float:
+    """``λ'`` of Eq. (8): RR sets per unit of the guess ``x`` in the search."""
+    if n < 1:
+        raise AlgorithmError("n must be >= 1")
+    if epsilon_prime <= 0:
+        raise AlgorithmError("epsilon_prime must be > 0")
+    log_n = math.log(max(n, 2))
+    log_log = math.log(max(math.log2(max(n, 2)), 2.0))
+    return ((2.0 + 2.0 / 3.0 * epsilon_prime)
+            * (log_binomial(n, min(k, n)) + ell_prime * log_n + log_log)
+            * n / (epsilon_prime ** 2))
+
+
+def adjusted_ell(n: int, ell: float, num_budgets: int = 1) -> float:
+    """``ℓ`` adjusted so a union bound over the search (and over multiple
+    budgets in PRIMA+) still yields overall success probability
+    ``1 - 1/n^ℓ``: ``ℓ' = log_n(n^ℓ · |b|) = ℓ + ln|b|/ln n`` after the usual
+    ``ℓ ← ℓ + ln 2 / ln n`` correction."""
+    log_n = math.log(max(n, 2))
+    ell = ell + math.log(2.0) / log_n
+    if num_budgets > 1:
+        ell = ell + math.log(num_budgets) / log_n
+    return ell
+
+
+__all__ = ["log_binomial", "lambda_star", "lambda_prime", "adjusted_ell"]

@@ -1,0 +1,155 @@
+"""RR-set collections and greedy (weighted) maximum coverage.
+
+The node-selection phase of IMM, PRIMA+ and SupGRD is a weighted maximum
+coverage problem over the sampled RR sets: pick ``k`` nodes maximizing the
+total weight of the RR sets they hit.  :class:`RRCollection` stores the sets
+together with an inverted node -> set index so the greedy selection
+(:func:`node_selection`, Algorithm 5 in the paper) runs in time linear in
+the total size of the covered sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+
+
+class RRCollection:
+    """A growable collection of (possibly weighted) RR sets.
+
+    Empty RR sets (as produced by marginal sampling when the reverse BFS
+    hits the fixed seed set) still count towards :attr:`num_sets` — they can
+    never be covered, which is exactly what makes coverage estimates
+    marginal.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self._num_nodes = int(num_nodes)
+        self._sets: List[np.ndarray] = []
+        self._weights: List[float] = []
+        self._inverted: Dict[int, List[int]] = {}
+        self._total_weight = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes the collection refers to."""
+        return self._num_nodes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of RR sets generated so far (including empty ones)."""
+        return len(self._sets)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the weights of all (non-empty and empty) RR sets."""
+        return self._total_weight
+
+    def add(self, nodes: np.ndarray, weight: float = 1.0) -> None:
+        """Append one RR set with the given weight."""
+        index = len(self._sets)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        self._sets.append(nodes)
+        self._weights.append(float(weight))
+        self._total_weight += float(weight)
+        if weight > 0.0:
+            for node in nodes:
+                self._inverted.setdefault(int(node), []).append(index)
+
+    def extend(self, sets: Iterable[Tuple[np.ndarray, float]]) -> None:
+        """Append many ``(nodes, weight)`` pairs."""
+        for nodes, weight in sets:
+            self.add(nodes, weight)
+
+    def weights(self) -> np.ndarray:
+        """Weights of all RR sets as an array."""
+        return np.asarray(self._weights, dtype=np.float64)
+
+    def sets_covered_by(self, node: int) -> Sequence[int]:
+        """Indices of the RR sets containing ``node``."""
+        return self._inverted.get(int(node), ())
+
+    def covered_weight(self, seeds: Iterable[int]) -> float:
+        """Total weight of RR sets hit by ``seeds`` (``M_R(S)`` in the paper)."""
+        covered: set = set()
+        for node in seeds:
+            covered.update(self._inverted.get(int(node), ()))
+        return float(sum(self._weights[i] for i in covered))
+
+    def coverage_fraction(self, seeds: Iterable[int]) -> float:
+        """``F_R(S)``: covered weight divided by the number of RR sets."""
+        if not self._sets:
+            return 0.0
+        return self.covered_weight(seeds) / len(self._sets)
+
+    def average_set_size(self) -> float:
+        """Mean number of nodes per RR set (empty sets included)."""
+        if not self._sets:
+            return 0.0
+        return float(np.mean([len(s) for s in self._sets]))
+
+
+@dataclass
+class SelectionResult:
+    """Greedy node-selection outcome.
+
+    ``seeds`` is ordered by selection, so its length-``k'`` prefixes are the
+    greedy solutions for every smaller budget — the property PRIMA+'s prefix
+    preservation relies on.  ``covered_weight`` is ``M_R(S)`` for the full
+    seed list, and ``prefix_weights[i]`` the coverage of the first ``i + 1``
+    seeds.
+    """
+
+    seeds: List[int]
+    covered_weight: float
+    prefix_weights: List[float]
+
+    def prefix(self, k: int) -> List[int]:
+        """First ``k`` selected seeds."""
+        return self.seeds[:k]
+
+
+def node_selection(collection: RRCollection, k: int) -> SelectionResult:
+    """Greedy weighted maximum coverage (Algorithm 5, ``NodeSelection``).
+
+    Selects ``k`` nodes one at a time, each maximizing the additional weight
+    of newly covered RR sets, with exact incremental gain updates.
+    """
+    if k < 0:
+        raise AlgorithmError("k must be >= 0")
+    n = collection.num_nodes
+    k = min(k, n)
+    gains = np.zeros(n, dtype=np.float64)
+    weights = collection.weights()
+    for node, set_indices in collection._inverted.items():
+        gains[node] = float(sum(weights[i] for i in set_indices))
+    covered = np.zeros(collection.num_sets, dtype=bool)
+    selected: List[int] = []
+    prefix_weights: List[float] = []
+    total = 0.0
+    chosen = np.zeros(n, dtype=bool)
+    for _ in range(k):
+        candidate = int(np.argmax(np.where(chosen, -np.inf, gains)))
+        if chosen[candidate]:
+            break
+        chosen[candidate] = True
+        selected.append(candidate)
+        for set_index in collection.sets_covered_by(candidate):
+            if covered[set_index]:
+                continue
+            covered[set_index] = True
+            weight = weights[set_index]
+            total += weight
+            for node in collection._sets[set_index]:
+                gains[int(node)] -= weight
+        prefix_weights.append(total)
+    return SelectionResult(seeds=selected, covered_weight=total,
+                           prefix_weights=prefix_weights)
+
+
+__all__ = ["RRCollection", "SelectionResult", "node_selection"]

@@ -1,0 +1,201 @@
+"""The IMM algorithm (Tang et al., SIGMOD 2015) and its generic engine.
+
+IMM alternates a *sampling* phase — which searches for a lower bound on the
+optimum via a statistical test with exponentially decreasing guesses — and a
+*node-selection* phase (greedy maximum coverage over the sampled RR sets).
+The paper reuses exactly this skeleton three times:
+
+* plain IMM on standard RR sets (the single-item seed selector used to fix
+  the inferior item's seeds in §6.2.3 and inside the TCIM baseline);
+* PRIMA+ on *marginal* RR sets (the seed selector inside SeqGRD/MaxGRD);
+* SupGRD on *weighted* RR sets (welfare units instead of spread units).
+
+:func:`run_imm_engine` implements the shared skeleton generically over a
+sampler callback; :func:`imm` is the classic single-item instantiation.
+The engine regenerates a fresh RR collection for the final node selection,
+following the fix of Chen (arXiv:1808.09363) cited by the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.bounds import adjusted_ell, lambda_prime, lambda_star
+from repro.rrsets.coverage import RRCollection, SelectionResult, node_selection
+from repro.rrsets.rrset import marginal_rr_set, random_rr_set
+from repro.utils.rng import RngLike, ensure_rng
+
+#: A sampler returns one RR set as ``(nodes, weight)``.
+Sampler = Callable[[np.random.Generator], Tuple[np.ndarray, float]]
+
+
+@dataclass
+class IMMOptions:
+    """Tunable parameters of the IMM engine.
+
+    ``epsilon`` and ``ell`` are the accuracy/confidence parameters of the
+    paper (defaults ε = 0.5, ℓ = 1 as in §6.1.3).  ``max_rr_sets`` caps the
+    number of sampled RR sets so pure-Python runs stay tractable on large
+    inputs; the theoretical guarantees assume the cap is not hit.
+    """
+
+    epsilon: float = 0.5
+    ell: float = 1.0
+    max_rr_sets: int = 200_000
+    min_rr_sets: int = 256
+    fresh_final_sampling: bool = True
+
+
+@dataclass
+class IMMResult:
+    """Result of one IMM-engine run.
+
+    ``seeds`` is in greedy selection order (its prefixes are the greedy
+    solutions for smaller budgets).  ``estimated_value`` is
+    ``n · M_R(S) / θ`` — an estimate of the objective (spread for plain IMM,
+    marginal spread for PRIMA+, marginal welfare for SupGRD).
+    """
+
+    seeds: List[int]
+    estimated_value: float
+    prefix_values: List[float]
+    num_rr_sets: int
+    lower_bound: float
+    sampling_rounds: int
+
+    def prefix(self, k: int) -> List[int]:
+        """First ``k`` seeds (greedy prefix)."""
+        return self.seeds[:k]
+
+    def prefix_value(self, k: int) -> float:
+        """Estimated objective value of the first ``k`` seeds."""
+        if k <= 0 or not self.prefix_values:
+            return 0.0
+        return self.prefix_values[min(k, len(self.prefix_values)) - 1]
+
+
+def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
+                   max_value: float,
+                   options: Optional[IMMOptions] = None,
+                   num_budgets: int = 1,
+                   rng: RngLike = None) -> IMMResult:
+    """Run the IMM sampling + node-selection skeleton.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n`` of the underlying graph.
+    k:
+        Number of seeds to select (the budget).
+    sampler:
+        Callable producing one RR set ``(nodes, weight)`` per call.
+    max_value:
+        Upper bound on the optimum in the objective's units (``n`` for
+        spread, ``n · u_max`` for welfare) — the binary search for the lower
+        bound starts here.
+    options:
+        :class:`IMMOptions`; defaults to the paper's ε = 0.5, ℓ = 1.
+    num_budgets:
+        Number of budgets sharing the confidence budget (PRIMA+ passes the
+        length of its budget vector so the union bound still holds).
+    """
+    options = options or IMMOptions()
+    rng = ensure_rng(rng)
+    if num_nodes <= 0:
+        raise AlgorithmError("the graph must contain at least one node")
+    k = max(0, min(int(k), num_nodes))
+    if k == 0:
+        return IMMResult(seeds=[], estimated_value=0.0, prefix_values=[],
+                         num_rr_sets=0, lower_bound=0.0, sampling_rounds=0)
+    if max_value <= 0:
+        raise AlgorithmError("max_value must be > 0")
+
+    epsilon = options.epsilon
+    epsilon_prime = math.sqrt(2.0) * epsilon
+    ell_adj = adjusted_ell(num_nodes, options.ell, num_budgets)
+    lam_prime = lambda_prime(num_nodes, k, epsilon_prime, ell_adj)
+    lam_star = lambda_star(num_nodes, k, epsilon, ell_adj)
+
+    collection = RRCollection(num_nodes)
+
+    def ensure_samples(target: float, into: RRCollection) -> None:
+        target = int(min(math.ceil(target), options.max_rr_sets))
+        while into.num_sets < target:
+            nodes, weight = sampler(rng)
+            into.add(nodes, weight)
+
+    # --- sampling phase: search for a lower bound on OPT ----------------
+    lower_bound = 1.0
+    sampling_rounds = 0
+    max_rounds = max(1, int(math.ceil(math.log2(max(max_value, 2.0)))) - 1)
+    for i in range(1, max_rounds + 1):
+        sampling_rounds += 1
+        x = max_value / (2.0 ** i)
+        if x <= 0:
+            break
+        ensure_samples(lam_prime / x, collection)
+        selection = node_selection(collection, k)
+        estimate = (num_nodes * selection.covered_weight
+                    / max(collection.num_sets, 1))
+        if estimate >= (1.0 + epsilon_prime) * x:
+            lower_bound = estimate / (1.0 + epsilon_prime)
+            break
+        if collection.num_sets >= options.max_rr_sets:
+            # the cap was hit: use the best estimate seen so far
+            lower_bound = max(lower_bound, estimate)
+            break
+
+    # --- final sampling and node selection ------------------------------
+    theta = lam_star / max(lower_bound, 1e-12)
+    theta = min(theta, options.max_rr_sets)
+    theta = max(theta, options.min_rr_sets)
+    if options.fresh_final_sampling:
+        final_collection = RRCollection(num_nodes)
+    else:
+        final_collection = collection
+    ensure_samples(theta, final_collection)
+    selection = node_selection(final_collection, k)
+    scale = num_nodes / max(final_collection.num_sets, 1)
+    return IMMResult(
+        seeds=selection.seeds,
+        estimated_value=selection.covered_weight * scale,
+        prefix_values=[w * scale for w in selection.prefix_weights],
+        num_rr_sets=final_collection.num_sets,
+        lower_bound=lower_bound,
+        sampling_rounds=sampling_rounds,
+    )
+
+
+def imm(graph: DirectedGraph, k: int,
+        options: Optional[IMMOptions] = None,
+        rng: RngLike = None) -> IMMResult:
+    """Classic single-item IMM: ``(1 - 1/e - ε)``-approximate IM seeds."""
+    def sampler(generator: np.random.Generator) -> Tuple[np.ndarray, float]:
+        return random_rr_set(graph, generator), 1.0
+
+    return run_imm_engine(graph.num_nodes, k, sampler,
+                          max_value=float(graph.num_nodes),
+                          options=options, rng=rng)
+
+
+def marginal_imm(graph: DirectedGraph, k: int, fixed_seeds: Set[int],
+                 options: Optional[IMMOptions] = None,
+                 rng: RngLike = None) -> IMMResult:
+    """IMM on *marginal* RR sets: maximizes spread on top of ``fixed_seeds``."""
+    blocked = set(int(v) for v in fixed_seeds)
+
+    def sampler(generator: np.random.Generator) -> Tuple[np.ndarray, float]:
+        return marginal_rr_set(graph, blocked, generator), 1.0
+
+    return run_imm_engine(graph.num_nodes, k, sampler,
+                          max_value=float(graph.num_nodes),
+                          options=options, rng=rng)
+
+
+__all__ = ["IMMOptions", "IMMResult", "run_imm_engine", "imm", "marginal_imm"]

@@ -1,0 +1,60 @@
+"""Utility-model substrate of the UIC diffusion model."""
+
+from repro.utility.items import ItemCatalog
+from repro.utility.model import UtilityModel
+from repro.utility.noise import (
+    GaussianNoise,
+    NoiseDistribution,
+    TruncatedGaussianNoise,
+    UniformNoise,
+    ZeroNoise,
+)
+from repro.utility.valuation import (
+    AdditiveValuation,
+    ConcaveOverSumValuation,
+    CoverageValuation,
+    MaxPlusValuation,
+    TableValuation,
+    Valuation,
+    is_monotone,
+    is_submodular,
+    is_supermodular,
+)
+from repro.utility import configs, learning
+from repro.utility.configs import (
+    blocking_config,
+    hardness_config,
+    lastfm_config,
+    multi_item_config,
+    single_item_config,
+    theorem1_config,
+    two_item_config,
+)
+
+__all__ = [
+    "ItemCatalog",
+    "UtilityModel",
+    "NoiseDistribution",
+    "ZeroNoise",
+    "GaussianNoise",
+    "UniformNoise",
+    "TruncatedGaussianNoise",
+    "Valuation",
+    "TableValuation",
+    "AdditiveValuation",
+    "MaxPlusValuation",
+    "ConcaveOverSumValuation",
+    "CoverageValuation",
+    "is_monotone",
+    "is_submodular",
+    "is_supermodular",
+    "configs",
+    "learning",
+    "two_item_config",
+    "blocking_config",
+    "multi_item_config",
+    "lastfm_config",
+    "hardness_config",
+    "theorem1_config",
+    "single_item_config",
+]

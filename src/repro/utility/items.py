@@ -1,0 +1,164 @@
+"""Items and item bundles.
+
+The UIC model propagates a small universe of items (at most five in every
+experiment of the paper).  Bundles of items are represented internally as
+integer bitmasks over the item indices, which makes the adoption ``argmax``
+in the diffusion simulator a cheap submask enumeration and lets noise worlds
+pre-tabulate the utility of all ``2^m`` bundles as a single numpy array.
+
+:class:`ItemCatalog` is the mapping between human-readable item names and
+bit positions; it is shared by the utility model, the diffusion simulator
+and the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.exceptions import UtilityModelError
+
+ItemLike = Union[int, str]
+
+
+class ItemCatalog:
+    """Ordered collection of item names with bitmask helpers.
+
+    Parameters
+    ----------
+    names:
+        Unique item names.  Item ``names[i]`` occupies bit ``i`` of every
+        bundle mask.
+    """
+
+    #: safety limit — bundle tables are ``2^m`` floats
+    MAX_ITEMS = 20
+
+    def __init__(self, names: Sequence[str]) -> None:
+        names = [str(n) for n in names]
+        if not names:
+            raise UtilityModelError("an item catalog needs at least one item")
+        if len(set(names)) != len(names):
+            raise UtilityModelError(f"duplicate item names in {names}")
+        if len(names) > self.MAX_ITEMS:
+            raise UtilityModelError(
+                f"at most {self.MAX_ITEMS} items supported, got {len(names)}")
+        self._names: Tuple[str, ...] = tuple(names)
+        self._index = {name: i for i, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Item names in bit order."""
+        return self._names
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``m``."""
+        return len(self._names)
+
+    @property
+    def num_bundles(self) -> int:
+        """Number of bundles including the empty one, ``2^m``."""
+        return 1 << len(self._names)
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask of the bundle containing every item."""
+        return (1 << len(self._names)) - 1
+
+    # ------------------------------------------------------------------
+    def index(self, item: ItemLike) -> int:
+        """Bit position of ``item`` (accepts a name or an index)."""
+        if isinstance(item, str):
+            try:
+                return self._index[item]
+            except KeyError:
+                raise UtilityModelError(
+                    f"unknown item {item!r}; known: {list(self._names)}") from None
+        idx = int(item)
+        if not 0 <= idx < len(self._names):
+            raise UtilityModelError(
+                f"item index {idx} out of range [0, {len(self._names)})")
+        return idx
+
+    def name(self, index: int) -> str:
+        """Name of the item at bit position ``index``."""
+        return self._names[self.index(index)]
+
+    def singleton_mask(self, item: ItemLike) -> int:
+        """Bitmask of the bundle ``{item}``."""
+        return 1 << self.index(item)
+
+    def mask_of(self, items: Iterable[ItemLike]) -> int:
+        """Bitmask of the bundle containing ``items``."""
+        mask = 0
+        for item in items:
+            mask |= self.singleton_mask(item)
+        return mask
+
+    def items_of(self, mask: int) -> Tuple[str, ...]:
+        """Names of the items contained in ``mask`` (bit order)."""
+        self._check_mask(mask)
+        return tuple(self._names[i] for i in range(len(self._names))
+                     if mask >> i & 1)
+
+    def indices_of(self, mask: int) -> Tuple[int, ...]:
+        """Item indices contained in ``mask`` (bit order)."""
+        self._check_mask(mask)
+        return tuple(i for i in range(len(self._names)) if mask >> i & 1)
+
+    def bundle_size(self, mask: int) -> int:
+        """Number of items in the bundle ``mask``."""
+        self._check_mask(mask)
+        return bin(mask).count("1")
+
+    def iter_masks(self, include_empty: bool = True) -> Iterator[int]:
+        """Iterate over all bundle masks in increasing order."""
+        start = 0 if include_empty else 1
+        yield from range(start, self.num_bundles)
+
+    def iter_singletons(self) -> Iterator[Tuple[str, int]]:
+        """Iterate over ``(name, singleton_mask)`` pairs."""
+        for i, name in enumerate(self._names):
+            yield name, 1 << i
+
+    def subsets_of(self, mask: int, include_empty: bool = True) -> List[int]:
+        """All sub-bundles of ``mask`` (used for exhaustive checks)."""
+        self._check_mask(mask)
+        subs = []
+        sub = mask
+        while True:
+            subs.append(sub)
+            if sub == 0:
+                break
+            sub = (sub - 1) & mask
+        if not include_empty:
+            subs = [s for s in subs if s]
+        return sorted(subs)
+
+    # ------------------------------------------------------------------
+    def _check_mask(self, mask: int) -> None:
+        if not 0 <= mask < self.num_bundles:
+            raise UtilityModelError(
+                f"bundle mask {mask} out of range [0, {self.num_bundles})")
+
+    def __contains__(self, item: object) -> bool:
+        return isinstance(item, str) and item in self._index
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ItemCatalog) and other._names == self._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ItemCatalog({list(self._names)!r})"
+
+
+__all__ = ["ItemCatalog", "ItemLike"]

@@ -1,0 +1,305 @@
+"""The UIC utility model ``U(I) = V(I) - P(I) + N(I)``.
+
+:class:`UtilityModel` bundles together an :class:`~repro.utility.items.ItemCatalog`,
+a monotone (sub)modular valuation ``V``, additive per-item prices ``P`` and
+independent zero-mean per-item noise distributions ``N``.  It provides:
+
+* deterministic utilities and full per-noise-world utility tables over all
+  ``2^m`` bundles (consumed by the diffusion simulator),
+* truncated expected utilities ``E[U⁺]``, ``u_min`` and ``u_max`` as defined
+  in §5 of the paper,
+* superior-item detection (the precondition of SupGRD), and
+* pure-competition checks used by experiments and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import UtilityModelError
+from repro.utility.items import ItemCatalog, ItemLike
+from repro.utility.noise import NoiseDistribution, ZeroNoise
+from repro.utility.valuation import Valuation
+from repro.utils.rng import RngLike, ensure_rng
+
+BundleLike = Union[int, str, Iterable[ItemLike]]
+
+
+class UtilityModel:
+    """Utility model parameters ``Param = (V, P, {D_i})`` of the UIC model.
+
+    Parameters
+    ----------
+    valuation:
+        Monotone valuation ``V`` with ``V(∅) = 0``; its catalog defines the
+        item universe.
+    prices:
+        Per-item prices; the price of a bundle is the sum of its items'
+        prices (prices are additive in the paper's model).
+    noises:
+        Either a single :class:`NoiseDistribution` applied to every item, or
+        a mapping from item to distribution.  Defaults to no noise.
+    """
+
+    def __init__(self, valuation: Valuation,
+                 prices: Mapping[ItemLike, float],
+                 noises: Union[None, NoiseDistribution,
+                               Mapping[ItemLike, NoiseDistribution]] = None) -> None:
+        self._catalog = valuation.catalog
+        self._valuation = valuation
+        m = self._catalog.num_items
+
+        price_vec = np.zeros(m, dtype=np.float64)
+        seen = set()
+        for item, price in prices.items():
+            idx = self._catalog.index(item)
+            if price < 0:
+                raise UtilityModelError(
+                    f"price of {self._catalog.name(idx)!r} must be >= 0")
+            price_vec[idx] = float(price)
+            seen.add(idx)
+        if len(seen) != m:
+            missing = [self._catalog.name(i) for i in range(m) if i not in seen]
+            raise UtilityModelError(f"missing prices for items {missing}")
+        self._prices = price_vec
+
+        noise_list: list = [ZeroNoise()] * m
+        if noises is None:
+            pass
+        elif isinstance(noises, NoiseDistribution):
+            noise_list = [noises] * m
+        else:
+            for item, dist in noises.items():
+                if not isinstance(dist, NoiseDistribution):
+                    raise UtilityModelError(
+                        f"noise for {item!r} must be a NoiseDistribution")
+                noise_list[self._catalog.index(item)] = dist
+        self._noises: Tuple[NoiseDistribution, ...] = tuple(noise_list)
+
+        self._value_table = valuation.table()
+        self._price_table = self._bundle_sums(self._prices)
+        self._det_table = self._value_table - self._price_table
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> ItemCatalog:
+        """The item catalog."""
+        return self._catalog
+
+    @property
+    def valuation(self) -> Valuation:
+        """The valuation function ``V``."""
+        return self._valuation
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``m``."""
+        return self._catalog.num_items
+
+    @property
+    def items(self) -> Tuple[str, ...]:
+        """Item names."""
+        return self._catalog.names
+
+    def noise(self, item: ItemLike) -> NoiseDistribution:
+        """Noise distribution of ``item``."""
+        return self._noises[self._catalog.index(item)]
+
+    def price(self, bundle: BundleLike) -> float:
+        """Additive price of a bundle."""
+        return float(self._price_table[self._as_mask(bundle)])
+
+    def value(self, bundle: BundleLike) -> float:
+        """Valuation of a bundle."""
+        return float(self._value_table[self._as_mask(bundle)])
+
+    def deterministic_utility(self, bundle: BundleLike) -> float:
+        """Expected utility ``V(I) - P(I)`` (noise has zero mean)."""
+        return float(self._det_table[self._as_mask(bundle)])
+
+    def deterministic_utility_table(self) -> np.ndarray:
+        """Expected utilities of all ``2^m`` bundles, indexed by mask."""
+        return self._det_table.copy()
+
+    # ------------------------------------------------------------------
+    # noise worlds
+    # ------------------------------------------------------------------
+    def sample_noise_world(self, rng: RngLike = None) -> np.ndarray:
+        """Sample one noise term per item (a "noise possible world")."""
+        rng = ensure_rng(rng)
+        return np.array([dist.sample(rng) for dist in self._noises],
+                        dtype=np.float64)
+
+    def utility_table(self, noise_world: Optional[np.ndarray] = None) -> np.ndarray:
+        """Utilities of all bundles under a fixed noise world.
+
+        ``noise_world`` is a length-``m`` vector of noise terms (e.g. from
+        :meth:`sample_noise_world`); ``None`` means no noise.  Noise is
+        additive over the items in the bundle, mirroring the additive price.
+        """
+        if noise_world is None:
+            return self._det_table.copy()
+        noise_world = np.asarray(noise_world, dtype=np.float64)
+        if noise_world.shape != (self.num_items,):
+            raise UtilityModelError(
+                f"noise world must have shape ({self.num_items},), "
+                f"got {noise_world.shape}")
+        return self._det_table + self._bundle_sums(noise_world)
+
+    def utility(self, bundle: BundleLike,
+                noise_world: Optional[np.ndarray] = None) -> float:
+        """Utility of one bundle under a fixed noise world."""
+        mask = self._as_mask(bundle)
+        if noise_world is None:
+            return float(self._det_table[mask])
+        noise_world = np.asarray(noise_world, dtype=np.float64)
+        extra = sum(noise_world[i] for i in self._catalog.indices_of(mask))
+        return float(self._det_table[mask] + extra)
+
+    # ------------------------------------------------------------------
+    # truncated utilities, u_min / u_max, superior item
+    # ------------------------------------------------------------------
+    def expected_truncated_utility(self, bundle: BundleLike,
+                                   n_samples: int = 20_000,
+                                   rng: RngLike = None) -> float:
+        """``E[U⁺(I)] = E[max(0, U(I))]`` for a bundle ``I``.
+
+        Uses the noise distribution's analytic formula for single items and
+        noise-free bundles; falls back to Monte Carlo for multi-item bundles
+        with non-degenerate noise.
+        """
+        mask = self._as_mask(bundle)
+        det = float(self._det_table[mask])
+        indices = self._catalog.indices_of(mask)
+        noisy = [i for i in indices if not isinstance(self._noises[i], ZeroNoise)]
+        if not noisy:
+            return max(0.0, det)
+        if len(noisy) == 1:
+            return self._noises[noisy[0]].expected_positive_part(det)
+        generator = ensure_rng(rng if rng is not None else 0)
+        draws = np.zeros(n_samples, dtype=np.float64)
+        for i in noisy:
+            draws += np.asarray(self._noises[i].sample(generator, size=n_samples))
+        return float(np.mean(np.maximum(0.0, det + draws)))
+
+    def expected_truncated_utilities(self, n_samples: int = 20_000,
+                                     rng: RngLike = None) -> Dict[str, float]:
+        """``E[U⁺({i})]`` for every single item, keyed by item name."""
+        return {name: self.expected_truncated_utility(name, n_samples, rng)
+                for name in self._catalog.names}
+
+    def u_min(self, n_samples: int = 20_000, rng: RngLike = None) -> float:
+        """``u_min = min_i E[U⁺({i})]`` (minimum over single items)."""
+        return min(self.expected_truncated_utilities(n_samples, rng).values())
+
+    def u_max(self, n_samples: int = 2_000, rng: RngLike = None) -> float:
+        """``u_max = E[max_{I ⊆ 𝓘} U⁺(I)]`` (expectation of the maximum).
+
+        Note the asymmetry with :meth:`u_min` (paper §5): the maximum is
+        taken inside the expectation and ranges over all bundles.
+        """
+        if all(isinstance(d, ZeroNoise) for d in self._noises):
+            return float(np.maximum(self._det_table, 0.0).max())
+        generator = ensure_rng(rng if rng is not None else 0)
+        n_samples = max(1, int(n_samples))
+        total = 0.0
+        for _ in range(n_samples):
+            world = self.sample_noise_world(generator)
+            table = self.utility_table(world)
+            total += max(0.0, float(table.max()))
+        return total / n_samples
+
+    def superior_item(self) -> Optional[str]:
+        """Name of the superior item, or ``None`` if there is none.
+
+        An item ``i_m`` is superior when its least possible utility exceeds
+        the highest possible utility of every other item under any noise
+        realisation — this requires bounded noise supports (paper §5).
+        """
+        m = self.num_items
+        if m == 1:
+            return self._catalog.name(0)
+        lows = np.empty(m)
+        highs = np.empty(m)
+        for i, dist in enumerate(self._noises):
+            low, high = dist.support()
+            if not (np.isfinite(low) and np.isfinite(high)):
+                return None
+            det = float(self._det_table[1 << i])
+            lows[i] = det + low
+            highs[i] = det + high
+        best = int(np.argmax(lows))
+        others_high = max(highs[i] for i in range(m) if i != best)
+        return self._catalog.name(best) if lows[best] > others_high else None
+
+    def is_pure_competition(self, use_noise_bounds: bool = False) -> bool:
+        """Whether no node can ever adopt more than one item.
+
+        The sufficient condition checked is that for every multi-item bundle
+        ``T`` and every non-empty proper sub-bundle ``A ⊂ T``, either
+        ``U(T) ≤ U(A)`` or ``U(T) ≤ 0``: a node whose current adoption is
+        ``A`` then never strictly improves by extending to ``T``, and a
+        fresh node never prefers ``T`` over its best member (the simulator
+        breaks ties towards smaller bundles), so by induction no node ever
+        adopts two or more items.
+
+        With ``use_noise_bounds`` the comparison is made under the worst
+        noise realisation (requires bounded noise supports); otherwise the
+        deterministic utilities are used, which matches how the paper
+        describes its pure-competition configurations.
+        """
+        noise_highs = np.zeros(self.num_items)
+        if use_noise_bounds:
+            for i, dist in enumerate(self._noises):
+                _, high = dist.support()
+                if not np.isfinite(high):
+                    return False
+                noise_highs[i] = high
+        for mask in self._catalog.iter_masks(include_empty=False):
+            if self._catalog.bundle_size(mask) < 2:
+                continue
+            bundle_utility = float(self._det_table[mask])
+            bundle_worst = bundle_utility + sum(
+                noise_highs[i] for i in self._catalog.indices_of(mask))
+            if bundle_worst <= 0.0:
+                continue
+            for sub in self._catalog.subsets_of(mask, include_empty=False):
+                if sub == mask:
+                    continue
+                extra = mask & ~sub
+                gap = bundle_utility - float(self._det_table[sub]) + sum(
+                    noise_highs[i] for i in self._catalog.indices_of(extra))
+                if gap > 0.0:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _as_mask(self, bundle: BundleLike) -> int:
+        if isinstance(bundle, (int, np.integer)) and not isinstance(bundle, bool):
+            self._catalog._check_mask(int(bundle))
+            return int(bundle)
+        if isinstance(bundle, str):
+            return self._catalog.singleton_mask(bundle)
+        return self._catalog.mask_of(bundle)
+
+    def _bundle_sums(self, per_item: np.ndarray) -> np.ndarray:
+        """Sum of ``per_item`` over the items of each bundle, for all masks."""
+        m = self.num_items
+        table = np.zeros(1 << m, dtype=np.float64)
+        for mask in range(1, 1 << m):
+            low_bit = mask & -mask
+            table[mask] = table[mask ^ low_bit] + per_item[low_bit.bit_length() - 1]
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"UtilityModel(items={list(self.items)!r}, "
+                f"valuation={type(self._valuation).__name__})")
+
+
+__all__ = ["UtilityModel", "BundleLike"]

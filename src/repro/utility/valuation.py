@@ -1,0 +1,295 @@
+"""Valuation functions ``V : 2^I -> R``.
+
+The UIC model assumes ``V`` is monotone and submodular with ``V(∅) = 0``
+(paper §3, "Welfare maximization under competition").  Competition between
+items corresponds to submodular valuations (the marginal value of an item
+shrinks as the bundle grows); *pure* competition corresponds to bundles
+whose utility (value minus additive price) is negative, so no node ever
+adopts more than one item.
+
+Several valuation families are provided:
+
+* :class:`TableValuation` — an explicit table over all bundles (used for the
+  paper's configurations in :mod:`repro.utility.configs`).
+* :class:`AdditiveValuation` — modular, items are independent.
+* :class:`MaxPlusValuation` — ``V(T) = max_i v_i + bonus·(|T|-1)``, a simple
+  monotone submodular family modelling strong substitutes.
+* :class:`ConcaveOverSumValuation` — ``V(T) = g(Σ v_i)`` for concave ``g``.
+* :class:`CoverageValuation` — weighted coverage of item features.
+
+Validation helpers :func:`is_monotone` and :func:`is_submodular` check the
+properties exhaustively (fine for the small item universes used here).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import UtilityModelError
+from repro.utility.items import ItemCatalog, ItemLike
+
+
+class Valuation(ABC):
+    """Valuation function over bundles of a fixed :class:`ItemCatalog`."""
+
+    def __init__(self, catalog: ItemCatalog) -> None:
+        self._catalog = catalog
+
+    @property
+    def catalog(self) -> ItemCatalog:
+        """The item catalog this valuation is defined over."""
+        return self._catalog
+
+    @abstractmethod
+    def value_of_mask(self, mask: int) -> float:
+        """Value of the bundle given as a bitmask."""
+
+    def value(self, items: Iterable[ItemLike]) -> float:
+        """Value of the bundle given as item names/indices."""
+        return self.value_of_mask(self._catalog.mask_of(items))
+
+    def table(self) -> np.ndarray:
+        """Values of all ``2^m`` bundles as a numpy array indexed by mask."""
+        return np.array([self.value_of_mask(mask)
+                         for mask in self._catalog.iter_masks()],
+                        dtype=np.float64)
+
+
+class TableValuation(Valuation):
+    """Valuation given by an explicit table of bundle values.
+
+    Parameters
+    ----------
+    catalog:
+        Item catalog.
+    values:
+        Mapping from bundles to values.  Bundles may be given as bitmasks,
+        item-name iterables or single item names.  The empty bundle defaults
+        to 0.  Missing bundles are filled by the *monotone closure*
+        ``V(T) = max_{S ⊆ T, S given} V(S)`` so partial tables behave
+        sensibly.
+    """
+
+    def __init__(self, catalog: ItemCatalog,
+                 values: Mapping[object, float]) -> None:
+        super().__init__(catalog)
+        explicit: Dict[int, float] = {0: 0.0}
+        for bundle, value in values.items():
+            mask = _normalize_bundle(catalog, bundle)
+            explicit[mask] = float(value)
+        if explicit.get(0, 0.0) != 0.0:
+            raise UtilityModelError("V(empty bundle) must be 0")
+        table = np.zeros(catalog.num_bundles, dtype=np.float64)
+        for mask in catalog.iter_masks():
+            if mask in explicit:
+                table[mask] = explicit[mask]
+            else:
+                # monotone closure over explicitly provided sub-bundles
+                best = 0.0
+                for sub, val in explicit.items():
+                    if sub and (sub & mask) == sub:
+                        best = max(best, val)
+                table[mask] = best
+        self._table = table
+
+    def value_of_mask(self, mask: int) -> float:
+        self._catalog._check_mask(mask)
+        return float(self._table[mask])
+
+    def table(self) -> np.ndarray:
+        return self._table.copy()
+
+
+class AdditiveValuation(Valuation):
+    """Modular valuation: ``V(T) = Σ_{i∈T} v_i`` (independent items)."""
+
+    def __init__(self, catalog: ItemCatalog,
+                 item_values: Mapping[ItemLike, float]) -> None:
+        super().__init__(catalog)
+        self._values = _per_item_vector(catalog, item_values, "item value")
+
+    def value_of_mask(self, mask: int) -> float:
+        self._catalog._check_mask(mask)
+        return float(sum(self._values[i]
+                         for i in self._catalog.indices_of(mask)))
+
+
+class MaxPlusValuation(Valuation):
+    """Strong-substitutes valuation ``V(T) = max_{i∈T} v_i + bonus·(|T|-1)``.
+
+    With ``bonus`` small relative to the item prices this yields pure
+    competition: every multi-item bundle has negative utility.  The function
+    is always monotone, and it is submodular whenever
+    ``bonus <= min_i v_i`` (which holds for every configuration shipped in
+    :mod:`repro.utility.configs`).
+    """
+
+    def __init__(self, catalog: ItemCatalog,
+                 item_values: Mapping[ItemLike, float],
+                 bonus: float = 0.0) -> None:
+        super().__init__(catalog)
+        if bonus < 0:
+            raise UtilityModelError("bonus must be >= 0")
+        self._values = _per_item_vector(catalog, item_values, "item value")
+        self._bonus = float(bonus)
+
+    def value_of_mask(self, mask: int) -> float:
+        self._catalog._check_mask(mask)
+        indices = self._catalog.indices_of(mask)
+        if not indices:
+            return 0.0
+        best = max(self._values[i] for i in indices)
+        return float(best + self._bonus * (len(indices) - 1))
+
+
+class ConcaveOverSumValuation(Valuation):
+    """Submodular valuation ``V(T) = g(Σ_{i∈T} v_i)`` for concave ``g``.
+
+    The default ``g`` is ``x ** exponent`` with ``exponent <= 1``; any
+    non-decreasing concave callable with ``g(0) = 0`` may be supplied.
+    """
+
+    def __init__(self, catalog: ItemCatalog,
+                 item_values: Mapping[ItemLike, float],
+                 exponent: float = 0.8,
+                 transform: Optional[Callable[[float], float]] = None) -> None:
+        super().__init__(catalog)
+        self._values = _per_item_vector(catalog, item_values, "item value")
+        if np.any(self._values < 0):
+            raise UtilityModelError("item values must be >= 0")
+        if transform is None:
+            if not 0 < exponent <= 1:
+                raise UtilityModelError("exponent must be in (0, 1]")
+            transform = lambda x: float(x) ** exponent  # noqa: E731
+        self._transform = transform
+
+    def value_of_mask(self, mask: int) -> float:
+        self._catalog._check_mask(mask)
+        total = sum(self._values[i] for i in self._catalog.indices_of(mask))
+        return float(self._transform(total)) if total > 0 else 0.0
+
+
+class CoverageValuation(Valuation):
+    """Weighted-coverage valuation.
+
+    Each item covers a set of abstract features; the value of a bundle is the
+    total weight of the features covered by at least one of its items.
+    Coverage functions are the canonical monotone submodular family.
+    """
+
+    def __init__(self, catalog: ItemCatalog,
+                 item_features: Mapping[ItemLike, Iterable[str]],
+                 feature_weights: Optional[Mapping[str, float]] = None) -> None:
+        super().__init__(catalog)
+        self._features: Dict[int, frozenset] = {}
+        for item, feats in item_features.items():
+            self._features[catalog.index(item)] = frozenset(str(f) for f in feats)
+        for i in range(catalog.num_items):
+            self._features.setdefault(i, frozenset())
+        all_feats = set().union(*self._features.values()) if self._features else set()
+        weights = {f: 1.0 for f in all_feats}
+        if feature_weights:
+            for f, w in feature_weights.items():
+                weights[str(f)] = float(w)
+        self._weights = weights
+
+    def value_of_mask(self, mask: int) -> float:
+        self._catalog._check_mask(mask)
+        covered: set = set()
+        for i in self._catalog.indices_of(mask):
+            covered |= self._features[i]
+        return float(sum(self._weights.get(f, 1.0) for f in covered))
+
+
+# ----------------------------------------------------------------------
+# property validators
+# ----------------------------------------------------------------------
+def is_monotone(valuation: Valuation, tolerance: float = 1e-9) -> bool:
+    """Exhaustively check that ``V(S) <= V(T)`` whenever ``S ⊆ T``."""
+    catalog = valuation.catalog
+    table = valuation.table()
+    for mask in catalog.iter_masks(include_empty=False):
+        for i in catalog.indices_of(mask):
+            if table[mask] + tolerance < table[mask ^ (1 << i)]:
+                return False
+    return True
+
+
+def is_submodular(valuation: Valuation, tolerance: float = 1e-9) -> bool:
+    """Exhaustively check diminishing marginal returns of ``V``."""
+    catalog = valuation.catalog
+    table = valuation.table()
+    m = catalog.num_items
+    for small in catalog.iter_masks():
+        for big in catalog.iter_masks():
+            if (small & big) != small:
+                continue
+            for i in range(m):
+                bit = 1 << i
+                if big & bit:
+                    continue
+                gain_small = table[small | bit] - table[small]
+                gain_big = table[big | bit] - table[big]
+                if gain_big > gain_small + tolerance:
+                    return False
+    return True
+
+
+def is_supermodular(valuation: Valuation, tolerance: float = 1e-9) -> bool:
+    """Exhaustively check increasing marginal returns of ``V``."""
+    catalog = valuation.catalog
+    table = valuation.table()
+
+    class _Neg(Valuation):
+        def value_of_mask(self, mask: int) -> float:
+            return -float(table[mask])
+
+    return is_submodular(_Neg(catalog), tolerance)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _normalize_bundle(catalog: ItemCatalog, bundle: object) -> int:
+    """Accept bitmasks, item names, or iterables of names/indices."""
+    if isinstance(bundle, (int, np.integer)) and not isinstance(bundle, bool):
+        catalog._check_mask(int(bundle))
+        return int(bundle)
+    if isinstance(bundle, str):
+        return catalog.singleton_mask(bundle)
+    if isinstance(bundle, Iterable):
+        return catalog.mask_of(bundle)
+    raise UtilityModelError(f"cannot interpret bundle {bundle!r}")
+
+
+def _per_item_vector(catalog: ItemCatalog,
+                     mapping: Mapping[ItemLike, float],
+                     what: str) -> np.ndarray:
+    vector = np.zeros(catalog.num_items, dtype=np.float64)
+    seen = set()
+    for item, value in mapping.items():
+        idx = catalog.index(item)
+        vector[idx] = float(value)
+        seen.add(idx)
+    missing = set(range(catalog.num_items)) - seen
+    if missing:
+        names = [catalog.name(i) for i in sorted(missing)]
+        raise UtilityModelError(f"missing {what} for items {names}")
+    return vector
+
+
+__all__ = [
+    "Valuation",
+    "TableValuation",
+    "AdditiveValuation",
+    "MaxPlusValuation",
+    "ConcaveOverSumValuation",
+    "CoverageValuation",
+    "is_monotone",
+    "is_submodular",
+    "is_supermodular",
+]

@@ -1,0 +1,20 @@
+"""Small shared utilities: seeded RNG handling, timers and validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

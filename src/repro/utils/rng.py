@@ -1,0 +1,52 @@
+"""Random number generator helpers.
+
+Every stochastic component in the library accepts either ``None``, an integer
+seed, or a :class:`numpy.random.Generator`.  :func:`ensure_rng` normalizes
+those three spellings into a ``Generator`` so downstream code never has to
+special-case them, and :func:`spawn_rngs` derives independent child
+generators for parallel or repeated experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh unpredictable generator), an ``int`` seed, a
+        ``SeedSequence``, or an existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot build a Generator from {rng!r}")
+
+
+def spawn_rngs(rng: RngLike, count: int) -> Sequence[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``rng``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def derive_seed(rng: RngLike) -> int:
+    """Draw a single integer seed from ``rng`` (useful for reproducible
+    sub-experiments that are configured with plain integers)."""
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
+__all__ = ["ensure_rng", "spawn_rngs", "derive_seed", "RngLike"]

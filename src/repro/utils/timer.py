@@ -1,0 +1,67 @@
+"""Wall-clock timing helper used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("sampling"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("sampling") >= 0.0
+    True
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+    _laps: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager measuring the wrapped block under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.add(label, elapsed)
+
+    def add(self, label: str, seconds: float) -> None:
+        """Record ``seconds`` of elapsed time under ``label``."""
+        self._totals[label] = self._totals.get(label, 0.0) + seconds
+        self._counts[label] = self._counts.get(label, 0) + 1
+        self._laps.setdefault(label, []).append(seconds)
+
+    def total(self, label: Optional[str] = None) -> float:
+        """Total seconds recorded for ``label`` (or over all labels)."""
+        if label is None:
+            return sum(self._totals.values())
+        return self._totals.get(label, 0.0)
+
+    def count(self, label: str) -> int:
+        """Number of measurements recorded under ``label``."""
+        return self._counts.get(label, 0)
+
+    def laps(self, label: str) -> List[float]:
+        """Individual measurements recorded under ``label``."""
+        return list(self._laps.get(label, []))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Mapping of label to total seconds."""
+        return dict(self._totals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self._totals.items()))
+        return f"Timer({parts})"
+
+
+__all__ = ["Timer"]

@@ -1,0 +1,65 @@
+"""Input-validation helpers shared across the library.
+
+These helpers raise :class:`ValueError` with descriptive messages; modules
+that need library-specific exception types catch and re-raise as needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is strictly positive."""
+    value = float(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is non-negative."""
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str = "fraction",
+                   allow_zero: bool = False) -> float:
+    """Validate that ``value`` is a fraction in (0, 1] (or [0, 1])."""
+    value = float(value)
+    lower_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (lower_ok and value <= 1.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_int_in_range(value: int, name: str, low: int,
+                       high: Optional[int] = None) -> int:
+    """Validate that ``value`` is an integer in ``[low, high]``."""
+    if int(value) != value:
+        raise ValueError(f"{name} must be an integer, got {value}")
+    value = int(value)
+    if value < low or (high is not None and value > high):
+        upper = "inf" if high is None else str(high)
+        raise ValueError(f"{name} must be in [{low}, {upper}], got {value}")
+    return value
+
+
+__all__ = [
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_int_in_range",
+]

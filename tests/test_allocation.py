@@ -1,0 +1,188 @@
+"""Unit and property tests for seed allocations and budgets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import Allocation, validate_budgets
+from repro.exceptions import AllocationError
+from repro.utility.items import ItemCatalog
+
+
+@pytest.fixture
+def catalog():
+    return ItemCatalog(["i", "j"])
+
+
+class TestConstruction:
+    def test_basic(self):
+        alloc = Allocation({"i": [1, 2], "j": [3]})
+        assert alloc.seeds_for("i") == (1, 2)
+        assert alloc.seeds_for("j") == (3,)
+        assert alloc.num_pairs() == 3
+        assert not alloc.is_empty()
+
+    def test_empty(self):
+        alloc = Allocation.empty()
+        assert alloc.is_empty()
+        assert alloc.num_pairs() == 0
+        assert alloc.items == ()
+        assert len(alloc) == 0
+
+    def test_empty_seed_lists_dropped(self):
+        alloc = Allocation({"i": [], "j": [1]})
+        assert alloc.items == ("j",)
+
+    def test_duplicate_seed_rejected(self):
+        with pytest.raises(AllocationError):
+            Allocation({"i": [1, 1]})
+
+    def test_from_pairs(self):
+        alloc = Allocation.from_pairs([(1, "i"), (2, "i"), (3, "j")])
+        assert alloc.seeds_for("i") == (1, 2)
+        assert alloc.seeds_for("j") == (3,)
+
+    def test_single(self):
+        alloc = Allocation.single(5, "i")
+        assert list(alloc.pairs()) == [(5, "i")]
+
+
+class TestAccessors:
+    def test_all_seeds_sorted_distinct(self):
+        alloc = Allocation({"i": [5, 2], "j": [2, 9]})
+        assert alloc.all_seeds() == (2, 5, 9)
+
+    def test_pairs_iteration(self):
+        alloc = Allocation({"i": [1], "j": [2]})
+        assert set(alloc.pairs()) == {(1, "i"), (2, "j")}
+
+    def test_seed_count(self):
+        alloc = Allocation({"i": [1, 2, 3]})
+        assert alloc.seed_count("i") == 3
+        assert alloc.seed_count("j") == 0
+
+    def test_contains(self):
+        alloc = Allocation({"i": [1]})
+        assert (1, "i") in alloc
+        assert (2, "i") not in alloc
+        assert "nonsense" not in alloc
+
+    def test_equality_ignores_order(self):
+        assert Allocation({"i": [1, 2]}) == Allocation({"i": [2, 1]})
+        assert Allocation({"i": [1]}) != Allocation({"j": [1]})
+        assert hash(Allocation({"i": [1, 2]})) == hash(Allocation({"i": [2, 1]}))
+
+    def test_as_dict(self):
+        alloc = Allocation({"i": [1, 2]})
+        d = alloc.as_dict()
+        assert d == {"i": (1, 2)}
+
+
+class TestAlgebra:
+    def test_union_disjoint(self):
+        a = Allocation({"i": [1]})
+        b = Allocation({"j": [2]})
+        merged = a.union(b)
+        assert merged.seeds_for("i") == (1,)
+        assert merged.seeds_for("j") == (2,)
+
+    def test_union_collapses_duplicates(self):
+        a = Allocation({"i": [1, 2]})
+        b = Allocation({"i": [2, 3]})
+        assert a.union(b).seeds_for("i") == (1, 2, 3)
+
+    def test_union_does_not_mutate(self):
+        a = Allocation({"i": [1]})
+        b = Allocation({"i": [2]})
+        a.union(b)
+        assert a.seeds_for("i") == (1,)
+
+    def test_adding(self):
+        alloc = Allocation({"i": [1]}).adding(2, "i").adding(3, "j")
+        assert alloc.seeds_for("i") == (1, 2)
+        assert alloc.seeds_for("j") == (3,)
+
+    def test_restricted_to(self):
+        alloc = Allocation({"i": [1], "j": [2]})
+        assert alloc.restricted_to(["j"]).items == ("j",)
+        assert alloc.restricted_to([]).is_empty()
+
+
+class TestValidation:
+    def test_validate_ok(self, catalog):
+        Allocation({"i": [0, 1]}).validate(catalog, num_nodes=5,
+                                           budgets={"i": 2})
+
+    def test_validate_unknown_item(self, catalog):
+        with pytest.raises(Exception):
+            Allocation({"zzz": [0]}).validate(catalog, num_nodes=5)
+
+    def test_validate_node_out_of_range(self, catalog):
+        with pytest.raises(AllocationError):
+            Allocation({"i": [10]}).validate(catalog, num_nodes=5)
+
+    def test_validate_budget_violation(self, catalog):
+        with pytest.raises(AllocationError):
+            Allocation({"i": [0, 1, 2]}).validate(catalog, num_nodes=5,
+                                                  budgets={"i": 2})
+
+    def test_node_item_masks(self, catalog):
+        alloc = Allocation({"i": [0, 2], "j": [2]})
+        masks = alloc.node_item_masks(catalog, num_nodes=4)
+        assert masks.tolist() == [0b01, 0, 0b11, 0]
+
+    def test_node_item_masks_out_of_range(self, catalog):
+        with pytest.raises(AllocationError):
+            Allocation({"i": [7]}).node_item_masks(catalog, num_nodes=4)
+
+
+class TestBudgets:
+    def test_validate_budgets_ok(self, catalog):
+        assert validate_budgets({"i": 3, "j": 0}, catalog) == {"i": 3, "j": 0}
+
+    def test_negative_budget_rejected(self, catalog):
+        with pytest.raises(AllocationError):
+            validate_budgets({"i": -1}, catalog)
+
+    def test_non_integer_budget_rejected(self, catalog):
+        with pytest.raises(AllocationError):
+            validate_budgets({"i": 2.5}, catalog)
+
+    def test_unknown_item_rejected(self, catalog):
+        with pytest.raises(Exception):
+            validate_budgets({"zzz": 1}, catalog)
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+pairs_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50),
+              st.sampled_from(["i", "j", "k"])),
+    max_size=30)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=pairs_strategy)
+def test_from_pairs_preserves_distinct_pairs(pairs):
+    alloc = Allocation.from_pairs(dict.fromkeys(pairs))  # de-dup, keep order
+    assert set(alloc.pairs()) == set(pairs)
+    assert alloc.num_pairs() == len(set(pairs))
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs_a=pairs_strategy, pairs_b=pairs_strategy)
+def test_union_is_set_union_of_pairs(pairs_a, pairs_b):
+    a = Allocation.from_pairs(dict.fromkeys(pairs_a))
+    b = Allocation.from_pairs(dict.fromkeys(pairs_b))
+    merged = a.union(b)
+    assert set(merged.pairs()) == set(pairs_a) | set(pairs_b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=pairs_strategy)
+def test_union_with_empty_is_identity(pairs):
+    alloc = Allocation.from_pairs(dict.fromkeys(pairs))
+    assert alloc.union(Allocation.empty()) == alloc
+    assert Allocation.empty().union(alloc) == alloc

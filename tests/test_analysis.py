@@ -1,0 +1,112 @@
+"""Tests for the graph analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators, weighting
+from repro.graphs.analysis import (
+    DegreeSummary,
+    degree_summaries,
+    extended_statistics,
+    gini_coefficient,
+    largest_component_fraction,
+    probability_summary,
+    reachable_fraction,
+    weakly_connected_components,
+)
+from repro.graphs.graph import DirectedGraph
+
+
+class TestGini:
+    def test_uniform_distribution_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_distribution_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        values = [1, 2, 3, 10]
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([10 * v for v in values]))
+
+
+class TestDegreeSummaries:
+    def test_star_graph(self, star10):
+        summary = degree_summaries(star10)
+        assert summary["out"].maximum == 10
+        assert summary["out"].mean == pytest.approx(10 / 11)
+        assert summary["in"].maximum == 1
+
+    def test_skewed_graph_has_higher_gini_than_er(self):
+        er = generators.erdos_renyi(300, 4.0, rng=1)
+        pa = generators.preferential_attachment(300, 2, rng=1, directed=False)
+        er_gini = degree_summaries(er)["out"].gini
+        pa_gini = degree_summaries(pa)["out"].gini
+        assert pa_gini > er_gini
+
+    def test_empty_graph(self):
+        empty = DirectedGraph.from_edges(0, [])
+        summary = DegreeSummary.from_degrees(empty.out_degrees())
+        assert summary.mean == 0.0 and summary.maximum == 0
+
+
+class TestComponents:
+    def test_two_components(self):
+        graph = DirectedGraph.from_edges(
+            5, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        components = weakly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [2, 3]
+        assert largest_component_fraction(graph) == pytest.approx(0.6)
+
+    def test_direction_ignored(self):
+        graph = DirectedGraph.from_edges(3, [(2, 1, 1.0), (1, 0, 1.0)])
+        assert len(weakly_connected_components(graph)) == 1
+
+    def test_isolated_nodes(self):
+        graph = DirectedGraph.from_edges(4, [(0, 1, 1.0)])
+        assert len(weakly_connected_components(graph)) == 3
+
+    def test_empty_graph(self):
+        empty = DirectedGraph.from_edges(0, [])
+        assert weakly_connected_components(empty) == []
+        assert largest_component_fraction(empty) == 0.0
+
+
+class TestProbabilityAndReachability:
+    def test_probability_summary(self):
+        graph = DirectedGraph.from_edges(3, [(0, 1, 0.2), (1, 2, 0.8)])
+        summary = probability_summary(graph)
+        assert summary["mean"] == pytest.approx(0.5)
+        assert summary["min"] == pytest.approx(0.2)
+        assert summary["max"] == pytest.approx(0.8)
+
+    def test_probability_summary_empty(self):
+        assert probability_summary(DirectedGraph.from_edges(2, []))["sum"] == 0.0
+
+    def test_reachable_fraction_line(self, line4):
+        assert reachable_fraction(line4, 0) == pytest.approx(1.0)
+        assert reachable_fraction(line4, 3) == pytest.approx(0.25)
+
+    def test_reachable_fraction_bounds_spread(self):
+        graph = weighting.weighted_cascade(
+            generators.erdos_renyi(100, 4.0, rng=3))
+        from repro.diffusion.estimators import estimate_spread
+        node = int(np.argmax(graph.out_degrees()))
+        upper = reachable_fraction(graph, node) * graph.num_nodes
+        spread = estimate_spread(graph, [node], n_samples=300, rng=4)
+        assert spread <= upper + 1e-9
+
+
+class TestExtendedStatistics:
+    def test_keys_and_values(self):
+        graph = weighting.weighted_cascade(
+            generators.preferential_attachment(200, 3, rng=5))
+        stats = extended_statistics(graph)
+        assert stats["nodes"] == 200
+        assert 0.0 <= stats["out_degree_gini"] <= 1.0
+        assert 0.0 < stats["largest_wcc_fraction"] <= 1.0
+        assert 0.0 < stats["mean_edge_probability"] <= 1.0

@@ -1,0 +1,188 @@
+"""Tests for the baseline algorithms: greedyWM, TCIM, Balance-C and the
+Round-robin / Snake / degree / random heuristics."""
+
+import pytest
+
+from repro.allocation import Allocation
+from repro.baselines.balance_c import balance_c, balanced_exposure
+from repro.baselines.greedy_wm import greedy_wm
+from repro.baselines.heuristics import (
+    degree_allocation,
+    random_allocation,
+    round_robin,
+    snake,
+)
+from repro.baselines.tcim import tcim
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs import generators
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.imm import IMMOptions
+from repro.utility.configs import lastfm_config, two_item_config
+
+FAST = IMMOptions(max_rr_sets=5_000)
+
+
+class TestGreedyWM:
+    def test_budgets_respected(self, small_er_graph, c1_model):
+        result = greedy_wm(small_er_graph, c1_model, {"i": 2, "j": 1},
+                           n_marginal_samples=10,
+                           candidate_pool=range(20), rng=1)
+        assert result.allocation.seed_count("i") == 2
+        assert result.allocation.seed_count("j") == 1
+        assert result.algorithm == "greedyWM"
+
+    def test_selections_recorded_with_gains(self, small_er_graph, c1_model):
+        result = greedy_wm(small_er_graph, c1_model, {"i": 1, "j": 1},
+                           n_marginal_samples=10,
+                           candidate_pool=range(15), rng=2)
+        selections = result.details["selections"]
+        assert len(selections) == 2
+        assert all(len(entry) == 3 for entry in selections)
+
+    def test_restricted_pool_flagged(self, small_er_graph, c1_model):
+        result = greedy_wm(small_er_graph, c1_model, {"i": 1, "j": 1},
+                           n_marginal_samples=10,
+                           candidate_pool=range(10), rng=3)
+        assert result.details["restricted_pool"] is True
+        assert result.details["candidate_pool_size"] == 10
+
+    def test_picks_the_obvious_best_node(self, star10):
+        model = two_item_config("C1", noise_sigma=0.0)
+        result = greedy_wm(star10, model, {"i": 1, "j": 0},
+                           n_marginal_samples=5, rng=4)
+        assert result.allocation.seeds_for("i") == (0,)
+
+    def test_no_budget_rejected(self, small_er_graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            greedy_wm(small_er_graph, c1_model, {"i": 0, "j": 0}, rng=1)
+
+    def test_welfare_quality_on_small_instance(self, star10):
+        """greedyWM maximizes welfare directly, so it should not be worse
+        than a random allocation on a tiny instance."""
+        model = two_item_config("C1", noise_sigma=0.0)
+        greedy = greedy_wm(star10, model, {"i": 1, "j": 1},
+                           n_marginal_samples=10, rng=5)
+        greedy_welfare = estimate_welfare(star10, model,
+                                          greedy.combined_allocation(),
+                                          n_samples=50, rng=6).mean
+        random_welfare = estimate_welfare(star10, model,
+                                          Allocation({"i": [4], "j": [5]}),
+                                          n_samples=50, rng=6).mean
+        assert greedy_welfare >= random_welfare
+
+
+class TestTCIM:
+    def test_budgets_respected(self, small_er_graph, c1_model):
+        result = tcim(small_er_graph, c1_model, {"i": 3, "j": 3},
+                      n_evaluation_samples=30, options=FAST, rng=1)
+        full = result.details["full_allocation"]
+        assert full.seed_count("i") == 3
+        assert full.seed_count("j") == 3
+        assert result.algorithm == "TCIM"
+
+    def test_reported_allocation_is_best_prefix(self, small_er_graph,
+                                                 c1_model):
+        result = tcim(small_er_graph, c1_model, {"i": 2, "j": 2},
+                      n_evaluation_samples=30, options=FAST, rng=2)
+        trace = result.details["welfare_trace"]
+        assert len(trace) == 2
+        # the returned allocation corresponds to the maximum of the trace
+        assert result.allocation.num_pairs() in (2, 4)
+
+    def test_respects_fixed_allocation(self, small_er_graph, c1_model):
+        fixed = Allocation({"j": [0, 1]})
+        result = tcim(small_er_graph, c1_model, {"i": 3},
+                      fixed_allocation=fixed, n_evaluation_samples=20,
+                      options=FAST, rng=3)
+        assert not set(result.allocation.seeds_for("i")) & {0, 1}
+
+    def test_no_budget_rejected(self, small_er_graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            tcim(small_er_graph, c1_model, {"i": 0}, options=FAST)
+
+
+class TestBalanceC:
+    def test_exactly_two_items_required(self, small_er_graph, lastfm_model):
+        budgets = {item: 1 for item in lastfm_model.items}
+        with pytest.raises(AlgorithmError, match="two items"):
+            balance_c(small_er_graph, lastfm_model, budgets, rng=1)
+
+    def test_budgets_respected(self, small_er_graph, c3_model):
+        result = balance_c(small_er_graph, c3_model, {"i": 2, "j": 2},
+                           n_objective_samples=5, candidate_pool=range(20),
+                           rng=2)
+        assert result.allocation.seed_count("i") == 2
+        assert result.allocation.seed_count("j") == 2
+        assert result.algorithm == "Balance-C"
+
+    def test_balanced_exposure_extremes(self, line4):
+        # no seeds at all: every node sees neither item
+        assert balanced_exposure(line4, [], [], n_samples=5, rng=1) == 4.0
+        # both items seeded at the source of the deterministic path: every
+        # node sees both items
+        assert balanced_exposure(line4, [0], [0], n_samples=5, rng=1) == 4.0
+        # only one item propagating: nothing is balanced
+        assert balanced_exposure(line4, [0], [], n_samples=5, rng=1) == 0.0
+
+
+class TestRoundRobinAndSnake:
+    def test_interleaving_patterns(self, c1_model_no_noise):
+        graph = generators.line_graph(8)
+        pool = [0, 1, 2, 3]
+        rr = round_robin(graph, c1_model_no_noise, {"i": 2, "j": 2},
+                         seed_pool=pool, rng=1)
+        sn = snake(graph, c1_model_no_noise, {"i": 2, "j": 2},
+                   seed_pool=pool, rng=1)
+        # item i has the higher truncated utility, so it goes first
+        assert rr.allocation.seeds_for("i") == (0, 2)
+        assert rr.allocation.seeds_for("j") == (1, 3)
+        assert sn.allocation.seeds_for("i") == (0, 3)
+        assert sn.allocation.seeds_for("j") == (1, 2)
+
+    def test_budgets_respected_without_pool(self, small_er_graph, c1_model):
+        result = round_robin(small_er_graph, c1_model, {"i": 3, "j": 3},
+                             options=FAST, rng=2)
+        assert result.allocation.seed_count("i") == 3
+        assert result.allocation.seed_count("j") == 3
+
+    def test_uneven_budgets(self, c1_model_no_noise):
+        graph = generators.line_graph(10)
+        pool = list(range(6))
+        rr = round_robin(graph, c1_model_no_noise, {"i": 4, "j": 2},
+                         seed_pool=pool, rng=3)
+        assert rr.allocation.seed_count("i") == 4
+        assert rr.allocation.seed_count("j") == 2
+
+    def test_empty_budget_rejected(self, small_er_graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            round_robin(small_er_graph, c1_model, {"i": 0, "j": 0},
+                        options=FAST)
+
+    def test_evaluate_welfare_option(self, small_er_graph, c1_model):
+        result = snake(small_er_graph, c1_model, {"i": 2, "j": 2},
+                       options=FAST, evaluate_welfare=True,
+                       n_evaluation_samples=40, rng=4)
+        assert result.estimated_welfare is not None
+
+
+class TestSimpleHeuristics:
+    def test_degree_allocation_prefers_hubs(self, star10, c1_model_no_noise):
+        result = degree_allocation(star10, c1_model_no_noise,
+                                   {"i": 1, "j": 1}, rng=1)
+        assert result.allocation.seeds_for("i") == (0,)
+
+    def test_random_allocation_budget_and_distinctness(self, small_er_graph,
+                                                       c1_model):
+        result = random_allocation(small_er_graph, c1_model,
+                                   {"i": 5, "j": 5}, rng=2)
+        seeds_i = set(result.allocation.seeds_for("i"))
+        seeds_j = set(result.allocation.seeds_for("j"))
+        assert len(seeds_i) == 5 and len(seeds_j) == 5
+        assert not seeds_i & seeds_j
+
+    def test_random_allocation_caps_at_graph_size(self, c1_model_no_noise):
+        graph = generators.line_graph(4)
+        result = random_allocation(graph, c1_model_no_noise,
+                                   {"i": 3, "j": 3}, rng=3)
+        assert result.allocation.num_pairs() <= 4

@@ -1,0 +1,82 @@
+"""Tests for the IMM martingale sampling bounds."""
+
+import math
+
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.rrsets.bounds import adjusted_ell, lambda_prime, lambda_star, log_binomial
+
+
+class TestLogBinomial:
+    @pytest.mark.parametrize("n,k", [(10, 3), (50, 25), (100, 1), (7, 7),
+                                     (12, 0)])
+    def test_matches_math_comb(self, n, k):
+        assert log_binomial(n, k) == pytest.approx(math.log(math.comb(n, k)),
+                                                   abs=1e-9)
+
+    def test_k_greater_than_n(self):
+        assert log_binomial(3, 5) == float("-inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(AlgorithmError):
+            log_binomial(-1, 0)
+        with pytest.raises(AlgorithmError):
+            log_binomial(5, -1)
+
+    def test_large_values_do_not_overflow(self):
+        value = log_binomial(10**7, 50)
+        assert math.isfinite(value)
+        assert value > 0
+
+
+class TestLambdaStar:
+    def test_positive_and_scales_with_n(self):
+        small = lambda_star(100, 5, 0.5, 1.0)
+        large = lambda_star(1000, 5, 0.5, 1.0)
+        assert 0 < small < large
+
+    def test_decreases_with_epsilon(self):
+        loose = lambda_star(500, 10, 0.5, 1.0)
+        tight = lambda_star(500, 10, 0.1, 1.0)
+        assert tight > loose
+
+    def test_increases_with_budget(self):
+        assert lambda_star(500, 50, 0.5, 1.0) > lambda_star(500, 5, 0.5, 1.0)
+
+    def test_increases_with_ell(self):
+        assert lambda_star(500, 10, 0.5, 2.0) > lambda_star(500, 10, 0.5, 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AlgorithmError):
+            lambda_star(0, 5, 0.5, 1.0)
+        with pytest.raises(AlgorithmError):
+            lambda_star(10, 5, 0.0, 1.0)
+
+
+class TestLambdaPrime:
+    def test_positive(self):
+        assert lambda_prime(100, 5, 0.7, 1.0) > 0
+
+    def test_decreases_with_epsilon(self):
+        assert lambda_prime(500, 10, 0.2, 1.0) > lambda_prime(500, 10, 0.9, 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AlgorithmError):
+            lambda_prime(0, 5, 0.5, 1.0)
+        with pytest.raises(AlgorithmError):
+            lambda_prime(10, 5, -0.5, 1.0)
+
+
+class TestAdjustedEll:
+    def test_single_budget(self):
+        n = 1000
+        ell = adjusted_ell(n, 1.0)
+        assert ell == pytest.approx(1.0 + math.log(2) / math.log(n))
+
+    def test_multiple_budgets_increase_ell(self):
+        n = 1000
+        assert adjusted_ell(n, 1.0, num_budgets=4) > adjusted_ell(n, 1.0)
+
+    def test_monotone_in_ell(self):
+        assert adjusted_ell(100, 2.0) > adjusted_ell(100, 1.0)

@@ -1,0 +1,74 @@
+"""Tests for the CELF-accelerated greedy welfare maximizer."""
+
+import pytest
+
+from repro.baselines.celf import celf_greedy_wm
+from repro.baselines.greedy_wm import greedy_wm
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs import generators, weighting
+from repro.utility.configs import two_item_config
+
+
+class TestCelfGreedyWM:
+    def test_budgets_respected(self, small_er_graph, c1_model):
+        result = celf_greedy_wm(small_er_graph, c1_model, {"i": 2, "j": 1},
+                                n_marginal_samples=10,
+                                candidate_pool=range(20), rng=1)
+        assert result.allocation.seed_count("i") == 2
+        assert result.allocation.seed_count("j") == 1
+        assert result.algorithm == "CELF-greedyWM"
+
+    def test_records_evaluation_count(self, small_er_graph, c1_model):
+        pool = range(15)
+        result = celf_greedy_wm(small_er_graph, c1_model, {"i": 2, "j": 2},
+                                n_marginal_samples=10, candidate_pool=pool,
+                                rng=2)
+        evaluations = result.details["marginal_evaluations"]
+        # at least the initial pass over all candidates, but far fewer than
+        # exhaustive greedy (#candidates x #selected)
+        assert evaluations >= 2 * len(pool)
+        assert evaluations <= 2 * len(pool) * 4
+
+    def test_fewer_evaluations_than_exhaustive_greedy(self, small_er_graph):
+        model = two_item_config("C1", noise_sigma=0.0)
+        pool = list(range(20))
+        budgets = {"i": 3, "j": 3}
+        celf = celf_greedy_wm(small_er_graph, model, budgets,
+                              n_marginal_samples=8, candidate_pool=pool,
+                              rng=3)
+        exhaustive_evaluations = len(pool) * 2 * sum(budgets.values())
+        assert celf.details["marginal_evaluations"] < exhaustive_evaluations
+
+    def test_quality_matches_greedy_wm_on_small_instance(self, star10):
+        model = two_item_config("C1", noise_sigma=0.0)
+        budgets = {"i": 1, "j": 1}
+        celf = celf_greedy_wm(star10, model, budgets, n_marginal_samples=10,
+                              rng=4)
+        greedy = greedy_wm(star10, model, budgets, n_marginal_samples=10,
+                           rng=4)
+        celf_welfare = estimate_welfare(star10, model,
+                                        celf.combined_allocation(),
+                                        n_samples=50, rng=5).mean
+        greedy_welfare = estimate_welfare(star10, model,
+                                          greedy.combined_allocation(),
+                                          n_samples=50, rng=5).mean
+        assert celf_welfare == pytest.approx(greedy_welfare, rel=0.1)
+
+    def test_first_pick_is_best_candidate(self, star10):
+        model = two_item_config("C2", noise_sigma=0.0)
+        result = celf_greedy_wm(star10, model, {"i": 1, "j": 0},
+                                n_marginal_samples=10, rng=6)
+        assert result.allocation.seeds_for("i") == (0,)
+
+    def test_no_budget_rejected(self, small_er_graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            celf_greedy_wm(small_er_graph, c1_model, {"i": 0}, rng=1)
+
+    def test_evaluate_welfare_option(self, small_er_graph, c1_model):
+        result = celf_greedy_wm(small_er_graph, c1_model, {"i": 1, "j": 1},
+                                n_marginal_samples=10,
+                                candidate_pool=range(10),
+                                evaluate_welfare=True,
+                                n_evaluation_samples=30, rng=7)
+        assert result.estimated_welfare is not None

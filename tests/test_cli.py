@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import CONFIGURATIONS, EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_configurations_buildable(self):
+        for name, factory in CONFIGURATIONS.items():
+            model = factory()
+            assert model.num_items >= 1, name
+
+    def test_experiment_registry_names(self):
+        assert "figure3" in EXPERIMENTS
+        assert "table6" in EXPERIMENTS
+
+
+class TestNetworksCommand:
+    def test_lists_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nethept", "orkut", "twitter"):
+            assert name in out
+
+    def test_with_statistics(self, capsys):
+        assert main(["networks", "--stats", "--scale", "0.005",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "standin_nodes" in out
+
+
+class TestGenerateCommand:
+    def test_writes_edge_list(self, tmp_path, capsys):
+        output = tmp_path / "net.txt"
+        assert main(["generate", "nethept", str(output),
+                     "--scale", "0.005", "--seed", "3"]) == 0
+        assert output.exists()
+        content = output.read_text()
+        assert "nodes" in content.splitlines()[0]
+
+    def test_generated_file_is_loadable_by_run(self, tmp_path, capsys):
+        output = tmp_path / "net.txt"
+        main(["generate", "nethept", str(output), "--scale", "0.005",
+              "--seed", "3"])
+        code = main(["run", "--network", str(output), "--budget", "2",
+                     "--samples", "30", "--max-rr-sets", "2000",
+                     "--seed", "5"])
+        assert code == 0
+
+
+class TestRunCommand:
+    def test_default_run_text_output(self, capsys):
+        code = main(["run", "--network", "nethept", "--scale", "0.01",
+                     "--budget", "2", "--samples", "30",
+                     "--max-rr-sets", "2000", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "expected welfare" in out
+        assert "seeds[i]" in out
+
+    def test_json_output(self, capsys):
+        code = main(["run", "--network", "nethept", "--scale", "0.01",
+                     "--budget", "2", "--samples", "30",
+                     "--max-rr-sets", "2000", "--seed", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "SeqGRD-NM"
+        assert payload["expected_welfare"] > 0
+        assert set(payload["allocation"]) <= {"i", "j"}
+
+    def test_explicit_budgets(self, capsys):
+        code = main(["run", "--network", "nethept", "--scale", "0.01",
+                     "--budgets", '{"i": 3, "j": 1}', "--samples", "20",
+                     "--max-rr-sets", "2000", "--seed", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["allocation"]["i"]) == 3
+        assert len(payload["allocation"]["j"]) == 1
+
+    def test_supgrd_with_fixed_imm_item(self, capsys):
+        code = main(["run", "--algorithm", "SupGRD", "--configuration", "C6",
+                     "--network", "nethept", "--scale", "0.01",
+                     "--budget", "2", "--fixed-imm-item", "j",
+                     "--fixed-imm-budget", "3", "--samples", "20",
+                     "--max-rr-sets", "2000", "--seed", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "SupGRD"
+        assert "i" in payload["allocation"]
+
+    @pytest.mark.parametrize("algorithm", ["MaxGRD", "TCIM", "Round-robin",
+                                           "Snake"])
+    def test_other_algorithms(self, algorithm, capsys):
+        code = main(["run", "--algorithm", algorithm, "--network", "nethept",
+                     "--scale", "0.01", "--budget", "2", "--samples", "20",
+                     "--marginal-samples", "10", "--max-rr-sets", "2000",
+                     "--seed", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["expected_welfare"] >= 0
+
+
+class TestExperimentCommand:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "nethept" in out
+
+    def test_json_output(self, capsys):
+        assert main(["experiment", "table5", "--scale", "smoke",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+
+
+class TestLearnCommand:
+    def test_learn_from_file(self, tmp_path, capsys):
+        logfile = tmp_path / "selections.txt"
+        lines = ["rock"] * 30 + ["indie"] * 60 + ["rock,indie"] * 2 + ["other"] * 8
+        logfile.write_text("\n".join(lines))
+        assert main(["learn", str(logfile), "--items", "rock,indie",
+                     "--json"]) == 0
+        utilities = json.loads(capsys.readouterr().out)
+        assert utilities["indie"] > utilities["rock"]
+
+    def test_text_output(self, tmp_path, capsys):
+        logfile = tmp_path / "selections.txt"
+        logfile.write_text("a\nb\na\n# comment\n\n")
+        assert main(["learn", str(logfile)]) == 0
+        assert "learned utilities" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_library_errors_become_exit_code_2(self, tmp_path, capsys):
+        logfile = tmp_path / "empty.txt"
+        logfile.write_text("\n")
+        assert main(["learn", str(logfile)]) == 2
+        assert "error" in capsys.readouterr().err

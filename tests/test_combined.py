@@ -1,0 +1,34 @@
+"""Tests for the best-of (SeqGRD, MaxGRD) combination."""
+
+import pytest
+
+from repro.core.combined import best_of
+from repro.rrsets.imm import IMMOptions
+
+FAST = IMMOptions(max_rr_sets=5_000)
+
+
+class TestBestOf:
+    def test_returns_the_better_allocation(self, small_er_graph, c1_model):
+        result = best_of(small_er_graph, c1_model, {"i": 3, "j": 3},
+                         marginal_check=False, n_marginal_samples=20,
+                         n_evaluation_samples=80, options=FAST, rng=1)
+        details = result.details
+        assert result.estimated_welfare == pytest.approx(
+            max(details["seqgrd_welfare"], details["maxgrd_welfare"]))
+        assert result.algorithm in ("BestOf(SeqGRD)", "BestOf(SeqGRD-NM)",
+                                    "BestOf(MaxGRD)")
+
+    def test_details_contain_both_sub_results(self, small_er_graph, c1_model):
+        result = best_of(small_er_graph, c1_model, {"i": 2, "j": 2},
+                         marginal_check=False, n_marginal_samples=20,
+                         n_evaluation_samples=50, options=FAST, rng=2)
+        assert result.details["seqgrd_result"].algorithm == "SeqGRD-NM"
+        assert result.details["maxgrd_result"].algorithm == "MaxGRD"
+
+    def test_budgets_respected_by_winner(self, small_er_graph, c1_model):
+        result = best_of(small_er_graph, c1_model, {"i": 3, "j": 2},
+                         marginal_check=False, n_marginal_samples=20,
+                         n_evaluation_samples=50, options=FAST, rng=3)
+        for item in result.allocation.items:
+            assert result.allocation.seed_count(item) <= {"i": 3, "j": 2}[item]

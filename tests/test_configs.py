@@ -1,0 +1,226 @@
+"""Tests that the packaged utility configurations match the paper."""
+
+import pytest
+
+from repro.exceptions import UtilityModelError
+from repro.utility.configs import (
+    HARDNESS_UTILITIES,
+    LASTFM_PROBABILITIES,
+    LASTFM_UTILITIES,
+    blocking_config,
+    hardness_config,
+    lastfm_config,
+    multi_item_config,
+    single_item_config,
+    theorem1_config,
+    two_item_config,
+)
+from repro.utility.noise import GaussianNoise, TruncatedGaussianNoise, ZeroNoise
+from repro.utility.valuation import is_monotone, is_submodular
+
+
+class TestTwoItemConfigs:
+    """Table 3: prices P(i)=3, P(j)=4 and per-configuration values."""
+
+    @pytest.mark.parametrize("name,ui,uj,uij", [
+        ("C1", 1.0, 0.9, -2.1),
+        ("C2", 1.0, 0.1, -2.9),
+        ("C3", 1.0, 0.9, 1.7),
+        ("C4", 1.0, 0.9, 1.7),
+    ])
+    def test_deterministic_utilities(self, name, ui, uj, uij):
+        model = two_item_config(name)
+        assert model.deterministic_utility("i") == pytest.approx(ui)
+        assert model.deterministic_utility("j") == pytest.approx(uj)
+        assert model.deterministic_utility(["i", "j"]) == pytest.approx(uij)
+
+    @pytest.mark.parametrize("name", ["C1", "C2", "C3", "C4"])
+    def test_prices(self, name):
+        model = two_item_config(name)
+        assert model.price("i") == 3.0
+        assert model.price("j") == 4.0
+        assert model.price(["i", "j"]) == 7.0
+
+    @pytest.mark.parametrize("name", ["C1", "C2", "C3", "C4"])
+    def test_valuation_is_monotone_submodular(self, name):
+        model = two_item_config(name)
+        assert is_monotone(model.valuation)
+        assert is_submodular(model.valuation)
+
+    @pytest.mark.parametrize("name", ["C1", "C2"])
+    def test_pure_competition(self, name):
+        assert two_item_config(name).is_pure_competition()
+
+    @pytest.mark.parametrize("name", ["C3", "C4"])
+    def test_soft_competition(self, name):
+        assert not two_item_config(name).is_pure_competition()
+
+    def test_default_noise_is_standard_gaussian(self):
+        model = two_item_config("C1")
+        assert isinstance(model.noise("i"), GaussianNoise)
+        assert model.noise("i").sigma == 1.0
+
+    def test_zero_noise_option(self):
+        model = two_item_config("C1", noise_sigma=0.0)
+        assert isinstance(model.noise("i"), ZeroNoise)
+
+    def test_c5_c6_have_bounded_noise_and_superior_item(self):
+        for name in ("C5", "C6"):
+            model = two_item_config(name)
+            assert isinstance(model.noise("i"), TruncatedGaussianNoise)
+            assert model.superior_item() == "i"
+
+    def test_c2_utility_ratio_is_ten(self):
+        model = two_item_config("C2")
+        ratio = (model.deterministic_utility("i")
+                 / model.deterministic_utility("j"))
+        assert ratio == pytest.approx(10.0)
+
+    def test_unknown_configuration(self):
+        with pytest.raises(UtilityModelError):
+            two_item_config("C9")
+
+
+class TestBlockingConfig:
+    """Table 4: U(i)=2, U(j)=0.11, U(k)=0.1, U({i,k})=2.1, rest negative."""
+
+    def test_expected_utilities(self):
+        model = blocking_config()
+        assert model.deterministic_utility("i") == pytest.approx(2.0)
+        assert model.deterministic_utility("j") == pytest.approx(0.11)
+        assert model.deterministic_utility("k") == pytest.approx(0.1)
+        assert model.deterministic_utility(["i", "k"]) == pytest.approx(2.1)
+
+    def test_other_bundles_negative(self):
+        model = blocking_config()
+        assert model.deterministic_utility(["i", "j"]) < 0
+        assert model.deterministic_utility(["j", "k"]) < 0
+        assert model.deterministic_utility(["i", "j", "k"]) < 0
+
+    def test_valuation_monotone_submodular(self):
+        model = blocking_config()
+        assert is_monotone(model.valuation)
+        assert is_submodular(model.valuation)
+
+    def test_superior_item(self):
+        assert blocking_config().superior_item() == "i"
+
+
+class TestMultiItemConfig:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_every_item_has_unit_utility(self, m):
+        model = multi_item_config(m)
+        assert model.num_items == m
+        for item in model.items:
+            assert model.deterministic_utility(item) == pytest.approx(1.0)
+
+    def test_pure_competition(self):
+        assert multi_item_config(4).is_pure_competition()
+
+    def test_custom_utility(self):
+        model = multi_item_config(2, expected_utility=3.0)
+        assert model.deterministic_utility("item1") == pytest.approx(3.0)
+
+    def test_monotone_submodular(self):
+        model = multi_item_config(4)
+        assert is_monotone(model.valuation)
+        assert is_submodular(model.valuation)
+
+    def test_invalid_count(self):
+        with pytest.raises(UtilityModelError):
+            multi_item_config(0)
+
+
+class TestLastfmConfig:
+    def test_published_utilities(self):
+        model = lastfm_config()
+        for item, utility in LASTFM_UTILITIES.items():
+            assert model.deterministic_utility(item) == pytest.approx(utility)
+
+    def test_pure_competition(self):
+        assert lastfm_config().is_pure_competition()
+
+    def test_monotone_submodular(self):
+        model = lastfm_config()
+        assert is_monotone(model.valuation)
+        assert is_submodular(model.valuation)
+
+    def test_custom_utilities(self):
+        model = lastfm_config({"pop": 3.0, "jazz": 2.0})
+        assert set(model.items) == {"pop", "jazz"}
+        assert model.deterministic_utility("pop") == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(UtilityModelError):
+            lastfm_config({})
+
+    def test_probabilities_constant_matches_utilities(self):
+        # U(i) = ln(10000 * p_i) must link the two published tables
+        import math
+        for item, prob in LASTFM_PROBABILITIES.items():
+            assert math.log(10_000 * prob) == pytest.approx(
+                LASTFM_UTILITIES[item], abs=0.05)
+
+
+class TestHardnessConfig:
+    """Table 1: the exact value/price/utility table of the reduction."""
+
+    def test_single_item_utilities(self):
+        model = hardness_config()
+        for item, utility in HARDNESS_UTILITIES.items():
+            assert model.deterministic_utility(item) == pytest.approx(utility)
+
+    def test_key_bundle_utilities(self):
+        model = hardness_config()
+        assert model.deterministic_utility(["i2", "i3"]) == pytest.approx(10.0)
+        assert model.deterministic_utility(["i1", "i4"]) == pytest.approx(105.1)
+        assert model.deterministic_utility(["i1", "i2"]) == pytest.approx(4.9)
+        assert model.deterministic_utility(["i2", "i3", "i4"]) == pytest.approx(9.5)
+        assert model.deterministic_utility(["i1", "i2", "i3", "i4"]) == \
+            pytest.approx(3.6)
+
+    def test_reduction_gap_constraints(self):
+        """The constraints the reduction needs for c = 0.4 hold."""
+        model = hardness_config()
+        c = 0.4
+        u_i23 = model.deterministic_utility(["i2", "i3"])
+        u_i14 = model.deterministic_utility(["i1", "i4"])
+        u_i4 = model.deterministic_utility("i4")
+        u_i1 = model.deterministic_utility("i1")
+        # i1 beats i2 and i3 individually, but {i2, i3} beats i1
+        assert u_i1 > model.deterministic_utility("i2")
+        assert u_i1 > model.deterministic_utility("i3")
+        assert u_i23 > u_i1
+        # c * U(i4) > U({i2, i3}) and U({i2, i3}) < c/4 * U({i1, i4})
+        assert c * u_i4 > u_i23
+        assert u_i23 < (c / 4.0) * u_i14 + 1e-9
+
+    def test_valuation_monotone_submodular(self):
+        model = hardness_config()
+        assert is_monotone(model.valuation)
+        assert is_submodular(model.valuation)
+
+
+class TestTheorem1Config:
+    def test_utilities_match_counterexample(self):
+        model = theorem1_config()
+        assert model.deterministic_utility("i1") == pytest.approx(4.0)
+        assert model.deterministic_utility("i2") == pytest.approx(3.0)
+        assert model.deterministic_utility("i3") == pytest.approx(3.5)
+        assert model.deterministic_utility(["i1", "i3"]) == pytest.approx(4.5)
+        # bundles that must lose to their best member
+        assert model.deterministic_utility(["i1", "i2"]) < 3.0
+        assert model.deterministic_utility(["i2", "i3"]) < 3.5
+
+
+class TestSingleItemConfig:
+    def test_welfare_equals_spread_setup(self):
+        model = single_item_config()
+        assert model.num_items == 1
+        assert model.deterministic_utility("item") == pytest.approx(1.0)
+        assert model.expected_truncated_utility("item") == pytest.approx(1.0)
+
+    def test_custom_name_and_utility(self):
+        model = single_item_config(utility=2.5, name="gadget")
+        assert model.items == ("gadget",)
+        assert model.deterministic_utility("gadget") == pytest.approx(2.5)

@@ -1,0 +1,93 @@
+"""Unit tests for the synthetic benchmark-network stand-ins (Table 2)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.datasets import (
+    NETWORKS,
+    load_network,
+    network_names,
+    network_spec,
+    network_statistics,
+)
+
+
+class TestSpecs:
+    def test_all_five_networks_present(self):
+        assert set(network_names()) == {
+            "nethept", "douban-book", "douban-movie", "orkut", "twitter"}
+
+    def test_published_statistics_recorded(self):
+        spec = network_spec("nethept")
+        assert spec.num_nodes == 15_200
+        assert spec.avg_degree == pytest.approx(4.13)
+        assert spec.directed is False
+        orkut = network_spec("Orkut")  # case-insensitive
+        assert orkut.num_nodes == 3_070_000
+        assert orkut.avg_degree == pytest.approx(77.5)
+
+    def test_unknown_network(self):
+        with pytest.raises(GraphError):
+            network_spec("facebook")
+
+
+class TestLoadNetwork:
+    def test_scaled_size(self):
+        g = load_network("nethept", scale=0.02, rng=1)
+        expected = int(round(0.02 * 15_200))
+        assert abs(g.num_nodes - expected) <= 32
+
+    def test_average_degree_roughly_matches(self):
+        g = load_network("nethept", scale=0.05, rng=1, weighting_scheme="none")
+        assert 2.5 < g.average_degree() < 6.0
+        g2 = load_network("douban-movie", scale=0.02, rng=1,
+                          weighting_scheme="none")
+        assert 5.0 < g2.average_degree() < 11.0
+
+    def test_weighted_cascade_default(self):
+        g = load_network("nethept", scale=0.02, rng=1)
+        for node in range(g.num_nodes):
+            _, probs = g.in_neighbors(node)
+            if len(probs):
+                assert probs.sum() == pytest.approx(1.0)
+
+    def test_uniform_weighting(self):
+        g = load_network("nethept", scale=0.02, rng=1,
+                         weighting_scheme="uniform", uniform_probability=0.02)
+        assert all(p == pytest.approx(0.02) for _, _, p in g.edges())
+
+    def test_no_weighting(self):
+        g = load_network("nethept", scale=0.02, rng=1, weighting_scheme="none")
+        assert all(p == pytest.approx(1.0) for _, _, p in g.edges())
+
+    def test_deterministic_with_seed(self):
+        g1 = load_network("douban-book", scale=0.01, rng=5)
+        g2 = load_network("douban-book", scale=0.01, rng=5)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_default_scale_keeps_it_small(self):
+        g = load_network("orkut", rng=1)
+        assert g.num_nodes < 20_000
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            load_network("nethept", scale=0.0)
+
+    def test_invalid_weighting(self):
+        with pytest.raises(GraphError):
+            load_network("nethept", scale=0.01, weighting_scheme="bogus")
+
+    def test_minimum_size_floor(self):
+        g = load_network("nethept", scale=1e-9, rng=1)
+        assert g.num_nodes >= 32
+
+
+class TestStatistics:
+    def test_statistics_keys(self):
+        g = load_network("nethept", scale=0.02, rng=1)
+        stats = network_statistics(g)
+        assert stats["name"] == "nethept"
+        assert stats["nodes"] == g.num_nodes
+        assert stats["edges"] == g.num_edges
+        assert stats["avg_degree"] == pytest.approx(g.average_degree(), abs=0.01)
+        assert stats["max_out_degree"] >= 1

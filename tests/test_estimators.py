@@ -1,0 +1,163 @@
+"""Tests for the Monte-Carlo welfare/spread estimators, including the
+Lemma 2 sandwich ``u_min·σ(S) ≤ ρ(S) ≤ u_max·σ(S)``."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import Allocation
+from repro.diffusion.estimators import (
+    estimate_adoption_counts,
+    estimate_marginal_spread,
+    estimate_marginal_welfare,
+    estimate_spread,
+    estimate_welfare,
+    exact_welfare_enumeration,
+)
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+from repro.utility.configs import single_item_config, two_item_config
+from repro.utility.items import ItemCatalog
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.valuation import TableValuation
+
+
+class TestEstimateWelfare:
+    def test_deterministic_graph_exact(self, line4):
+        model = single_item_config()
+        estimate = estimate_welfare(line4, model, Allocation({"item": [0]}),
+                                    n_samples=20, rng=1)
+        assert estimate.mean == pytest.approx(4.0)
+        assert estimate.std_error == 0.0
+        assert estimate.mean_adopters == pytest.approx(4.0)
+        assert estimate.n_samples == 20
+
+    def test_empty_allocation(self, line4):
+        model = single_item_config()
+        estimate = estimate_welfare(line4, model, Allocation.empty(),
+                                    n_samples=5, rng=1)
+        assert estimate.mean == 0.0
+
+    def test_adoption_counts_present(self, line4, c1_model_no_noise):
+        estimate = estimate_welfare(line4, c1_model_no_noise,
+                                    Allocation({"i": [0]}), n_samples=10,
+                                    rng=1)
+        assert estimate.adoption_counts["i"] == pytest.approx(4.0)
+        assert estimate.adoption_counts["j"] == 0.0
+
+    def test_confidence_interval(self, small_er_graph, c1_model):
+        estimate = estimate_welfare(small_er_graph, c1_model,
+                                    Allocation({"i": [0, 1, 2]}),
+                                    n_samples=100, rng=2)
+        low, high = estimate.confidence_interval()
+        assert low <= estimate.mean <= high
+
+    def test_matches_exact_enumeration_on_tiny_graph(self):
+        graph = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5),
+                                             (0, 2, 0.25)])
+        model = two_item_config("C1", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [1]})
+        exact = exact_welfare_enumeration(graph, model, allocation)
+        estimate = estimate_welfare(graph, model, allocation,
+                                    n_samples=6000, rng=3)
+        assert estimate.mean == pytest.approx(exact, rel=0.1)
+
+
+class TestExactEnumeration:
+    def test_single_item_line(self):
+        graph = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)])
+        model = single_item_config()
+        # expected spread from node 0: 1 + 0.5 + 0.25 = 1.75
+        exact = exact_welfare_enumeration(graph, model,
+                                          Allocation({"item": [0]}))
+        assert exact == pytest.approx(1.75)
+
+    def test_rejects_large_graphs(self):
+        graph = generators.erdos_renyi(50, 4.0, rng=1)
+        model = single_item_config()
+        with pytest.raises(ValueError):
+            exact_welfare_enumeration(graph, model, Allocation({"item": [0]}))
+
+
+class TestMarginalWelfare:
+    def test_positive_marginal(self, line4):
+        model = single_item_config()
+        marginal = estimate_marginal_welfare(
+            line4, model, Allocation.empty(), Allocation({"item": [0]}),
+            n_samples=10, rng=1)
+        assert marginal == pytest.approx(4.0)
+
+    def test_zero_marginal_for_duplicate(self, line4):
+        model = single_item_config()
+        base = Allocation({"item": [0]})
+        marginal = estimate_marginal_welfare(line4, model, base, base,
+                                             n_samples=10, rng=1)
+        assert marginal == pytest.approx(0.0)
+
+    def test_negative_marginal_under_blocking(self):
+        """Adding an inferior item next to a superior one can hurt welfare
+        (the phenomenon motivating SeqGRD's marginal check)."""
+        graph = generators.line_graph(4)
+        model = two_item_config("C2", noise_sigma=0.0)
+        base = Allocation({"i": [0]})
+        extra = Allocation({"j": [1]})
+        marginal = estimate_marginal_welfare(graph, model, base, extra,
+                                             n_samples=10, rng=1)
+        # without j: 4 nodes adopt i -> welfare 4.0
+        # with j at node 1: nodes 1..3 adopt j instead -> 1.0 + 3*0.1 = 1.3
+        assert marginal == pytest.approx(1.3 - 4.0)
+
+    def test_common_random_numbers_are_deterministic(self, small_er_graph):
+        model = two_item_config("C1", noise_sigma=0.0)
+        base = Allocation({"i": [0, 1]})
+        extra = Allocation({"j": [2]})
+        first = estimate_marginal_welfare(small_er_graph, model, base, extra,
+                                          n_samples=30, rng=17)
+        second = estimate_marginal_welfare(small_er_graph, model, base, extra,
+                                           n_samples=30, rng=17)
+        assert first == pytest.approx(second)
+
+
+class TestSpreadEstimation:
+    def test_line_graph_probability_half(self):
+        graph = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)])
+        spread = estimate_spread(graph, [0], n_samples=8000, rng=1)
+        assert spread == pytest.approx(1.75, rel=0.05)
+
+    def test_empty_seed_set(self, line4):
+        assert estimate_spread(line4, [], n_samples=10, rng=1) == 0.0
+
+    def test_marginal_spread(self, line4):
+        marginal = estimate_marginal_spread(line4, [0], [2], n_samples=10,
+                                            rng=1)
+        assert marginal == pytest.approx(0.0)  # 2 already reached by 0
+        marginal2 = estimate_marginal_spread(line4, [2], [0], n_samples=10,
+                                             rng=1)
+        assert marginal2 == pytest.approx(2.0)
+
+
+class TestAdoptionCounts:
+    def test_counts(self, line4, c1_model_no_noise):
+        counts = estimate_adoption_counts(line4, c1_model_no_noise,
+                                          Allocation({"i": [0], "j": [2]}),
+                                          n_samples=10, rng=1)
+        assert counts["i"] == pytest.approx(2.0)
+        assert counts["j"] == pytest.approx(2.0)
+
+
+class TestLemma2Sandwich:
+    """u_min · σ(S) ≤ ρ(S) ≤ u_max · σ(S) (paper Lemma 2)."""
+
+    @pytest.mark.parametrize("config", ["C1", "C2", "C3"])
+    def test_sandwich_holds(self, config, small_er_graph):
+        model = two_item_config(config, noise_sigma=0.0)
+        allocation = Allocation({"i": [0, 5, 9], "j": [3, 7]})
+        seeds = allocation.all_seeds()
+        rho = estimate_welfare(small_er_graph, model, allocation,
+                               n_samples=400, rng=11).mean
+        sigma = estimate_spread(small_er_graph, seeds, n_samples=400, rng=11)
+        u_min = model.u_min()
+        u_max = model.u_max()
+        tolerance = 0.1 * sigma  # Monte-Carlo slack
+        assert u_min * sigma <= rho + tolerance
+        assert rho <= u_max * sigma + tolerance

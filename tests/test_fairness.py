@@ -1,0 +1,114 @@
+"""Tests for the fairness-aware extension (paper future work, §7)."""
+
+import pytest
+
+from repro.allocation import Allocation
+from repro.core.fairness import exposure_report, fair_seqgrd
+from repro.exceptions import AlgorithmError
+from repro.graphs import generators, weighting
+from repro.rrsets.imm import IMMOptions
+from repro.utility.configs import lastfm_config, two_item_config
+
+FAST = IMMOptions(max_rr_sets=5_000)
+
+
+class TestExposureReport:
+    def test_report_on_deterministic_line(self, line4, c1_model_no_noise):
+        allocation = Allocation({"i": [0], "j": [2]})
+        report = exposure_report(line4, c1_model_no_noise, allocation,
+                                 n_samples=20, rng=1)
+        assert report.expected_adopters["i"] == pytest.approx(2.0)
+        assert report.expected_adopters["j"] == pytest.approx(2.0)
+        assert report.total_adoptions == pytest.approx(4.0)
+        assert report.adoption_share["i"] == pytest.approx(0.5)
+
+    def test_worst_item(self, line4, c1_model_no_noise):
+        allocation = Allocation({"i": [0], "j": [3]})
+        report = exposure_report(line4, c1_model_no_noise, allocation,
+                                 n_samples=20, rng=1)
+        item, value = report.worst_item()
+        assert item == "j"
+        assert value == pytest.approx(1.0)
+
+    def test_satisfies(self, line4, c1_model_no_noise):
+        allocation = Allocation({"i": [0], "j": [2]})
+        report = exposure_report(line4, c1_model_no_noise, allocation,
+                                 n_samples=20, rng=1)
+        assert report.satisfies({"i": 1.5, "j": 1.5})
+        assert not report.satisfies({"j": 3.0})
+
+
+class TestFairSeqGRD:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        base = generators.preferential_attachment(250, 3, rng=19,
+                                                  directed=False)
+        return weighting.weighted_cascade(base)
+
+    def test_no_floors_behaves_like_seqgrd(self, graph, c1_model):
+        result = fair_seqgrd(graph, c1_model, {"i": 4, "j": 4},
+                             min_adoptions={}, n_evaluation_samples=60,
+                             options=FAST, rng=1)
+        assert result.details["swaps"] == []
+        assert result.allocation.seed_count("i") == 4
+        assert result.allocation.seed_count("j") == 4
+
+    def test_floor_forces_reassignment_towards_weak_item(self, graph):
+        """With the Last.fm utilities the weakest genre loses seats under
+        plain SeqGRD-NM; a floor on its expected adoption forces seed
+        reassignments that raise its exposure."""
+        model = lastfm_config()
+        budgets = {item: 4 for item in model.items}
+        unconstrained = fair_seqgrd(graph, model, budgets, min_adoptions={},
+                                    n_evaluation_samples=100, options=FAST,
+                                    rng=3)
+        weak = "progressive metal"
+        baseline_exposure = unconstrained.details["exposure"][weak]
+        floor = baseline_exposure * 1.3
+        constrained = fair_seqgrd(graph, model, budgets,
+                                  min_adoptions={weak: floor},
+                                  n_evaluation_samples=100, options=FAST,
+                                  rng=3)
+        assert constrained.details["exposure"][weak] > baseline_exposure
+        # fairness never comes for free but the budget vector is respected
+        total = sum(constrained.allocation.seed_count(item)
+                    for item in model.items)
+        assert total == sum(budgets.values())
+
+    def test_swaps_are_recorded_with_welfare(self, graph):
+        model = lastfm_config()
+        budgets = {item: 3 for item in model.items}
+        result = fair_seqgrd(graph, model, budgets,
+                             min_adoptions={"progressive metal": 1000.0},
+                             max_swaps=2, n_evaluation_samples=60,
+                             options=FAST, rng=5)
+        assert len(result.details["swaps"]) <= 2
+        for swap in result.details["swaps"]:
+            assert swap["to_item"] == "progressive metal"
+            assert "welfare_after" in swap
+
+    def test_unreachable_floor_reported(self, graph, c1_model):
+        result = fair_seqgrd(graph, c1_model, {"i": 2, "j": 2},
+                             min_adoptions={"j": 10_000.0},
+                             n_evaluation_samples=40, options=FAST, rng=7)
+        assert "j" in result.details["unmet_floors"]
+
+    def test_unknown_item_floor_rejected(self, graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            fair_seqgrd(graph, c1_model, {"i": 2, "j": 2},
+                        min_adoptions={"zzz": 1.0}, options=FAST)
+
+    def test_negative_floor_rejected(self, graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            fair_seqgrd(graph, c1_model, {"i": 2, "j": 2},
+                        min_adoptions={"i": -1.0}, options=FAST)
+
+    def test_welfare_cost_of_fairness_reported(self, graph):
+        model = two_item_config("C2", noise_sigma=0.0)
+        budgets = {"i": 4, "j": 2}
+        result = fair_seqgrd(graph, model, budgets,
+                             min_adoptions={"j": 5.0},
+                             n_evaluation_samples=80, options=FAST, rng=9)
+        details = result.details
+        assert details["welfare_cost_of_fairness"] == pytest.approx(
+            details["initial_welfare"] - details["final_welfare"], abs=1e-6)

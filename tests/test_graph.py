@@ -1,0 +1,170 @@
+"""Unit tests for the CSR-backed directed graph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import DirectedGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = DirectedGraph.from_edges(0, [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+
+    def test_nodes_array(self):
+        g = DirectedGraph.from_edges(4, [(0, 1, 1.0)])
+        assert list(g.nodes) == [0, 1, 2, 3]
+
+    def test_from_adjacency(self):
+        g = DirectedGraph.from_adjacency([[(1, 0.3)], [(0, 0.7)], []])
+        assert g.num_nodes == 3
+        assert g.edge_probability(0, 1) == pytest.approx(0.3)
+        assert g.edge_probability(1, 0) == pytest.approx(0.7)
+
+    def test_isolated_nodes_allowed(self):
+        g = DirectedGraph.from_edges(10, [(0, 1, 1.0)])
+        assert g.num_nodes == 10
+        assert g.out_degree(5) == 0
+
+    def test_rejects_negative_node_count(self):
+        with pytest.raises(GraphError):
+            DirectedGraph(-1, [], [], [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self loop"):
+            DirectedGraph.from_edges(2, [(1, 1, 0.5)])
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(GraphError):
+            DirectedGraph.from_edges(2, [(0, 2, 0.5)])
+        with pytest.raises(GraphError):
+            DirectedGraph.from_edges(2, [(-1, 0, 0.5)])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            DirectedGraph.from_edges(2, [(0, 1, 1.5)])
+        with pytest.raises(GraphError):
+            DirectedGraph.from_edges(2, [(0, 1, -0.1)])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(GraphError, match="equal length"):
+            DirectedGraph(2, [0], [1, 0], [0.5, 0.5])
+
+    def test_duplicate_edges_keep_max_probability(self):
+        g = DirectedGraph.from_edges(2, [(0, 1, 0.2), (0, 1, 0.8), (0, 1, 0.5)])
+        assert g.num_edges == 1
+        assert g.edge_probability(0, 1) == pytest.approx(0.8)
+
+    def test_name(self):
+        g = DirectedGraph.from_edges(1, [], name="mygraph")
+        assert g.name == "mygraph"
+        assert "mygraph" in repr(g)
+
+
+class TestAccessors:
+    @pytest.fixture
+    def diamond(self):
+        # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        return DirectedGraph.from_edges(
+            4, [(0, 1, 0.1), (0, 2, 0.2), (1, 3, 0.3), (2, 3, 0.4)])
+
+    def test_out_neighbors(self, diamond):
+        nbrs, probs = diamond.out_neighbors(0)
+        assert sorted(nbrs.tolist()) == [1, 2]
+        assert sorted(probs.tolist()) == [0.1, 0.2]
+
+    def test_in_neighbors(self, diamond):
+        nbrs, probs = diamond.in_neighbors(3)
+        assert sorted(nbrs.tolist()) == [1, 2]
+        assert sorted(probs.tolist()) == [0.3, 0.4]
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree(0) == 2
+        assert diamond.in_degree(0) == 0
+        assert diamond.in_degree(3) == 2
+        assert diamond.out_degrees().tolist() == [2, 1, 1, 0]
+        assert diamond.in_degrees().tolist() == [0, 1, 1, 2]
+
+    def test_has_edge(self, diamond):
+        assert diamond.has_edge(0, 1)
+        assert not diamond.has_edge(1, 0)
+        assert not diamond.has_edge(0, 3)
+
+    def test_edge_probability_missing_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.edge_probability(3, 0)
+
+    def test_edges_iteration(self, diamond):
+        edges = set(diamond.edges())
+        assert (0, 1, 0.1) in edges
+        assert len(edges) == 4
+
+    def test_edge_arrays_are_copies(self, diamond):
+        sources, targets, probs = diamond.edge_arrays()
+        probs[:] = 0.0
+        assert diamond.edge_probability(0, 1) == pytest.approx(0.1)
+
+    def test_average_degree(self, diamond):
+        assert diamond.average_degree() == pytest.approx(1.0)
+
+    def test_len(self, diamond):
+        assert len(diamond) == 4
+
+    def test_node_out_of_range(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.out_neighbors(4)
+        with pytest.raises(GraphError):
+            diamond.in_degree(-1)
+
+
+class TestDerivedGraphs:
+    def test_with_probabilities(self):
+        g = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)])
+        sources, targets, _ = g.edge_arrays()
+        g2 = g.with_probabilities(np.full(2, 0.9))
+        assert g2.edge_probability(0, 1) == pytest.approx(0.9)
+        # the original is unchanged
+        assert g.edge_probability(0, 1) == pytest.approx(0.5)
+
+    def test_with_probabilities_wrong_length(self):
+        g = DirectedGraph.from_edges(3, [(0, 1, 0.5)])
+        with pytest.raises(GraphError):
+            g.with_probabilities([0.1, 0.2])
+
+    def test_reverse(self):
+        g = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+        assert r.edge_probability(1, 0) == pytest.approx(0.5)
+
+    def test_reverse_twice_is_identity(self):
+        g = DirectedGraph.from_edges(4, [(0, 1, 0.5), (2, 3, 0.7), (1, 3, 0.2)])
+        rr = g.reverse().reverse()
+        assert set(rr.edges()) == set(g.edges())
+
+    def test_subgraph_relabels(self):
+        g = DirectedGraph.from_edges(5, [(0, 1, 1.0), (1, 4, 0.5), (2, 3, 0.2)])
+        sub = g.subgraph([1, 4])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.edge_probability(0, 1) == pytest.approx(0.5)
+
+    def test_subgraph_drops_external_edges(self):
+        g = DirectedGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        sub = g.subgraph([0, 1, 3])
+        assert sub.num_edges == 1  # only 0 -> 1 survives
+
+    def test_subgraph_invalid_node(self):
+        g = DirectedGraph.from_edges(3, [(0, 1, 1.0)])
+        with pytest.raises(GraphError):
+            g.subgraph([0, 5])

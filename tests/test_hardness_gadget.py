@@ -1,0 +1,135 @@
+"""Integration test of the Theorem 2 reduction gadget.
+
+The hardness proof builds a CWelMax instance from a SET COVER instance using
+the Table 1 utility configuration: seeds of i2/i3/i4 are fixed on dedicated
+gadget nodes, and choosing good seeds for i1 (covering all ground elements)
+lets the mass of "d" nodes adopt the high-utility bundle {i1, i4}, while a
+bad choice lets {i2, i3} block i4.  We build a miniature version of one copy
+of the gadget and check both behaviours, which exercises the interaction of
+bundle utilities, blocking and timing that the reduction relies on.
+"""
+
+import pytest
+
+from repro.allocation import Allocation
+from repro.diffusion.uic import simulate_uic
+from repro.graphs.graph import DirectedGraph
+from repro.utility.configs import hardness_config
+
+
+def build_gadget(subsets, n_elements, n_d_nodes):
+    """One copy of the Figure 2(a) gadget (without the N-fold replication).
+
+    Node layout (ids in construction order):
+      s_0..s_{r-1}        set nodes
+      g_0..g_{n-1}        ground-element nodes
+      a_0..a_{n-1}        seeds of i2 (a_i -> g_i)
+      b_0..b_{n-1}, e_0..e_{n-1}, f_0..f_{n-1}
+                          b_i -> e_i -> f_i, g_i -> f_i  (seeds of i3 at b)
+      j_0..j_{n-1}, l_i, m_i, o_i
+                          j_i -> l_i -> m_i -> o_i (seeds of i4 at j)
+      d_0..d_{D-1}        welfare mass, fed by every f_i and o_i
+    """
+    r = len(subsets)
+    n = n_elements
+    ids = {}
+    next_id = 0
+
+    def new(name, count):
+        nonlocal next_id
+        ids[name] = list(range(next_id, next_id + count))
+        next_id += count
+
+    for name, count in (("s", r), ("g", n), ("a", n), ("b", n), ("e", n),
+                        ("f", n), ("j", n), ("l", n), ("m", n), ("o", n),
+                        ("d", n_d_nodes)):
+        new(name, count)
+
+    edges = []
+    for i, subset in enumerate(subsets):
+        for element in subset:
+            edges.append((ids["s"][i], ids["g"][element], 1.0))
+    for i in range(n):
+        edges.append((ids["a"][i], ids["g"][i], 1.0))
+        edges.append((ids["g"][i], ids["f"][i], 1.0))
+        edges.append((ids["b"][i], ids["e"][i], 1.0))
+        edges.append((ids["e"][i], ids["f"][i], 1.0))
+        edges.append((ids["j"][i], ids["l"][i], 1.0))
+        edges.append((ids["l"][i], ids["m"][i], 1.0))
+        edges.append((ids["m"][i], ids["o"][i], 1.0))
+    for i in range(n):
+        for d in ids["d"]:
+            edges.append((ids["f"][i], d, 1.0))
+            edges.append((ids["o"][i], d, 1.0))
+
+    graph = DirectedGraph.from_edges(next_id, edges, name="hardness-gadget")
+    return graph, ids
+
+
+@pytest.fixture
+def gadget():
+    # SET COVER instance: F = {S1={0,1}, S2={1,2}, S3={2}}, X = {0,1,2}, k=2
+    subsets = [[0, 1], [1, 2], [2]]
+    graph, ids = build_gadget(subsets, n_elements=3, n_d_nodes=12)
+    model = hardness_config()
+    fixed = Allocation({
+        "i2": ids["a"],
+        "i3": ids["b"],
+        "i4": ids["j"],
+    })
+    return graph, ids, model, fixed, subsets
+
+
+class TestHardnessGadget:
+    def test_yes_instance_seeding_gives_high_welfare(self, gadget):
+        """Seeding i1 at a covering collection of set nodes: every d node
+        ends up with the high-utility bundle {i1, i4}."""
+        graph, ids, model, fixed, _ = gadget
+        cover = Allocation({"i1": [ids["s"][0], ids["s"][1]]})  # S1, S2 cover X
+        result = simulate_uic(graph, model, cover.union(fixed), rng=1)
+        mask_i1_i4 = model.catalog.mask_of(["i1", "i4"])
+        d_masks = [int(result.adoption_masks[d]) for d in ids["d"]]
+        assert all(mask == mask_i1_i4 for mask in d_masks)
+        per_d_welfare = model.deterministic_utility(["i1", "i4"])
+        assert result.welfare >= len(ids["d"]) * per_d_welfare
+
+    def test_non_covering_seeding_blocks_i4(self, gadget):
+        """Seeding i1 at a non-covering collection: some g node adopts i2,
+        the f nodes adopt the bundle {i2, i3} and the d nodes are blocked
+        from adopting i4 — welfare collapses."""
+        graph, ids, model, fixed, _ = gadget
+        not_cover = Allocation({"i1": [ids["s"][1], ids["s"][2]]})  # misses 0
+        result = simulate_uic(graph, model, not_cover.union(fixed), rng=1)
+        mask_i2_i3 = model.catalog.mask_of(["i2", "i3"])
+        d_masks = [int(result.adoption_masks[d]) for d in ids["d"]]
+        assert all(mask == mask_i2_i3 for mask in d_masks)
+
+    def test_welfare_gap_between_yes_and_no_seedings(self, gadget):
+        graph, ids, model, fixed, _ = gadget
+        cover = Allocation({"i1": [ids["s"][0], ids["s"][1]]})
+        not_cover = Allocation({"i1": [ids["s"][1], ids["s"][2]]})
+        yes_welfare = simulate_uic(graph, model, cover.union(fixed),
+                                   rng=1).welfare
+        no_welfare = simulate_uic(graph, model, not_cover.union(fixed),
+                                  rng=1).welfare
+        d = len(ids["d"])
+        u_good = model.deterministic_utility(["i1", "i4"])   # 105.1
+        u_bad = model.deterministic_utility(["i2", "i3"])    # 10.0
+        # the d-node mass dominates: the welfare ratio approaches
+        # U({i1,i4}) / U({i2,i3}) as the number of d nodes grows
+        assert yes_welfare > no_welfare
+        assert yes_welfare - no_welfare >= 0.8 * d * (u_good - u_bad)
+
+    def test_timing_of_the_races(self, gadget):
+        """The distances are what make the gadget work: the i2/i3 seeds are
+        3 hops from the d nodes while the i4 seeds are 4 hops away, so
+        without i1 the bundle {i2, i3} always arrives first."""
+        graph, ids, model, fixed, _ = gadget
+        result = simulate_uic(graph, model, fixed, rng=1)
+        mask_i2_i3 = model.catalog.mask_of(["i2", "i3"])
+        for d in ids["d"]:
+            assert int(result.adoption_masks[d]) == mask_i2_i3
+        # the o nodes adopt i4 (it reaches them unopposed)
+        i4_mask = model.catalog.singleton_mask("i4")
+        for o in ids["o"]:
+            assert int(result.adoption_masks[o]) == i4_mask

@@ -1,0 +1,52 @@
+"""Tests for the classic Independent Cascade simulator."""
+
+import pytest
+
+from repro.diffusion.ic import reachable_set, simulate_ic, spread_in_world
+from repro.diffusion.worlds import LazyEdgeWorld, sample_edge_world
+from repro.graphs import generators
+
+
+class TestSimulateIC:
+    def test_deterministic_line(self, line4):
+        assert simulate_ic(line4, [0], rng=1) == {0, 1, 2, 3}
+        assert simulate_ic(line4, [2], rng=1) == {2, 3}
+
+    def test_no_seeds(self, line4):
+        assert simulate_ic(line4, [], rng=1) == set()
+
+    def test_zero_probability_graph(self):
+        g = generators.line_graph(5, prob=0.0)
+        assert simulate_ic(g, [0], rng=1) == {0}
+
+    def test_multiple_seeds(self, star10):
+        active = simulate_ic(star10, [0, 3], rng=1)
+        assert active == set(range(11))
+
+    def test_seed_always_active(self):
+        g = generators.erdos_renyi(50, 3.0, rng=1)
+        active = simulate_ic(g, [7], rng=2)
+        assert 7 in active
+
+    def test_monotone_in_seeds_within_fixed_world(self):
+        g = generators.erdos_renyi(60, 4.0, rng=3)
+        world = sample_edge_world(g, rng=4)
+        small = simulate_ic(g, [0], edge_world=world)
+        big = simulate_ic(g, [0, 1, 2], edge_world=world)
+        assert small <= big
+
+
+class TestReachability:
+    def test_reachable_set_matches_simulation(self):
+        g = generators.erdos_renyi(40, 4.0, rng=5)
+        world = sample_edge_world(g, rng=6)
+        assert reachable_set(world, [3]) == simulate_ic(g, [3], edge_world=world)
+
+    def test_spread_in_world(self, line4):
+        world = sample_edge_world(line4, rng=1)
+        assert spread_in_world(world, [0]) == 4
+        assert spread_in_world(world, [3]) == 1
+
+    def test_lazy_world_supported(self, line4):
+        world = LazyEdgeWorld(line4, rng=1)
+        assert spread_in_world(world, [1]) == 3

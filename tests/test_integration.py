@@ -1,0 +1,151 @@
+"""Cross-module integration tests: the full CWelMax pipeline on medium
+graphs, checking the qualitative findings the paper reports."""
+
+import pytest
+
+from repro.allocation import Allocation
+from repro.baselines import round_robin, snake, tcim
+from repro.core import best_of, maxgrd, seqgrd, seqgrd_nm, supgrd
+from repro.diffusion.estimators import estimate_spread, estimate_welfare
+from repro.graphs import generators, weighting
+from repro.rrsets.imm import IMMOptions, imm
+from repro.utility.configs import (
+    lastfm_config,
+    multi_item_config,
+    single_item_config,
+    two_item_config,
+)
+
+FAST = IMMOptions(max_rr_sets=8_000)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    base = generators.preferential_attachment(400, 3, rng=23, directed=False,
+                                              name="integration")
+    return weighting.weighted_cascade(base)
+
+
+class TestSingleItemSpecialCase:
+    def test_welfare_maximization_reduces_to_im(self, graph):
+        """With one unit-utility item, SeqGRD-NM's welfare equals the spread
+        of an IMM seed set (the reduction behind Proposition 1)."""
+        model = single_item_config()
+        result = seqgrd_nm(graph, model, {"item": 8}, options=FAST, rng=1)
+        seeds = result.allocation.seeds_for("item")
+        welfare = estimate_welfare(graph, model, result.allocation,
+                                   n_samples=300, rng=2).mean
+        spread = estimate_spread(graph, seeds, n_samples=300, rng=2)
+        assert welfare == pytest.approx(spread, rel=0.05)
+
+    def test_seqgrd_matches_imm_quality(self, graph):
+        model = single_item_config()
+        ours = seqgrd_nm(graph, model, {"item": 6}, options=FAST, rng=3)
+        reference = imm(graph, 6, options=FAST, rng=3)
+        ours_spread = estimate_spread(graph, ours.allocation.seeds_for("item"),
+                                      n_samples=300, rng=4)
+        ref_spread = estimate_spread(graph, reference.seeds, n_samples=300,
+                                     rng=4)
+        assert ours_spread >= 0.85 * ref_spread
+
+
+class TestTwoItemFindings:
+    def test_seqgrd_beats_maxgrd_under_soft_competition(self, graph):
+        """Figure 4 (C3/C4): MaxGRD allocates a single item and loses under
+        soft competition where both items add welfare."""
+        model = two_item_config("C3", noise_sigma=0.0)
+        budgets = {"i": 8, "j": 8}
+        seq = seqgrd_nm(graph, model, budgets, options=FAST, rng=5)
+        mx = maxgrd(graph, model, budgets, n_marginal_samples=40,
+                    options=FAST, rng=5)
+        seq_welfare = estimate_welfare(graph, model,
+                                       seq.combined_allocation(),
+                                       n_samples=300, rng=6).mean
+        max_welfare = estimate_welfare(graph, model,
+                                       mx.combined_allocation(),
+                                       n_samples=300, rng=6).mean
+        assert seq_welfare > max_welfare
+
+    def test_best_of_never_worse_than_maxgrd(self, graph):
+        model = two_item_config("C1")
+        result = best_of(graph, model, {"i": 5, "j": 5}, marginal_check=False,
+                         n_marginal_samples=30, n_evaluation_samples=150,
+                         options=FAST, rng=7)
+        assert result.estimated_welfare >= min(
+            result.details["seqgrd_welfare"], result.details["maxgrd_welfare"])
+
+    def test_seqgrd_nm_much_faster_than_seqgrd(self, graph):
+        """The headline running-time finding (Figure 3): skipping the
+        marginal check is faster."""
+        model = two_item_config("C1")
+        budgets = {"i": 5, "j": 5}
+        nm = seqgrd_nm(graph, model, budgets, options=FAST, rng=8)
+        full = seqgrd(graph, model, budgets, n_marginal_samples=100,
+                      options=FAST, rng=8)
+        assert nm.runtime_seconds < full.runtime_seconds
+
+    def test_welfare_comparable_to_tcim_or_better_under_c1(self, graph):
+        model = two_item_config("C1")
+        budgets = {"i": 6, "j": 6}
+        ours = seqgrd_nm(graph, model, budgets, options=FAST, rng=9)
+        baseline = tcim(graph, model, budgets, n_evaluation_samples=60,
+                        options=FAST, rng=9)
+        ours_welfare = estimate_welfare(graph, model,
+                                        ours.combined_allocation(),
+                                        n_samples=300, rng=10).mean
+        tcim_welfare = estimate_welfare(graph, model,
+                                        baseline.combined_allocation(),
+                                        n_samples=300, rng=10).mean
+        assert ours_welfare >= 0.9 * tcim_welfare
+
+
+class TestSupGRDFinding:
+    def test_supgrd_wins_when_utility_gap_is_large(self, graph):
+        """Figure 5 / C6: with the inferior item pre-seeded at the IMM
+        nodes, SupGRD deliberately overlaps that audience and beats
+        SeqGRD-NM, which avoids it."""
+        model = two_item_config("C6", bounded_noise=True)
+        fixed = Allocation({"j": imm(graph, 10, options=FAST, rng=11).seeds})
+        sup = supgrd(graph, model, budget=6, fixed_allocation=fixed,
+                     options=FAST, rng=12)
+        seq = seqgrd_nm(graph, model, {"i": 6}, fixed_allocation=fixed,
+                        options=FAST, rng=12)
+        sup_welfare = estimate_welfare(graph, model,
+                                       sup.combined_allocation(),
+                                       n_samples=300, rng=13).mean
+        seq_welfare = estimate_welfare(graph, model,
+                                       seq.combined_allocation(),
+                                       n_samples=300, rng=13).mean
+        assert sup_welfare >= seq_welfare - 0.02 * abs(seq_welfare)
+
+
+class TestAdoptionVsWelfare:
+    def test_total_adoptions_preserved_welfare_improved(self, graph):
+        """Table 6: SeqGRD-NM shifts adoptions towards superior items but
+        keeps the total roughly constant, while improving welfare."""
+        model = lastfm_config()
+        budgets = {item: 5 for item in model.items}
+        ours = seqgrd_nm(graph, model, budgets, options=FAST, rng=14)
+        baseline = round_robin(graph, model, budgets, options=FAST, rng=14)
+        ours_est = estimate_welfare(graph, model, ours.combined_allocation(),
+                                    n_samples=300, rng=15)
+        base_est = estimate_welfare(graph, model,
+                                    baseline.combined_allocation(),
+                                    n_samples=300, rng=15)
+        ours_total = sum(ours_est.adoption_counts.values())
+        base_total = sum(base_est.adoption_counts.values())
+        assert ours_est.mean >= 0.98 * base_est.mean
+        assert ours_total == pytest.approx(base_total, rel=0.1)
+
+    def test_multi_item_welfare_grows_with_items_for_seqgrd(self, graph):
+        """Figure 6(b): SeqGRD-NM's welfare grows with the number of items
+        (unlike MaxGRD, which allocates only one)."""
+        welfare_by_m = []
+        for m in (1, 3):
+            model = multi_item_config(m)
+            budgets = {item: 5 for item in model.items}
+            result = seqgrd_nm(graph, model, budgets, options=FAST, rng=16)
+            welfare_by_m.append(
+                estimate_welfare(graph, model, result.combined_allocation(),
+                                 n_samples=300, rng=17).mean)
+        assert welfare_by_m[1] > welfare_by_m[0]

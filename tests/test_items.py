@@ -1,0 +1,110 @@
+"""Unit tests for the item catalog and bundle bitmasks."""
+
+import pytest
+
+from repro.exceptions import UtilityModelError
+from repro.utility.items import ItemCatalog
+
+
+class TestConstruction:
+    def test_basic(self):
+        catalog = ItemCatalog(["a", "b", "c"])
+        assert catalog.num_items == 3
+        assert catalog.num_bundles == 8
+        assert catalog.full_mask == 0b111
+        assert catalog.names == ("a", "b", "c")
+
+    def test_rejects_empty(self):
+        with pytest.raises(UtilityModelError):
+            ItemCatalog([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(UtilityModelError):
+            ItemCatalog(["a", "a"])
+
+    def test_rejects_too_many_items(self):
+        with pytest.raises(UtilityModelError):
+            ItemCatalog([f"i{k}" for k in range(ItemCatalog.MAX_ITEMS + 1)])
+
+    def test_equality_and_hash(self):
+        assert ItemCatalog(["a", "b"]) == ItemCatalog(["a", "b"])
+        assert ItemCatalog(["a", "b"]) != ItemCatalog(["b", "a"])
+        assert hash(ItemCatalog(["x"])) == hash(ItemCatalog(["x"]))
+
+
+class TestIndexing:
+    @pytest.fixture
+    def catalog(self):
+        return ItemCatalog(["i", "j", "k"])
+
+    def test_index_by_name_and_int(self, catalog):
+        assert catalog.index("j") == 1
+        assert catalog.index(2) == 2
+
+    def test_index_unknown_name(self, catalog):
+        with pytest.raises(UtilityModelError, match="unknown item"):
+            catalog.index("zzz")
+
+    def test_index_out_of_range(self, catalog):
+        with pytest.raises(UtilityModelError):
+            catalog.index(3)
+
+    def test_name_roundtrip(self, catalog):
+        for i, name in enumerate(catalog.names):
+            assert catalog.name(i) == name
+
+    def test_contains(self, catalog):
+        assert "i" in catalog
+        assert "zzz" not in catalog
+        assert 0 not in catalog  # only string membership
+
+    def test_iteration_and_len(self, catalog):
+        assert list(catalog) == ["i", "j", "k"]
+        assert len(catalog) == 3
+
+
+class TestMasks:
+    @pytest.fixture
+    def catalog(self):
+        return ItemCatalog(["i", "j", "k"])
+
+    def test_singleton_mask(self, catalog):
+        assert catalog.singleton_mask("i") == 0b001
+        assert catalog.singleton_mask("k") == 0b100
+
+    def test_mask_of(self, catalog):
+        assert catalog.mask_of(["i", "k"]) == 0b101
+        assert catalog.mask_of([]) == 0
+        assert catalog.mask_of(["j", "j"]) == 0b010
+
+    def test_items_of(self, catalog):
+        assert catalog.items_of(0b101) == ("i", "k")
+        assert catalog.items_of(0) == ()
+
+    def test_indices_of(self, catalog):
+        assert catalog.indices_of(0b110) == (1, 2)
+
+    def test_bundle_size(self, catalog):
+        assert catalog.bundle_size(0) == 0
+        assert catalog.bundle_size(0b111) == 3
+
+    def test_mask_out_of_range(self, catalog):
+        with pytest.raises(UtilityModelError):
+            catalog.items_of(8)
+        with pytest.raises(UtilityModelError):
+            catalog.bundle_size(-1)
+
+    def test_iter_masks(self, catalog):
+        assert list(catalog.iter_masks()) == list(range(8))
+        assert list(catalog.iter_masks(include_empty=False)) == list(range(1, 8))
+
+    def test_iter_singletons(self, catalog):
+        assert list(catalog.iter_singletons()) == [("i", 1), ("j", 2), ("k", 4)]
+
+    def test_subsets_of(self, catalog):
+        subs = catalog.subsets_of(0b101)
+        assert subs == [0, 1, 4, 5]
+        assert catalog.subsets_of(0b101, include_empty=False) == [1, 4, 5]
+
+    def test_subsets_of_full(self, catalog):
+        assert len(catalog.subsets_of(catalog.full_mask)) == 8

@@ -1,0 +1,127 @@
+"""Tests for the discrete-choice utility learning (§6.4.1 / Table 5)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import UtilityModelError
+from repro.utility.configs import LASTFM_PROBABILITIES, LASTFM_UTILITIES
+from repro.utility.learning import (
+    learn_choice_model,
+    learn_utilities,
+    synthetic_lastfm_logs,
+    utilities_from_probabilities,
+    utility_model_from_logs,
+)
+
+
+class TestChoiceModel:
+    def test_singleton_probabilities(self):
+        logs = [{"a"}, {"a"}, {"b"}, {"c"}]
+        model = learn_choice_model(logs)
+        assert model.item_probabilities["a"] == pytest.approx(0.5)
+        assert model.item_probabilities["b"] == pytest.approx(0.25)
+        assert model.total_selections == 4
+
+    def test_restricted_items(self):
+        logs = [{"a"}, {"a"}, {"b"}, {"other"}]
+        model = learn_choice_model(logs, items=["a", "b"])
+        # probabilities stay relative to the full log
+        assert model.item_probabilities["a"] == pytest.approx(0.5)
+        assert model.item_probabilities["b"] == pytest.approx(0.25)
+        assert "other" not in model.item_probabilities
+
+    def test_pair_correction_negative_for_rare_pairs(self):
+        # items co-selected far less often than independence predicts
+        logs = [{"a"}] * 45 + [{"b"}] * 45 + [{"a", "b"}] * 10
+        model = learn_choice_model(logs)
+        prob = model.bundle_probability({"a", "b"})
+        assert prob == pytest.approx(0.1, abs=1e-9)
+        assert 2 in model.size_discounts
+
+    def test_bundle_probability_of_unseen_pair(self):
+        logs = [{"a"}] * 5 + [{"b"}] * 5
+        model = learn_choice_model(logs)
+        assert model.bundle_probability({"a", "b"}) >= 0.0
+        assert model.bundle_probability(set()) == 0.0
+
+    def test_empty_logs_rejected(self):
+        with pytest.raises(UtilityModelError):
+            learn_choice_model([])
+        with pytest.raises(UtilityModelError):
+            learn_choice_model([set()])
+
+    def test_no_matching_items_rejected(self):
+        with pytest.raises(UtilityModelError):
+            learn_choice_model([{"a"}], items=["zzz"])
+
+
+class TestUtilityConversion:
+    def test_formula(self):
+        utilities = utilities_from_probabilities({"a": 0.1, "b": 0.01})
+        assert utilities["a"] == pytest.approx(math.log(1000))
+        assert utilities["b"] == pytest.approx(math.log(100))
+
+    def test_zero_probability_dropped(self):
+        utilities = utilities_from_probabilities({"a": 0.1, "b": 0.0})
+        assert "b" not in utilities
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(UtilityModelError):
+            utilities_from_probabilities({"a": 0.0})
+
+    def test_custom_scale(self):
+        utilities = utilities_from_probabilities({"a": 0.5}, scale=2.0)
+        assert utilities["a"] == pytest.approx(0.0)
+
+
+class TestSyntheticLogs:
+    def test_learned_utilities_match_table5(self):
+        logs = synthetic_lastfm_logs(60_000, rng=5)
+        learned = learn_utilities(logs, items=list(LASTFM_UTILITIES))
+        for item, published in LASTFM_UTILITIES.items():
+            assert learned[item] == pytest.approx(published, abs=0.15)
+
+    def test_log_size(self):
+        logs = synthetic_lastfm_logs(1_000, rng=1)
+        assert len(logs) == 1_000
+
+    def test_pairs_present(self):
+        logs = synthetic_lastfm_logs(5_000, pair_fraction=0.01, rng=2)
+        assert any(len(entry) == 2 for entry in logs)
+
+    def test_custom_probabilities(self):
+        logs = synthetic_lastfm_logs(
+            5_000, probabilities={"x": 0.3, "y": 0.1}, rng=3)
+        learned = learn_choice_model(logs, items=["x", "y"])
+        assert learned.item_probabilities["x"] == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_probability_mass(self):
+        with pytest.raises(UtilityModelError):
+            synthetic_lastfm_logs(100, probabilities={"x": 0.9, "y": 0.3})
+
+
+class TestUtilityModelFromLogs:
+    def test_end_to_end_model(self):
+        logs = synthetic_lastfm_logs(30_000, rng=7)
+        model = utility_model_from_logs(logs, items=list(LASTFM_UTILITIES))
+        assert set(model.items) == set(LASTFM_UTILITIES)
+        for item, published in LASTFM_UTILITIES.items():
+            assert model.deterministic_utility(item) == pytest.approx(
+                published, abs=0.2)
+
+    def test_learned_model_is_behaviourally_competitive(self):
+        logs = synthetic_lastfm_logs(30_000, rng=7)
+        model = utility_model_from_logs(logs, items=list(LASTFM_UTILITIES))
+        assert model.is_pure_competition()
+
+    def test_bundles_never_beat_best_member(self):
+        logs = synthetic_lastfm_logs(30_000, rng=9)
+        model = utility_model_from_logs(logs, items=list(LASTFM_UTILITIES))
+        catalog = model.catalog
+        for mask in catalog.iter_masks(include_empty=False):
+            if catalog.bundle_size(mask) < 2:
+                continue
+            best_member = max(model.deterministic_utility(item)
+                              for item in catalog.items_of(mask))
+            assert model.deterministic_utility(mask) <= best_member + 1e-9

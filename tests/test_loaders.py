@@ -1,0 +1,60 @@
+"""Unit tests for edge-list reading and writing."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.graphs.loaders import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = generators.erdos_renyi(40, 3.0, rng=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, num_nodes=40)
+        assert loaded.num_nodes == 40
+        assert set(loaded.edges()) == set(g.edges())
+
+    def test_write_without_probabilities(self, tmp_path):
+        g = generators.line_graph(5, prob=0.3)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, include_probabilities=False)
+        loaded = read_edge_list(path)
+        # probabilities default to 1.0
+        assert loaded.edge_probability(0, 1) == pytest.approx(1.0)
+
+
+class TestReading:
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1 0.5\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.edge_probability(1, 2) == pytest.approx(1.0)
+
+    def test_undirected_adds_reverse_edges(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.4\n")
+        g = read_edge_list(path, directed=False)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.edge_probability(1, 0) == pytest.approx(0.4)
+
+    def test_explicit_num_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_nodes=10)
+        assert g.num_nodes == 10
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mynet.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mynet"
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5 extra stuff\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(path)

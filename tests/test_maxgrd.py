@@ -1,0 +1,110 @@
+"""Tests for MaxGRD (Algorithm 2)."""
+
+import pytest
+
+from repro.allocation import Allocation
+from repro.core.maxgrd import maxgrd
+from repro.core.seqgrd import seqgrd_nm
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.imm import IMMOptions
+from repro.utility.configs import two_item_config
+from repro.utility.items import ItemCatalog
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.valuation import TableValuation
+
+FAST = IMMOptions(max_rr_sets=6_000)
+
+
+class TestMaxGRD:
+    def test_allocates_exactly_one_item(self, small_er_graph, c1_model):
+        result = maxgrd(small_er_graph, c1_model, {"i": 4, "j": 4},
+                        n_marginal_samples=30, options=FAST, rng=1)
+        assert len(result.allocation.items) == 1
+        chosen = result.details["chosen_item"]
+        assert result.allocation.seed_count(chosen) == 4
+
+    def test_budget_respected_per_item(self, small_er_graph, c1_model):
+        result = maxgrd(small_er_graph, c1_model, {"i": 2, "j": 6},
+                        n_marginal_samples=30, options=FAST, rng=2)
+        chosen = result.details["chosen_item"]
+        assert result.allocation.seed_count(chosen) == {"i": 2, "j": 6}[chosen]
+
+    def test_candidate_scores_recorded(self, small_er_graph, c1_model):
+        result = maxgrd(small_er_graph, c1_model, {"i": 3, "j": 3},
+                        n_marginal_samples=30, options=FAST, rng=3)
+        scores = result.details["candidate_scores"]
+        assert set(scores) == {"i", "j"}
+        assert scores[result.details["chosen_item"]] == max(scores.values())
+
+    def test_prefers_much_better_item(self, medium_graph):
+        model = two_item_config("C2", noise_sigma=0.0)  # U(i) = 10 * U(j)
+        result = maxgrd(medium_graph, model, {"i": 5, "j": 5},
+                        n_marginal_samples=40, options=FAST, rng=4)
+        assert result.details["chosen_item"] == "i"
+
+    def test_analytic_scoring_path(self, small_er_graph, c1_model):
+        result = maxgrd(small_er_graph, c1_model, {"i": 3, "j": 3},
+                        use_simulation=False, options=FAST, rng=5)
+        assert result.details["chosen_item"] in {"i", "j"}
+
+    def test_no_positive_budget_rejected(self, small_er_graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            maxgrd(small_er_graph, c1_model, {"i": 0, "j": 0}, options=FAST)
+
+    def test_overlap_with_fixed_items_rejected(self, small_er_graph, c1_model):
+        with pytest.raises(AlgorithmError):
+            maxgrd(small_er_graph, c1_model, {"i": 2},
+                   fixed_allocation=Allocation({"i": [0]}), options=FAST)
+
+    def test_evaluate_welfare(self, small_er_graph, c1_model):
+        result = maxgrd(small_er_graph, c1_model, {"i": 2, "j": 2},
+                        n_marginal_samples=20, options=FAST,
+                        evaluate_welfare=True, n_evaluation_samples=50, rng=6)
+        assert result.estimated_welfare is not None
+
+
+class TestPaperExample:
+    """The 4-node example of §5.2 where MaxGRD beats SeqGRD: nodes
+    {u, v, w, x}, edges u->v, v->w, x->w (probability 1), items i, j with
+    U(i)=10, U(j)=1, U({i,j})=0 and budget 1 each."""
+
+    @pytest.fixture
+    def instance(self):
+        graph = DirectedGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (3, 2, 1.0)])
+        catalog = ItemCatalog(["i", "j"])
+        # utilities U(i)=10, U(j)=1, U({i,j})=0 exactly as in §5.2
+        valuation = TableValuation(catalog, {"i": 10.0, "j": 1.0,
+                                             ("i", "j"): 0.0})
+        model = UtilityModel(valuation, {"i": 0.0, "j": 0.0}, ZeroNoise())
+        return graph, model
+
+    def test_maxgrd_allocates_only_the_strong_item(self, instance):
+        graph, model = instance
+        result = maxgrd(graph, model, {"i": 1, "j": 1},
+                        n_marginal_samples=20, options=FAST, rng=7)
+        assert result.details["chosen_item"] == "i"
+        welfare = estimate_welfare(graph, model,
+                                   result.combined_allocation(),
+                                   n_samples=20, rng=8).mean
+        # seeding u (or any node reaching 3 nodes) with i alone gives 30
+        assert welfare >= 20.0
+
+    def test_maxgrd_can_beat_seqgrd(self, instance):
+        graph, model = instance
+        max_result = maxgrd(graph, model, {"i": 1, "j": 1},
+                            n_marginal_samples=20, options=FAST, rng=9)
+        seq_result = seqgrd_nm(graph, model, {"i": 1, "j": 1},
+                               options=FAST, rng=9)
+        max_welfare = estimate_welfare(graph, model,
+                                       max_result.combined_allocation(),
+                                       n_samples=20, rng=10).mean
+        seq_welfare = estimate_welfare(graph, model,
+                                       seq_result.combined_allocation(),
+                                       n_samples=20, rng=10).mean
+        # the paper's point: hypothetically MaxGRD can produce more welfare
+        # than SeqGRD because allocating j anywhere blocks i somewhere
+        assert max_welfare >= seq_welfare

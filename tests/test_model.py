@@ -1,0 +1,254 @@
+"""Unit and property tests for the UIC utility model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UtilityModelError
+from repro.utility.items import ItemCatalog
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, TruncatedGaussianNoise, UniformNoise, ZeroNoise
+from repro.utility.valuation import AdditiveValuation, TableValuation
+
+
+@pytest.fixture
+def simple_model():
+    catalog = ItemCatalog(["a", "b"])
+    valuation = TableValuation(catalog, {"a": 5.0, "b": 3.0, ("a", "b"): 6.0})
+    return UtilityModel(valuation, {"a": 1.0, "b": 2.0}, ZeroNoise())
+
+
+class TestConstruction:
+    def test_missing_price_rejected(self):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 1.0, "b": 1.0})
+        with pytest.raises(UtilityModelError, match="missing prices"):
+            UtilityModel(valuation, {"a": 1.0})
+
+    def test_negative_price_rejected(self):
+        catalog = ItemCatalog(["a"])
+        valuation = TableValuation(catalog, {"a": 1.0})
+        with pytest.raises(UtilityModelError):
+            UtilityModel(valuation, {"a": -1.0})
+
+    def test_bad_noise_type_rejected(self):
+        catalog = ItemCatalog(["a"])
+        valuation = TableValuation(catalog, {"a": 1.0})
+        with pytest.raises(UtilityModelError):
+            UtilityModel(valuation, {"a": 0.0}, {"a": "not a distribution"})
+
+    def test_shared_noise_distribution(self):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 1.0, "b": 1.0})
+        noise = GaussianNoise(2.0)
+        model = UtilityModel(valuation, {"a": 0.0, "b": 0.0}, noise)
+        assert model.noise("a") is noise
+        assert model.noise("b") is noise
+
+    def test_per_item_noise(self):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 1.0, "b": 1.0})
+        model = UtilityModel(valuation, {"a": 0.0, "b": 0.0},
+                             {"a": GaussianNoise(1.0)})
+        assert isinstance(model.noise("a"), GaussianNoise)
+        assert isinstance(model.noise("b"), ZeroNoise)
+
+    def test_items_accessor(self, simple_model):
+        assert simple_model.items == ("a", "b")
+        assert simple_model.num_items == 2
+
+
+class TestUtilities:
+    def test_price_additive(self, simple_model):
+        assert simple_model.price("a") == 1.0
+        assert simple_model.price(["a", "b"]) == 3.0
+        assert simple_model.price([]) == 0.0
+
+    def test_deterministic_utility(self, simple_model):
+        assert simple_model.deterministic_utility("a") == 4.0
+        assert simple_model.deterministic_utility("b") == 1.0
+        assert simple_model.deterministic_utility(["a", "b"]) == 3.0
+        assert simple_model.deterministic_utility([]) == 0.0
+
+    def test_deterministic_utility_table(self, simple_model):
+        table = simple_model.deterministic_utility_table()
+        assert table[0] == 0.0
+        assert table[0b01] == 4.0
+        assert table[0b10] == 1.0
+        assert table[0b11] == 3.0
+
+    def test_bundle_as_mask(self, simple_model):
+        assert simple_model.deterministic_utility(0b11) == 3.0
+
+    def test_utility_with_noise_world(self, simple_model):
+        noise = np.array([0.5, -0.25])
+        assert simple_model.utility("a", noise) == pytest.approx(4.5)
+        assert simple_model.utility(["a", "b"], noise) == pytest.approx(3.25)
+        assert simple_model.utility([], noise) == 0.0
+
+    def test_utility_table_with_noise(self, simple_model):
+        noise = np.array([1.0, 2.0])
+        table = simple_model.utility_table(noise)
+        assert table[0b01] == pytest.approx(5.0)
+        assert table[0b10] == pytest.approx(3.0)
+        assert table[0b11] == pytest.approx(6.0)
+
+    def test_utility_table_wrong_shape(self, simple_model):
+        with pytest.raises(UtilityModelError):
+            simple_model.utility_table(np.zeros(3))
+
+    def test_value_accessor(self, simple_model):
+        assert simple_model.value(["a", "b"]) == 6.0
+
+
+class TestNoiseWorlds:
+    def test_sample_shape(self, simple_model, rng):
+        world = simple_model.sample_noise_world(rng)
+        assert world.shape == (2,)
+        assert np.all(world == 0.0)  # ZeroNoise
+
+    def test_sample_respects_distribution(self, rng):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 1.0, "b": 1.0})
+        model = UtilityModel(valuation, {"a": 0.0, "b": 0.0},
+                             {"a": UniformNoise(0.5), "b": ZeroNoise()})
+        worlds = np.array([model.sample_noise_world(rng) for _ in range(200)])
+        assert np.all(np.abs(worlds[:, 0]) <= 0.5)
+        assert np.all(worlds[:, 1] == 0.0)
+
+
+class TestTruncatedUtilities:
+    def test_no_noise_truncation(self, simple_model):
+        assert simple_model.expected_truncated_utility("a") == 4.0
+        negative_catalog = ItemCatalog(["x"])
+        model = UtilityModel(TableValuation(negative_catalog, {"x": 1.0}),
+                             {"x": 5.0}, ZeroNoise())
+        assert model.expected_truncated_utility("x") == 0.0
+
+    def test_single_item_uses_analytic_formula(self):
+        catalog = ItemCatalog(["a"])
+        model = UtilityModel(TableValuation(catalog, {"a": 1.0}),
+                             {"a": 1.0}, GaussianNoise(1.0))
+        # deterministic utility 0, Gaussian noise: E[U+] = 1/sqrt(2 pi)
+        assert model.expected_truncated_utility("a") == \
+            pytest.approx(1.0 / np.sqrt(2 * np.pi))
+
+    def test_multi_item_bundle_monte_carlo(self):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 1.0, "b": 1.0,
+                                             ("a", "b"): 2.0})
+        model = UtilityModel(valuation, {"a": 1.0, "b": 1.0},
+                             GaussianNoise(1.0))
+        value = model.expected_truncated_utility(["a", "b"], n_samples=50_000,
+                                                 rng=1)
+        # bundle det utility 0, noise variance 2: E[U+] = sqrt(2)/sqrt(2 pi)
+        assert value == pytest.approx(np.sqrt(2) / np.sqrt(2 * np.pi), abs=0.02)
+
+    def test_u_min_is_min_over_singletons(self, c1_model):
+        utilities = c1_model.expected_truncated_utilities()
+        assert c1_model.u_min() == pytest.approx(min(utilities.values()))
+
+    def test_u_max_no_noise(self, simple_model):
+        assert simple_model.u_max() == 4.0
+
+    def test_u_max_at_least_u_min(self, c1_model):
+        assert c1_model.u_max(500, rng=1) >= c1_model.u_min() - 1e-9
+
+    def test_expected_truncated_utilities_keys(self, c1_model):
+        assert set(c1_model.expected_truncated_utilities()) == {"i", "j"}
+
+
+class TestSuperiorItem:
+    def test_no_superior_with_unbounded_noise(self, c1_model):
+        assert c1_model.superior_item() is None
+
+    def test_superior_with_bounded_noise(self):
+        catalog = ItemCatalog(["strong", "weak"])
+        valuation = TableValuation(catalog, {"strong": 10.0, "weak": 2.0,
+                                             ("strong", "weak"): 10.5})
+        model = UtilityModel(valuation, {"strong": 1.0, "weak": 1.0},
+                             TruncatedGaussianNoise(sigma=1.0, bound=2.0))
+        assert model.superior_item() == "strong"
+
+    def test_no_superior_when_gap_smaller_than_noise(self):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 3.0, "b": 2.9})
+        model = UtilityModel(valuation, {"a": 0.0, "b": 0.0},
+                             UniformNoise(1.0))
+        assert model.superior_item() is None
+
+    def test_single_item_is_trivially_superior(self, single_model):
+        assert single_model.superior_item() == "item"
+
+    def test_zero_noise_superior(self, blocking_model):
+        assert blocking_model.superior_item() == "i"
+
+
+class TestPureCompetition:
+    def test_c1_is_pure_competition(self, c1_model):
+        assert c1_model.is_pure_competition()
+
+    def test_c3_is_not_pure_competition(self, c3_model):
+        assert not c3_model.is_pure_competition()
+
+    def test_noise_bounds_mode_requires_bounded_noise(self, c1_model):
+        # Gaussian noise is unbounded -> cannot certify under noise bounds
+        assert not c1_model.is_pure_competition(use_noise_bounds=True)
+
+    def test_noise_bounds_mode_with_bounded_noise(self):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 10.0, "b": 8.0,
+                                             ("a", "b"): 10.5})
+        model = UtilityModel(valuation, {"a": 4.0, "b": 4.0},
+                             UniformNoise(0.5))
+        # bundle utility 2.5 vs singleton 6/4 -> bundle never preferred
+        assert model.is_pure_competition(use_noise_bounds=True)
+
+    def test_bundle_better_than_member_is_not_pure(self):
+        catalog = ItemCatalog(["a", "b"])
+        valuation = TableValuation(catalog, {"a": 5.0, "b": 4.0,
+                                             ("a", "b"): 9.0})
+        model = UtilityModel(valuation, {"a": 1.0, "b": 1.0}, ZeroNoise())
+        assert not model.is_pure_competition()
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.0, max_value=50.0),
+                       min_size=2, max_size=4),
+       prices=st.lists(st.floats(min_value=0.0, max_value=50.0),
+                       min_size=4, max_size=4),
+       noise=st.lists(st.floats(min_value=-5.0, max_value=5.0),
+                      min_size=4, max_size=4))
+def test_utility_table_equals_value_minus_price_plus_noise(values, prices, noise):
+    names = [f"x{k}" for k in range(len(values))]
+    catalog = ItemCatalog(names)
+    valuation = AdditiveValuation(catalog,
+                                  {n: v for n, v in zip(names, values)})
+    model = UtilityModel(valuation,
+                         {n: p for n, p in zip(names, prices[:len(names)])})
+    world = np.array(noise[:len(names)])
+    table = model.utility_table(world)
+    for mask in catalog.iter_masks():
+        indices = catalog.indices_of(mask)
+        expected = (sum(values[i] for i in indices)
+                    - sum(prices[i] for i in indices)
+                    + sum(world[i] for i in indices))
+        assert table[mask] == pytest.approx(expected, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shift=st.floats(min_value=-10.0, max_value=10.0),
+       sigma=st.floats(min_value=0.0, max_value=5.0))
+def test_truncated_utility_is_nonnegative_and_above_mean(shift, sigma):
+    catalog = ItemCatalog(["x"])
+    valuation = TableValuation(catalog, {"x": max(shift, 0.0)})
+    price = max(-shift, 0.0)
+    model = UtilityModel(valuation, {"x": price}, GaussianNoise(sigma))
+    truncated = model.expected_truncated_utility("x")
+    assert truncated >= 0.0
+    # E[max(0, U)] >= E[U]
+    assert truncated >= model.deterministic_utility("x") - 1e-9

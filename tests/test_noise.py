@@ -1,0 +1,138 @@
+"""Unit tests for the zero-mean noise distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UtilityModelError
+from repro.utility.noise import (
+    GaussianNoise,
+    TruncatedGaussianNoise,
+    UniformNoise,
+    ZeroNoise,
+)
+
+
+class TestZeroNoise:
+    def test_samples_are_zero(self, rng):
+        dist = ZeroNoise()
+        assert dist.sample(rng) == 0.0
+        assert np.all(dist.sample(rng, size=5) == 0.0)
+
+    def test_support(self):
+        assert ZeroNoise().support() == (0.0, 0.0)
+        assert ZeroNoise().is_bounded
+
+    def test_expected_positive_part(self):
+        dist = ZeroNoise()
+        assert dist.expected_positive_part(2.5) == 2.5
+        assert dist.expected_positive_part(-1.0) == 0.0
+
+
+class TestGaussianNoise:
+    def test_zero_mean(self, rng):
+        dist = GaussianNoise(sigma=2.0)
+        samples = dist.sample(rng, size=20_000)
+        assert abs(samples.mean()) < 0.1
+        assert abs(samples.std() - 2.0) < 0.1
+
+    def test_unbounded_support(self):
+        assert not GaussianNoise(1.0).is_bounded
+
+    def test_sigma_zero_degenerates(self, rng):
+        dist = GaussianNoise(0.0)
+        assert dist.sample(rng) == 0.0
+        assert dist.support() == (0.0, 0.0)
+        assert dist.expected_positive_part(-3.0) == 0.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(UtilityModelError):
+            GaussianNoise(-1.0)
+
+    def test_expected_positive_part_analytic_vs_monte_carlo(self, rng):
+        dist = GaussianNoise(sigma=1.5)
+        for shift in (-2.0, -0.5, 0.0, 0.7, 3.0):
+            analytic = dist.expected_positive_part(shift)
+            samples = dist.sample(rng, size=100_000)
+            empirical = np.maximum(0.0, shift + samples).mean()
+            assert analytic == pytest.approx(empirical, abs=0.03)
+
+    def test_expected_positive_part_known_value(self):
+        # E[max(0, N(0,1))] = 1/sqrt(2*pi)
+        assert GaussianNoise(1.0).expected_positive_part(0.0) == \
+            pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_expected_positive_part_large_shift(self):
+        assert GaussianNoise(1.0).expected_positive_part(50.0) == \
+            pytest.approx(50.0, rel=1e-6)
+
+
+class TestUniformNoise:
+    def test_zero_mean_and_bounds(self, rng):
+        dist = UniformNoise(half_width=3.0)
+        samples = dist.sample(rng, size=20_000)
+        assert abs(samples.mean()) < 0.1
+        assert samples.min() >= -3.0
+        assert samples.max() <= 3.0
+        assert dist.support() == (-3.0, 3.0)
+        assert dist.is_bounded
+
+    def test_expected_positive_part_analytic_vs_monte_carlo(self, rng):
+        dist = UniformNoise(half_width=2.0)
+        for shift in (-3.0, -1.0, 0.0, 1.0, 3.0):
+            analytic = dist.expected_positive_part(shift)
+            samples = dist.sample(rng, size=100_000)
+            empirical = np.maximum(0.0, shift + samples).mean()
+            assert analytic == pytest.approx(empirical, abs=0.02)
+
+    def test_expected_positive_part_entirely_positive(self):
+        assert UniformNoise(1.0).expected_positive_part(5.0) == 5.0
+
+    def test_expected_positive_part_entirely_negative(self):
+        assert UniformNoise(1.0).expected_positive_part(-5.0) == 0.0
+
+    def test_zero_width(self, rng):
+        dist = UniformNoise(0.0)
+        assert dist.sample(rng) == 0.0
+        assert dist.expected_positive_part(1.5) == 1.5
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(UtilityModelError):
+            UniformNoise(-1.0)
+
+
+class TestTruncatedGaussianNoise:
+    def test_samples_within_bound(self, rng):
+        dist = TruncatedGaussianNoise(sigma=2.0, bound=1.5)
+        samples = dist.sample(rng, size=5_000)
+        assert np.all(np.abs(samples) <= 1.5)
+
+    def test_zero_mean_by_symmetry(self, rng):
+        dist = TruncatedGaussianNoise(sigma=1.0, bound=2.0)
+        samples = dist.sample(rng, size=30_000)
+        assert abs(samples.mean()) < 0.05
+
+    def test_bounded_support(self):
+        dist = TruncatedGaussianNoise(sigma=1.0, bound=2.5)
+        assert dist.support() == (-2.5, 2.5)
+        assert dist.is_bounded
+
+    def test_single_sample_is_float(self, rng):
+        assert isinstance(TruncatedGaussianNoise(1.0, 1.0).sample(rng), float)
+
+    def test_sigma_zero(self, rng):
+        dist = TruncatedGaussianNoise(sigma=0.0, bound=1.0)
+        assert dist.sample(rng) == 0.0
+        assert dist.support() == (0.0, 0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(UtilityModelError):
+            TruncatedGaussianNoise(sigma=-1.0)
+        with pytest.raises(UtilityModelError):
+            TruncatedGaussianNoise(sigma=1.0, bound=0.0)
+
+    def test_monte_carlo_expected_positive_part(self, rng):
+        dist = TruncatedGaussianNoise(sigma=1.0, bound=2.0)
+        value = dist.expected_positive_part(0.5, n_samples=50_000, rng=3)
+        assert 0.5 < value < 1.2

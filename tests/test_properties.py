@@ -1,0 +1,151 @@
+"""Property-based tests of the core diffusion and welfare invariants.
+
+These complement the example-based tests with randomized checks of the
+invariants the paper's analysis relies on:
+
+* the adoption rule is progressive and utility-improving (best_bundle),
+* adopted bundles always have non-negative utility,
+* only nodes reachable from the seed set can adopt anything, and the
+  welfare of any allocation is sandwiched by ``u_min``/``u_max`` times the
+  number of adopters (the per-world version of Lemma 1/2).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import Allocation
+from repro.diffusion.ic import reachable_set
+from repro.diffusion.uic import best_bundle, simulate_uic
+from repro.diffusion.worlds import EdgeWorld
+from repro.graphs.graph import DirectedGraph
+from repro.utility.configs import lastfm_config, multi_item_config, two_item_config
+from repro.utility.items import ItemCatalog
+from repro.utility.model import UtilityModel
+from repro.utility.valuation import TableValuation
+
+
+# ----------------------------------------------------------------------
+# best_bundle invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(utilities=st.lists(st.floats(min_value=-10, max_value=10,
+                                    allow_nan=False),
+                          min_size=8, max_size=8),
+       desire=st.integers(min_value=0, max_value=7),
+       adopted_bits=st.integers(min_value=0, max_value=7))
+def test_best_bundle_invariants(utilities, desire, adopted_bits):
+    table = np.array(utilities)
+    table[0] = 0.0
+    adopted = adopted_bits & desire
+    # the previous adoption must itself be a feasible (>= 0) choice, as it
+    # is in any real diffusion trajectory
+    if table[adopted] < 0:
+        adopted = 0
+    chosen = best_bundle(desire, adopted, table)
+    # progressive: the new adoption contains the old one
+    assert chosen & adopted == adopted
+    # feasible: only desired (or previously adopted) items
+    assert chosen & ~(desire | adopted) == 0
+    # never worse than keeping the previous adoption, never negative
+    assert table[chosen] >= table[adopted] - 1e-12
+    assert table[chosen] >= -1e-12
+    # optimal among feasible supersets of the previous adoption
+    free = desire & ~adopted
+    sub = free
+    best = table[adopted]
+    while True:
+        candidate = adopted | sub
+        if table[candidate] >= 0:
+            best = max(best, table[candidate])
+        if sub == 0:
+            break
+        sub = (sub - 1) & free
+    assert table[chosen] == pytest.approx(best)
+
+
+# ----------------------------------------------------------------------
+# random-instance diffusion invariants
+# ----------------------------------------------------------------------
+def _random_instance(data):
+    n = data.draw(st.integers(min_value=2, max_value=12), label="n")
+    possible_edges = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = data.draw(st.lists(st.sampled_from(possible_edges), max_size=30),
+                      label="edges")
+    graph = DirectedGraph.from_edges(n, [(u, v, 1.0) for u, v in edges])
+    model_choice = data.draw(st.integers(min_value=0, max_value=2),
+                             label="model")
+    model = [two_item_config("C1", noise_sigma=0.0),
+             multi_item_config(3),
+             lastfm_config()][model_choice]
+    items = list(model.items)
+    pair_count = data.draw(st.integers(min_value=0, max_value=min(6, n)),
+                           label="pairs")
+    pairs = []
+    for index in range(pair_count):
+        node = data.draw(st.integers(min_value=0, max_value=n - 1),
+                         label=f"node{index}")
+        item = data.draw(st.sampled_from(items), label=f"item{index}")
+        pairs.append((node, item))
+    allocation = Allocation.from_pairs(dict.fromkeys(pairs))
+    return graph, model, allocation
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_diffusion_invariants_on_random_instances(data):
+    graph, model, allocation = _random_instance(data)
+    result = simulate_uic(graph, model, allocation, rng=0)
+    catalog = model.catalog
+    utilities = model.utility_table(np.zeros(model.num_items))
+
+    # (1) every adopted bundle has non-negative utility
+    for mask in result.adoption_masks:
+        assert utilities[int(mask)] >= -1e-9
+
+    # (2) only nodes reachable from the seed set adopt anything
+    #     (all edges have probability 1, so reachability is deterministic)
+    world = EdgeWorld([graph.out_neighbors(v)[0] for v in range(len(graph))])
+    reachable = reachable_set(world, allocation.all_seeds())
+    adopters = {v for v in range(len(graph)) if result.adoption_masks[v]}
+    assert adopters <= reachable
+
+    # (3) welfare is the sum of adopted-bundle utilities and is bounded by
+    #     u_max per adopter (Lemma 1 per possible world, zero noise)
+    welfare = sum(utilities[int(mask)] for mask in result.adoption_masks)
+    assert result.welfare == pytest.approx(welfare)
+    u_max = float(np.maximum(utilities, 0.0).max())
+    assert result.welfare <= u_max * result.num_adopters + 1e-9
+
+    # (4) seeds that were allocated a non-negative-utility item adopt
+    #     something (their own allocation is always available)
+    for node, item in allocation.pairs():
+        if model.deterministic_utility(item) >= 0:
+            assert result.adoption_masks[node] != 0
+
+    # (5) adoption counts agree with the masks
+    for name, bit in catalog.iter_singletons():
+        count = sum(1 for mask in result.adoption_masks if int(mask) & bit)
+        assert result.adoption_counts[name] == count
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_welfare_monotone_under_pure_competition_single_item(data):
+    """With a single item, welfare *is* monotone in the seed set — adding a
+    seed can only help.  (The counterexamples need ≥ 2 items.)"""
+    n = data.draw(st.integers(min_value=2, max_value=10))
+    possible_edges = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = data.draw(st.lists(st.sampled_from(possible_edges), max_size=25))
+    graph = DirectedGraph.from_edges(n, [(u, v, 1.0) for u, v in edges])
+    from repro.utility.configs import single_item_config
+    model = single_item_config()
+    seeds = sorted(set(data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), max_size=4))))
+    extra = data.draw(st.integers(min_value=0, max_value=n - 1))
+    small = Allocation({"item": seeds}) if seeds else Allocation.empty()
+    big = small.union(Allocation.single(extra, "item"))
+    welfare_small = simulate_uic(graph, model, small, rng=0).welfare
+    welfare_big = simulate_uic(graph, model, big, rng=0).welfare
+    assert welfare_big >= welfare_small - 1e-9

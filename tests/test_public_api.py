@@ -1,0 +1,51 @@
+"""The public API surface: everything advertised in ``repro.__all__`` works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            assert hasattr(repro, name), f"{name} missing from repro"
+
+    @pytest.mark.parametrize("module", [
+        "repro.graphs", "repro.utility", "repro.diffusion", "repro.rrsets",
+        "repro.core", "repro.baselines", "repro.experiments", "repro.utils",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{name} missing from {module}"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.UtilityModelError, repro.ReproError)
+        assert issubclass(repro.AllocationError, repro.ReproError)
+        assert issubclass(repro.AlgorithmError, repro.ReproError)
+
+    def test_docstrings_on_public_callables(self):
+        for name in ("seqgrd", "seqgrd_nm", "maxgrd", "supgrd", "best_of",
+                     "greedy_wm", "tcim", "balance_c", "imm", "simulate_uic",
+                     "estimate_welfare", "load_network", "two_item_config"):
+            assert getattr(repro, name).__doc__, f"{name} lacks a docstring"
+
+    def test_quickstart_workflow(self):
+        """The README / module docstring workflow runs end to end."""
+        graph = repro.load_network("nethept", scale=0.01, rng=7)
+        model = repro.two_item_config("C1")
+        result = repro.seqgrd_nm(graph, model, budgets={"i": 2, "j": 2},
+                                 options=repro.IMMOptions(max_rr_sets=3000),
+                                 rng=7)
+        welfare = repro.estimate_welfare(graph, model,
+                                         result.combined_allocation(),
+                                         n_samples=40, rng=7)
+        assert welfare.mean > 0

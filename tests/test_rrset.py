@@ -1,0 +1,139 @@
+"""Tests for RR-set sampling: standard, marginal and weighted."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import Allocation
+from repro.diffusion.estimators import estimate_spread
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.rrset import (
+    WeightedRRSampler,
+    marginal_rr_set,
+    random_rr_set,
+)
+from repro.utility.configs import two_item_config
+from repro.utils.rng import ensure_rng
+
+
+class TestRandomRRSet:
+    def test_contains_root(self, line4, rng):
+        rr = random_rr_set(line4, rng, root=2)
+        assert 2 in rr.tolist()
+
+    def test_deterministic_line_reaches_all_ancestors(self, line4, rng):
+        rr = random_rr_set(line4, rng, root=3)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+        rr0 = random_rr_set(line4, rng, root=0)
+        assert rr0.tolist() == [0]
+
+    def test_zero_probability_graph(self, rng):
+        g = generators.line_graph(5, prob=0.0)
+        rr = random_rr_set(g, rng, root=4)
+        assert rr.tolist() == [4]
+
+    def test_only_nodes_that_reach_root(self, rng):
+        g = generators.erdos_renyi(60, 3.0, rng=1)
+        root = 7
+        rr = set(random_rr_set(g, rng, root=root).tolist())
+        # every RR-set member must have a directed path to the root in the
+        # full graph (a necessary condition, since the RR set uses a subset
+        # of the edges)
+        reachable_to_root = _nodes_reaching(g, root)
+        assert rr <= reachable_to_root
+
+    def test_borgs_identity(self):
+        """n · Pr[S ∩ R ≠ ∅] ≈ σ(S) for a random root RR set."""
+        g = weighting.weighted_cascade(
+            generators.erdos_renyi(100, 4.0, rng=3))
+        seeds = [0, 1, 2]
+        rng = ensure_rng(5)
+        hits = sum(1 for _ in range(4000)
+                   if set(seeds) & set(random_rr_set(g, rng).tolist()))
+        rr_estimate = g.num_nodes * hits / 4000
+        mc_estimate = estimate_spread(g, seeds, n_samples=2000, rng=6)
+        assert rr_estimate == pytest.approx(mc_estimate, rel=0.2)
+
+
+class TestMarginalRRSet:
+    def test_discarded_when_hitting_blocked(self, line4, rng):
+        # every RR set rooted downstream of node 0 contains node 0, so
+        # blocking node 0 empties them
+        rr = marginal_rr_set(line4, {0}, rng, root=3)
+        assert rr.tolist() == []
+
+    def test_blocked_root_discarded(self, line4, rng):
+        assert marginal_rr_set(line4, {2}, rng, root=2).tolist() == []
+
+    def test_survives_when_not_hitting_blocked(self, line4, rng):
+        rr = marginal_rr_set(line4, {3}, rng, root=1)
+        assert sorted(rr.tolist()) == [0, 1]
+
+    def test_empty_blocked_equals_standard(self, line4, rng):
+        rr = marginal_rr_set(line4, set(), rng, root=3)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+
+class TestWeightedRRSampler:
+    @pytest.fixture
+    def setup(self):
+        # path 0 -> 1 -> 2 -> 3 with the C6 utilities (superior item i)
+        graph = generators.line_graph(4)
+        model = two_item_config("C6", bounded_noise=True)
+        fixed = Allocation({"j": [1]})
+        sampler = WeightedRRSampler(graph, model, "i", fixed, rng=1)
+        return graph, model, fixed, sampler
+
+    def test_max_weight_is_superior_truncated_utility(self, setup):
+        _, model, _, sampler = setup
+        assert sampler.max_weight == pytest.approx(
+            model.expected_truncated_utility("i"), rel=0.05)
+
+    def test_weight_when_no_fixed_seed_reaches_root(self, setup):
+        _, _, _, sampler = setup
+        rr = sampler.sample(rng=ensure_rng(2), root=0)
+        # node 0 has no ancestors; j's seed (node 1) cannot reach it
+        assert rr.weight == pytest.approx(sampler.superior_utility)
+        assert rr.nodes.tolist() == [0]
+
+    def test_weight_discounted_when_fixed_seed_in_set(self, setup):
+        _, model, _, sampler = setup
+        rr = sampler.sample(rng=ensure_rng(2), root=3)
+        # the reverse BFS from node 3 hits node 1 (j's seed): the weight is
+        # U+(i) - U+(j)
+        expected = (model.expected_truncated_utility("i")
+                    - model.expected_truncated_utility("j"))
+        assert rr.weight == pytest.approx(expected, rel=0.1)
+        assert 1 in rr.nodes.tolist()
+
+    def test_bfs_stops_at_fixed_seed_level(self, setup):
+        _, _, _, sampler = setup
+        rr = sampler.sample(rng=ensure_rng(2), root=3)
+        # the BFS stops after the level that contains node 1, so node 0
+        # (one level further) is not explored
+        assert 0 not in rr.nodes.tolist()
+
+    def test_weight_never_negative(self):
+        graph = generators.erdos_renyi(40, 3.0, rng=2)
+        model = two_item_config("C6", bounded_noise=True)
+        fixed = Allocation({"j": [0, 1, 2, 3]})
+        sampler = WeightedRRSampler(graph, model, "i", fixed, rng=3)
+        rng = ensure_rng(4)
+        for _ in range(50):
+            assert sampler.sample(rng).weight >= 0.0
+
+
+def _nodes_reaching(graph: DirectedGraph, target: int) -> set:
+    """All nodes with a directed path to ``target`` (ignoring probabilities)."""
+    from collections import deque
+    seen = {target}
+    queue = deque([target])
+    while queue:
+        node = queue.popleft()
+        sources, _ = graph.in_neighbors(node)
+        for s in sources:
+            s = int(s)
+            if s not in seen:
+                seen.add(s)
+                queue.append(s)
+    return seen

@@ -1,0 +1,62 @@
+"""Unit tests for BFS / random subgraph sampling (Figure 6(d) substrate)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators
+from repro.graphs.sampling import bfs_sample, random_node_sample
+
+
+class TestBfsSample:
+    def test_target_size(self):
+        g = generators.erdos_renyi(200, 4.0, rng=1)
+        sub = bfs_sample(g, 0.5, rng=2)
+        assert sub.num_nodes == 100
+
+    def test_full_fraction_returns_same_graph(self):
+        g = generators.erdos_renyi(50, 3.0, rng=1)
+        assert bfs_sample(g, 1.0, rng=2) is g
+
+    def test_connected_prefix_from_start(self):
+        g = generators.line_graph(10)
+        sub = bfs_sample(g, 0.5, rng=3, start=0)
+        # BFS from node 0 on a path visits a prefix of the path
+        assert sub.num_nodes == 5
+        assert sub.num_edges == 4
+
+    def test_handles_disconnected_graphs(self):
+        # two disjoint paths; BFS must restart to reach the target size
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]
+        from repro.graphs.graph import DirectedGraph
+        g = DirectedGraph.from_edges(6, edges)
+        sub = bfs_sample(g, 0.99, rng=4)
+        assert sub.num_nodes == 6
+
+    def test_invalid_fraction(self):
+        g = generators.line_graph(5)
+        with pytest.raises(GraphError):
+            bfs_sample(g, 0.0)
+        with pytest.raises(GraphError):
+            bfs_sample(g, 1.5)
+
+    def test_deterministic_with_seed(self):
+        g = generators.erdos_renyi(120, 4.0, rng=7)
+        s1 = bfs_sample(g, 0.4, rng=9)
+        s2 = bfs_sample(g, 0.4, rng=9)
+        assert set(s1.edges()) == set(s2.edges())
+
+
+class TestRandomNodeSample:
+    def test_target_size(self):
+        g = generators.erdos_renyi(200, 4.0, rng=1)
+        sub = random_node_sample(g, 0.25, rng=2)
+        assert sub.num_nodes == 50
+
+    def test_full_fraction_returns_same_graph(self):
+        g = generators.erdos_renyi(40, 3.0, rng=1)
+        assert random_node_sample(g, 1.0, rng=2) is g
+
+    def test_invalid_fraction(self):
+        g = generators.line_graph(5)
+        with pytest.raises(GraphError):
+            random_node_sample(g, -0.1)

@@ -1,0 +1,136 @@
+"""Tests for SeqGRD and SeqGRD-NM (Algorithm 1)."""
+
+import pytest
+
+from repro.allocation import Allocation
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.core.seqgrd import seqgrd, seqgrd_nm
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.imm import IMMOptions
+from repro.utility.configs import (
+    blocking_config,
+    lastfm_config,
+    two_item_config,
+)
+
+FAST = IMMOptions(max_rr_sets=6_000)
+
+
+class TestBudgetsAndStructure:
+    def test_budgets_respected(self, small_er_graph, c1_model):
+        result = seqgrd_nm(small_er_graph, c1_model, {"i": 4, "j": 6},
+                           options=FAST, rng=1)
+        assert result.allocation.seed_count("i") == 4
+        assert result.allocation.seed_count("j") == 6
+
+    def test_seeds_are_distinct_across_items(self, small_er_graph, c1_model):
+        result = seqgrd_nm(small_er_graph, c1_model, {"i": 5, "j": 5},
+                           options=FAST, rng=2)
+        seeds_i = set(result.allocation.seeds_for("i"))
+        seeds_j = set(result.allocation.seeds_for("j"))
+        assert not seeds_i & seeds_j
+
+    def test_item_order_by_truncated_utility(self, small_er_graph):
+        model = two_item_config("C2", noise_sigma=0.0)
+        result = seqgrd_nm(small_er_graph, model, {"i": 3, "j": 3},
+                           options=FAST, rng=3)
+        assert result.details["item_order"] == ["i", "j"]
+        # the higher-utility item gets the better (earlier) seeds
+        assert result.details["item_utilities"]["i"] > \
+            result.details["item_utilities"]["j"]
+
+    def test_zero_budget_item_ignored(self, small_er_graph, c1_model):
+        result = seqgrd_nm(small_er_graph, c1_model, {"i": 4, "j": 0},
+                           options=FAST, rng=4)
+        assert result.allocation.seed_count("j") == 0
+        assert result.allocation.seed_count("i") == 4
+
+    def test_algorithm_name(self, small_er_graph, c1_model):
+        nm = seqgrd_nm(small_er_graph, c1_model, {"i": 2, "j": 2},
+                       options=FAST, rng=5)
+        full = seqgrd(small_er_graph, c1_model, {"i": 2, "j": 2},
+                      n_marginal_samples=10, options=FAST, rng=5)
+        assert nm.algorithm == "SeqGRD-NM"
+        assert full.algorithm == "SeqGRD"
+
+    def test_runtime_recorded(self, small_er_graph, c1_model):
+        result = seqgrd_nm(small_er_graph, c1_model, {"i": 2, "j": 2},
+                           options=FAST, rng=6)
+        assert result.runtime_seconds > 0
+
+    def test_evaluate_welfare_option(self, small_er_graph, c1_model):
+        result = seqgrd_nm(small_er_graph, c1_model, {"i": 2, "j": 2},
+                           options=FAST, evaluate_welfare=True,
+                           n_evaluation_samples=50, rng=7)
+        assert result.estimated_welfare is not None
+        assert result.estimated_welfare > 0
+
+
+class TestFixedAllocation:
+    def test_new_seeds_avoid_fixed_seed_nodes(self, small_er_graph, c1_model):
+        fixed = Allocation({"j": [0, 1, 2]})
+        result = seqgrd_nm(small_er_graph, c1_model, {"i": 5},
+                           fixed_allocation=fixed, options=FAST, rng=8)
+        assert not set(result.allocation.seeds_for("i")) & {0, 1, 2}
+        assert result.fixed_allocation == fixed
+
+    def test_combined_allocation_includes_fixed(self, small_er_graph, c1_model):
+        fixed = Allocation({"j": [0]})
+        result = seqgrd_nm(small_er_graph, c1_model, {"i": 2},
+                           fixed_allocation=fixed, options=FAST, rng=9)
+        combined = result.combined_allocation()
+        assert combined.seeds_for("j") == (0,)
+        assert combined.seed_count("i") == 2
+
+    def test_overlapping_item_sets_rejected(self, small_er_graph, c1_model):
+        fixed = Allocation({"i": [0]})
+        with pytest.raises(AlgorithmError, match="disjoint"):
+            seqgrd_nm(small_er_graph, c1_model, {"i": 2},
+                      fixed_allocation=fixed, options=FAST, rng=1)
+
+
+class TestMarginalCheck:
+    def test_all_budgets_exhausted_even_when_items_skipped(self):
+        """Skipped items are appended at the end (Algorithm 1 lines 14-18)."""
+        graph = generators.line_graph(6)
+        model = two_item_config("C2", noise_sigma=0.0)
+        result = seqgrd(graph, model, {"i": 2, "j": 2},
+                        n_marginal_samples=20, options=FAST, rng=2)
+        assert result.allocation.seed_count("i") == 2
+        assert result.allocation.seed_count("j") == 2
+
+    def test_marginal_estimates_recorded(self, small_er_graph, c1_model):
+        result = seqgrd(small_er_graph, c1_model, {"i": 2, "j": 2},
+                        n_marginal_samples=20, options=FAST, rng=3)
+        assert set(result.details["marginal_estimates"]) <= {"i", "j"}
+        assert len(result.details["marginal_estimates"]) >= 1
+
+    def test_blocking_configuration_seqgrd_at_least_as_good(self, medium_graph):
+        """Under the Table 4 blocking configuration the marginal check lets
+        SeqGRD defer the blocking item, so its welfare is at least that of
+        SeqGRD-NM (Figure 6(c))."""
+        model = blocking_config()
+        budgets = {"i": 20, "j": 12, "k": 12}
+        with_check = seqgrd(medium_graph, model, budgets,
+                            n_marginal_samples=60, options=FAST, rng=5)
+        without = seqgrd_nm(medium_graph, model, budgets, options=FAST, rng=5)
+        w_check = estimate_welfare(medium_graph, model,
+                                   with_check.combined_allocation(),
+                                   n_samples=400, rng=6).mean
+        w_plain = estimate_welfare(medium_graph, model,
+                                   without.combined_allocation(),
+                                   n_samples=400, rng=6).mean
+        assert w_check >= w_plain - 0.05 * abs(w_plain)
+
+
+class TestMultiItem:
+    def test_four_items(self, small_er_graph, lastfm_model):
+        budgets = {item: 3 for item in lastfm_model.items}
+        result = seqgrd_nm(small_er_graph, lastfm_model, budgets,
+                           options=FAST, rng=10)
+        for item in lastfm_model.items:
+            assert result.allocation.seed_count(item) == 3
+        # highest-utility genre (indie) gets the first seeds of the pool
+        assert result.details["item_order"][0] == "indie"

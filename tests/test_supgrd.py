@@ -1,0 +1,139 @@
+"""Tests for SupGRD (superior-item special case, §5.3)."""
+
+import pytest
+
+from repro.allocation import Allocation
+from repro.core.supgrd import supgrd
+from repro.diffusion.estimators import estimate_welfare
+from repro.exceptions import AlgorithmError
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.imm import IMMOptions, imm
+from repro.utility.configs import two_item_config
+from repro.utility.items import ItemCatalog
+from repro.utility.model import UtilityModel
+from repro.utility.noise import UniformNoise, ZeroNoise
+from repro.utility.valuation import TableValuation
+
+FAST = IMMOptions(max_rr_sets=6_000)
+
+
+def superior_two_item_model():
+    """Bounded-noise model with a clear superior item and pure competition:
+    U(top) = 9, U(weak) = 1, U({top, weak}) = 0.5 (never preferred over
+    either member, so no node ever adopts both)."""
+    catalog = ItemCatalog(["top", "weak"])
+    valuation = TableValuation(catalog, {"top": 10.0, "weak": 2.0,
+                                         ("top", "weak"): 2.5})
+    return UtilityModel(valuation, {"top": 1.0, "weak": 1.0},
+                        UniformNoise(0.2))
+
+
+class TestPreconditions:
+    def test_requires_superior_item(self, small_er_graph, c1_model):
+        # C1 has unbounded Gaussian noise -> no certifiable superior item
+        with pytest.raises(AlgorithmError, match="superior"):
+            supgrd(small_er_graph, c1_model, budget=2,
+                   fixed_allocation=Allocation({"j": [0]}), options=FAST)
+
+    def test_wrong_superior_item_rejected(self, small_er_graph):
+        model = superior_two_item_model()
+        with pytest.raises(AlgorithmError, match="not the superior item"):
+            supgrd(small_er_graph, model, budget=2, superior_item="weak",
+                   fixed_allocation=Allocation({"top": [0]}), options=FAST)
+
+    def test_inferior_items_must_be_fixed(self, small_er_graph):
+        model = superior_two_item_model()
+        with pytest.raises(AlgorithmError, match="fixed"):
+            supgrd(small_er_graph, model, budget=2,
+                   fixed_allocation=Allocation.empty(), options=FAST)
+
+    def test_superior_item_must_not_be_prefixed(self, small_er_graph):
+        model = superior_two_item_model()
+        with pytest.raises(AlgorithmError):
+            supgrd(small_er_graph, model, budget=2,
+                   fixed_allocation=Allocation({"top": [1], "weak": [0]}),
+                   options=FAST)
+
+    def test_pure_competition_required(self, small_er_graph):
+        catalog = ItemCatalog(["top", "weak"])
+        valuation = TableValuation(catalog, {"top": 10.0, "weak": 2.0,
+                                             ("top", "weak"): 12.0})
+        model = UtilityModel(valuation, {"top": 1.0, "weak": 1.0}, ZeroNoise())
+        with pytest.raises(AlgorithmError, match="pure competition"):
+            supgrd(small_er_graph, model, budget=2,
+                   fixed_allocation=Allocation({"weak": [0]}), options=FAST)
+
+    def test_preconditions_can_be_disabled(self, small_er_graph, c1_model):
+        result = supgrd(small_er_graph, c1_model, budget=2,
+                        fixed_allocation=Allocation({"j": [0]}),
+                        superior_item="i", enforce_preconditions=False,
+                        options=FAST, rng=1)
+        assert result.allocation.seed_count("i") == 2
+
+    def test_negative_budget_rejected(self, small_er_graph):
+        model = superior_two_item_model()
+        with pytest.raises(AlgorithmError):
+            supgrd(small_er_graph, model, budget=-1,
+                   fixed_allocation=Allocation({"weak": [0]}), options=FAST)
+
+
+class TestSelection:
+    def test_budget_respected(self, small_er_graph):
+        model = superior_two_item_model()
+        result = supgrd(small_er_graph, model, budget=4,
+                        fixed_allocation=Allocation({"weak": [0, 1]}),
+                        options=FAST, rng=1)
+        assert result.allocation.seed_count("top") == 4
+        assert result.algorithm == "SupGRD"
+        assert result.details["superior_item"] == "top"
+
+    def test_star_graph_picks_hub(self, star10):
+        model = superior_two_item_model()
+        result = supgrd(star10, model, budget=1,
+                        fixed_allocation=Allocation({"weak": [3]}),
+                        options=FAST, rng=2)
+        assert result.allocation.seeds_for("top") == (0,)
+
+    def test_welfare_beats_random_seeding(self, medium_graph):
+        model = superior_two_item_model()
+        fixed = Allocation({"weak": imm(medium_graph, 5, options=FAST,
+                                        rng=1).seeds})
+        result = supgrd(medium_graph, model, budget=5,
+                        fixed_allocation=fixed, options=FAST, rng=2)
+        sup_welfare = estimate_welfare(medium_graph, model,
+                                       result.combined_allocation(),
+                                       n_samples=300, rng=3).mean
+        random_alloc = Allocation({"top": [100, 101, 102, 103, 104]})
+        rand_welfare = estimate_welfare(medium_graph, model,
+                                        random_alloc.union(fixed),
+                                        n_samples=300, rng=3).mean
+        assert sup_welfare >= rand_welfare
+
+    def test_details_contain_sampling_metadata(self, small_er_graph):
+        model = superior_two_item_model()
+        result = supgrd(small_er_graph, model, budget=3,
+                        fixed_allocation=Allocation({"weak": [0]}),
+                        options=FAST, rng=4)
+        assert result.details["num_rr_sets"] > 0
+        assert result.details["superior_truncated_utility"] > 0
+
+    def test_unadoptable_superior_item_returns_empty(self, line4):
+        # the superior item's utility is always negative -> nothing to gain
+        catalog = ItemCatalog(["top", "weak"])
+        valuation = TableValuation(catalog, {"top": 1.0, "weak": 0.5,
+                                             ("top", "weak"): 1.2})
+        model = UtilityModel(valuation, {"top": 5.0, "weak": 5.0}, ZeroNoise())
+        result = supgrd(line4, model, budget=2,
+                        fixed_allocation=Allocation({"weak": [0]}),
+                        enforce_preconditions=False, options=FAST, rng=5)
+        assert result.allocation.is_empty()
+
+    def test_c6_configuration_end_to_end(self, medium_graph):
+        model = two_item_config("C6", bounded_noise=True)
+        fixed = Allocation({"j": imm(medium_graph, 8, options=FAST,
+                                     rng=6).seeds})
+        result = supgrd(medium_graph, model, budget=4,
+                        fixed_allocation=fixed, options=FAST, rng=7)
+        assert result.allocation.seed_count("i") == 4
+        assert result.details["superior_item"] == "i"

@@ -1,0 +1,106 @@
+"""Tests for the traced UIC diffusion."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import Allocation
+from repro.diffusion.trace import render_trace, trace_uic
+from repro.diffusion.uic import simulate_uic
+from repro.diffusion.worlds import EdgeWorld
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+from repro.utility.configs import single_item_config, theorem1_config, two_item_config
+
+
+class TestTraceSemantics:
+    def test_matches_plain_simulation_on_deterministic_graphs(self):
+        graph = generators.line_graph(5)
+        model = two_item_config("C1", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [2]})
+        plain = simulate_uic(graph, model, allocation, rng=1)
+        traced = trace_uic(graph, model, allocation, rng=1)
+        assert traced.welfare == pytest.approx(plain.welfare)
+        adopters = {v for v in range(5) if plain.adoption_masks[v]}
+        assert set(traced.final_adoption) == adopters
+
+    def test_matches_plain_simulation_on_random_world(self):
+        graph = weighting.weighted_cascade(
+            generators.erdos_renyi(80, 4.0, rng=2))
+        model = two_item_config("C1", noise_sigma=0.0)
+        allocation = Allocation({"i": [0, 1], "j": [2, 3]})
+        world = EdgeWorld([graph.out_neighbors(v)[0]
+                           for v in range(graph.num_nodes)])
+        plain = simulate_uic(graph, model, allocation, edge_world=world,
+                             noise_world=np.zeros(2))
+        traced = trace_uic(graph, model, allocation, edge_world=world,
+                           noise_world=np.zeros(2))
+        assert traced.welfare == pytest.approx(plain.welfare)
+
+    def test_seed_events_at_time_one(self):
+        graph = generators.line_graph(3)
+        model = single_item_config()
+        trace = trace_uic(graph, model, Allocation({"item": [0]}), rng=1)
+        seed_events = trace.events_at(1)
+        assert len(seed_events) == 1
+        assert seed_events[0].node == 0
+        assert seed_events[0].informed_by == ()
+        assert seed_events[0].new_items == ("item",)
+
+    def test_events_record_informers(self):
+        graph = generators.line_graph(3)
+        model = single_item_config()
+        trace = trace_uic(graph, model, Allocation({"item": [0]}), rng=1)
+        event = trace.events_for(2)[0]
+        assert event.informed_by == (1,)
+        assert event.time == 3
+
+    def test_rounds_and_adopters(self):
+        graph = generators.line_graph(4)
+        model = single_item_config()
+        trace = trace_uic(graph, model, Allocation({"item": [0]}), rng=1)
+        # three propagation rounds produce adoptions, plus one final round
+        # that only confirms the frontier is exhausted
+        assert trace.rounds == 4
+        assert trace.adopters_of("item") == [0, 1, 2, 3]
+
+    def test_blocking_events_detected(self):
+        """In the Theorem-1 monotonicity example, node v declines i1 because
+        it already adopted i2 — that shows up as a blocking event."""
+        graph = DirectedGraph.from_edges(2, [(0, 1, 1.0)])
+        model = theorem1_config()
+        allocation = Allocation({"i1": [0], "i2": [1]})
+        trace = trace_uic(graph, model, allocation, rng=1)
+        # node 1 never adds i1 (the bundle {i1, i2} is worse than {i2});
+        # since its adoption never changes after t=1, the decline shows up
+        # as the absence of any later event for node 1
+        assert trace.final_adoption[1] == ("i2",)
+        assert all(event.time == 1 for event in trace.events_for(1))
+
+    def test_blocking_events_method(self):
+        # a node informed of two items at once adopts one and declines the
+        # other -> recorded as a blocking event
+        graph = DirectedGraph.from_edges(3, [(0, 2, 1.0), (1, 2, 1.0)])
+        model = two_item_config("C2", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [1]})
+        trace = trace_uic(graph, model, allocation, rng=1)
+        blocking = trace.blocking_events()
+        assert any(event.node == 2 and "j" in event.rejected_items
+                   for event in blocking)
+
+
+class TestRenderTrace:
+    def test_render_contains_key_facts(self):
+        graph = generators.line_graph(3)
+        model = single_item_config()
+        trace = trace_uic(graph, model, Allocation({"item": [0]}), rng=1)
+        text = render_trace(trace)
+        assert "welfare" in text
+        assert "t=1" in text
+        assert "node 0" in text
+
+    def test_render_truncates_long_traces(self):
+        graph = generators.star_graph(30)
+        model = single_item_config()
+        trace = trace_uic(graph, model, Allocation({"item": [0]}), rng=1)
+        text = render_trace(trace, max_events=5)
+        assert "more events" in text

@@ -1,0 +1,224 @@
+"""Tests for the UIC diffusion simulator, including the paper's Theorem 1
+counterexamples (non-monotonicity / non-submodularity / non-supermodularity
+of welfare) which exercise the exact adoption semantics."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import Allocation
+from repro.diffusion.uic import DiffusionResult, best_bundle, simulate_uic
+from repro.diffusion.worlds import EdgeWorld
+from repro.graphs import generators
+from repro.graphs.graph import DirectedGraph
+from repro.utility.configs import (
+    blocking_config,
+    single_item_config,
+    theorem1_config,
+    two_item_config,
+)
+from repro.utility.items import ItemCatalog
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.valuation import TableValuation
+
+
+class TestBestBundle:
+    def test_picks_highest_utility(self):
+        utilities = np.array([0.0, 5.0, 3.0, 2.0])
+        assert best_bundle(0b11, 0, utilities) == 0b01
+
+    def test_respects_progressive_constraint(self):
+        # the node already adopted item 1 (mask 0b10); even though item 0
+        # alone is better, only supersets of {1} are allowed
+        utilities = np.array([0.0, 5.0, 3.0, 2.0])
+        assert best_bundle(0b11, 0b10, utilities) == 0b10
+
+    def test_extends_when_superset_is_better(self):
+        utilities = np.array([0.0, 1.0, 3.0, 6.0])
+        assert best_bundle(0b11, 0b01, utilities) == 0b11
+
+    def test_negative_candidates_rejected(self):
+        utilities = np.array([0.0, -1.0, -2.0, -3.0])
+        assert best_bundle(0b11, 0, utilities) == 0
+
+    def test_only_desired_items_considered(self):
+        utilities = np.array([0.0, 1.0, 100.0, 200.0])
+        # item 1 not in the desire set
+        assert best_bundle(0b01, 0, utilities) == 0b01
+
+    def test_tie_breaks_towards_smaller_bundle(self):
+        utilities = np.array([0.0, 4.0, 4.0, 4.0])
+        assert best_bundle(0b11, 0, utilities) == 0b01
+
+    def test_keeps_adoption_when_no_improvement(self):
+        utilities = np.array([0.0, 2.0, 2.0, 1.0])
+        assert best_bundle(0b11, 0b01, utilities) == 0b01
+
+
+class TestSingleItemReducesToIC:
+    def test_welfare_equals_spread_on_deterministic_graph(self, line4):
+        model = single_item_config()
+        allocation = Allocation({"item": [0]})
+        result = simulate_uic(line4, model, allocation, rng=1)
+        assert result.welfare == pytest.approx(4.0)
+        assert result.num_adopters == 4
+        assert result.adoption_counts["item"] == 4
+
+    def test_no_seed_no_adoption(self, line4):
+        model = single_item_config()
+        result = simulate_uic(line4, model, Allocation.empty(), rng=1)
+        assert result.welfare == 0.0
+        assert result.num_adopters == 0
+
+    def test_star_graph_spread(self, star10):
+        model = single_item_config()
+        result = simulate_uic(star10, model, Allocation({"item": [0]}), rng=1)
+        assert result.num_adopters == 11
+
+    def test_leaf_seed_does_not_spread_backwards(self, star10):
+        model = single_item_config()
+        result = simulate_uic(star10, model, Allocation({"item": [3]}), rng=1)
+        assert result.num_adopters == 1
+
+
+class TestTheorem1Counterexamples:
+    """The two-node network u -> v (probability 1) with the Figure 1(a)
+    utilities, following the proof of Theorem 1 step by step."""
+
+    @pytest.fixture
+    def graph(self):
+        return DirectedGraph.from_edges(2, [(0, 1, 1.0)])
+
+    @pytest.fixture
+    def model(self):
+        return theorem1_config()
+
+    def _welfare(self, graph, model, allocation):
+        return simulate_uic(graph, model, allocation, rng=1).welfare
+
+    def test_monotonicity_violated(self, graph, model):
+        s1 = Allocation({"i1": [0]})
+        s2 = Allocation({"i1": [0], "i2": [1]})
+        rho1 = self._welfare(graph, model, s1)
+        rho2 = self._welfare(graph, model, s2)
+        assert rho1 == pytest.approx(8.0)   # both u and v adopt i1
+        assert rho2 == pytest.approx(7.0)   # u adopts i1, v adopts i2
+        assert rho2 < rho1                  # welfare is not monotone
+
+    def test_submodularity_violated(self, graph, model):
+        s1 = Allocation({"i2": [1]})
+        s2 = Allocation({"i2": [1], "i3": [1]})
+        extra = Allocation({"i1": [0]})
+        gain_small = (self._welfare(graph, model, s1.union(extra))
+                      - self._welfare(graph, model, s1))
+        gain_big = (self._welfare(graph, model, s2.union(extra))
+                    - self._welfare(graph, model, s2))
+        assert gain_small == pytest.approx(4.0)
+        assert gain_big == pytest.approx(5.0)
+        assert gain_big > gain_small        # welfare is not submodular
+
+    def test_supermodularity_violated(self, graph, model):
+        s1 = Allocation.empty()
+        s2 = Allocation({"i2": [1]})
+        extra = Allocation({"i1": [0]})
+        gain_small = (self._welfare(graph, model, s1.union(extra))
+                      - self._welfare(graph, model, s1))
+        gain_big = (self._welfare(graph, model, s2.union(extra))
+                    - self._welfare(graph, model, s2))
+        assert gain_small == pytest.approx(8.0)
+        assert gain_big == pytest.approx(4.0)
+        assert gain_big < gain_small        # welfare is not supermodular
+
+
+class TestCompetitiveAdoption:
+    def test_pure_competition_no_double_adoption(self):
+        graph = generators.complete_graph(6, prob=1.0)
+        model = two_item_config("C1", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [1]})
+        result = simulate_uic(graph, model, allocation, rng=1)
+        catalog = model.catalog
+        for mask in result.adoption_masks:
+            assert catalog.bundle_size(int(mask)) <= 1
+
+    def test_soft_competition_allows_bundles(self):
+        graph = DirectedGraph.from_edges(2, [(0, 1, 1.0)])
+        model = two_item_config("C3", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [0]})
+        result = simulate_uic(graph, model, allocation, rng=1)
+        # the seed desires both; the C3 bundle {i,j} has utility 1.7 which
+        # beats both singletons (1.0, 0.9), so it is adopted
+        assert result.adoption_masks[0] == model.catalog.mask_of(["i", "j"])
+
+    def test_item_blocking(self):
+        # u -> v -> w; v seeded with the inferior item adopts it at t=1 and
+        # blocks the superior item only if the bundle is worse than staying
+        graph = generators.line_graph(3)
+        model = two_item_config("C2", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [1]})
+        result = simulate_uic(graph, model, allocation, rng=1)
+        catalog = model.catalog
+        # v adopted j (seeded at t=1) and cannot add i (bundle negative)
+        assert result.adoption_masks[1] == catalog.singleton_mask("j")
+        # w hears about j from v first (t=2), i arrives at t=3 but w
+        # already adopted j
+        assert result.adoption_masks[2] == catalog.singleton_mask("j")
+
+    def test_higher_utility_item_wins_simultaneous_arrival(self):
+        graph = DirectedGraph.from_edges(2, [(0, 1, 1.0)])
+        model = two_item_config("C2", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [0]})
+        result = simulate_uic(graph, model, allocation, rng=1)
+        # both items reach v at the same time step; it picks the better one
+        assert result.adoption_masks[1] == model.catalog.singleton_mask("i")
+
+    def test_adoption_counts_and_welfare_consistent(self):
+        graph = generators.line_graph(5)
+        model = blocking_config()
+        allocation = Allocation({"i": [0], "j": [2]})
+        result = simulate_uic(graph, model, allocation, rng=1)
+        manual = sum(model.deterministic_utility(int(mask))
+                     for mask in result.adoption_masks)
+        assert result.welfare == pytest.approx(manual)
+        assert result.adoption_counts["i"] >= 1
+
+
+class TestFixedWorlds:
+    def test_fixed_edge_world_is_deterministic(self):
+        graph = generators.erdos_renyi(60, 4.0, rng=3)
+        model = two_item_config("C1", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [1]})
+        world = EdgeWorld([graph.out_neighbors(v)[0] for v in range(60)])
+        r1 = simulate_uic(graph, model, allocation, edge_world=world,
+                          noise_world=np.zeros(2))
+        r2 = simulate_uic(graph, model, allocation, edge_world=world,
+                          noise_world=np.zeros(2))
+        assert np.array_equal(r1.adoption_masks, r2.adoption_masks)
+        assert r1.welfare == r2.welfare
+
+    def test_noise_world_changes_adoption(self):
+        graph = DirectedGraph.from_edges(1, [])
+        catalog = ItemCatalog(["a"])
+        model = UtilityModel(TableValuation(catalog, {"a": 1.0}),
+                             {"a": 0.5}, ZeroNoise())
+        allocation = Allocation({"a": [0]})
+        adopt = simulate_uic(graph, model, allocation,
+                             noise_world=np.array([0.0]))
+        assert adopt.num_adopters == 1
+        reject = simulate_uic(graph, model, allocation,
+                              noise_world=np.array([-1.0]))
+        assert reject.num_adopters == 0
+
+    def test_max_rounds_caps_diffusion(self):
+        graph = generators.line_graph(10)
+        model = single_item_config()
+        result = simulate_uic(graph, model, Allocation({"item": [0]}),
+                              rng=1, max_rounds=2)
+        assert result.rounds <= 2
+        assert result.num_adopters == 3  # seed + two rounds
+
+    def test_result_helper(self):
+        graph = generators.line_graph(2)
+        model = single_item_config()
+        result = simulate_uic(graph, model, Allocation({"item": [0]}), rng=1)
+        assert result.adopted_bundle(0, model) == ("item",)
+        assert isinstance(result, DiffusionResult)

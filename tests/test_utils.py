@@ -1,0 +1,125 @@
+"""Tests for the shared utilities (RNG, timer, validation)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_int_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_ensure_rng_from_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_ensure_rng_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        children_a = spawn_rngs(3, 4)
+        children_b = spawn_rngs(3, 4)
+        assert len(children_a) == 4
+        for a, b in zip(children_a, children_b):
+            assert np.array_equal(a.integers(0, 100, 5), b.integers(0, 100, 5))
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_derive_seed(self):
+        assert derive_seed(5) == derive_seed(5)
+        assert isinstance(derive_seed(5), int)
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure("work"):
+            time.sleep(0.01)
+        with timer.measure("work"):
+            time.sleep(0.01)
+        assert timer.total("work") >= 0.02
+        assert timer.count("work") == 2
+        assert len(timer.laps("work")) == 2
+
+    def test_total_over_all_labels(self):
+        timer = Timer()
+        timer.add("a", 1.0)
+        timer.add("b", 2.0)
+        assert timer.total() == pytest.approx(3.0)
+        assert timer.as_dict() == {"a": 1.0, "b": 2.0}
+
+    def test_unknown_label(self):
+        timer = Timer()
+        assert timer.total("missing") == 0.0
+        assert timer.count("missing") == 0
+        assert timer.laps("missing") == []
+
+
+class TestValidation:
+    def test_check_probability(self):
+        assert check_probability(0.5) == 0.5
+        assert check_probability(0) == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.2)
+
+    def test_check_positive(self):
+        assert check_positive(3) == 3.0
+        with pytest.raises(ValueError):
+            check_positive(0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1)
+
+    def test_check_fraction(self):
+        assert check_fraction(0.3) == 0.3
+        assert check_fraction(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(0.0)
+        assert check_fraction(0.0, allow_zero=True) == 0.0
+
+    def test_check_int_in_range(self):
+        assert check_int_in_range(5, "x", 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_int_in_range(11, "x", 0, 10)
+        with pytest.raises(ValueError):
+            check_int_in_range(2.5, "x", 0)
+
+
+class TestResults:
+    def test_allocation_result_combined(self):
+        from repro.allocation import Allocation
+        from repro.core.results import AllocationResult
+        result = AllocationResult(
+            allocation=Allocation({"i": [1]}),
+            fixed_allocation=Allocation({"j": [2]}),
+            algorithm="test")
+        combined = result.combined_allocation()
+        assert combined.seeds_for("i") == (1,)
+        assert combined.seeds_for("j") == (2,)
+        assert result.seeds_for("i") == (1,)
+        assert result.estimated_welfare is None

@@ -1,0 +1,202 @@
+"""Unit and property tests for the valuation families."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UtilityModelError
+from repro.utility.items import ItemCatalog
+from repro.utility.valuation import (
+    AdditiveValuation,
+    ConcaveOverSumValuation,
+    CoverageValuation,
+    MaxPlusValuation,
+    TableValuation,
+    is_monotone,
+    is_submodular,
+    is_supermodular,
+)
+
+
+@pytest.fixture
+def abc():
+    return ItemCatalog(["a", "b", "c"])
+
+
+class TestTableValuation:
+    def test_explicit_values(self, abc):
+        v = TableValuation(abc, {"a": 1.0, "b": 2.0, ("a", "b"): 2.5})
+        assert v.value(["a"]) == 1.0
+        assert v.value(["a", "b"]) == 2.5
+        assert v.value([]) == 0.0
+
+    def test_monotone_closure_for_missing_bundles(self, abc):
+        v = TableValuation(abc, {"a": 1.0, "b": 2.0})
+        # {a, b} was not given: closure takes the max of given sub-bundles
+        assert v.value(["a", "b"]) == 2.0
+        assert v.value(["a", "b", "c"]) == 2.0
+
+    def test_bundle_keys_as_masks(self, abc):
+        v = TableValuation(abc, {0b011: 5.0, "a": 1.0})
+        assert v.value(["a", "b"]) == 5.0
+
+    def test_empty_bundle_must_be_zero(self, abc):
+        with pytest.raises(UtilityModelError):
+            TableValuation(abc, {(): 3.0})
+
+    def test_table_shape(self, abc):
+        v = TableValuation(abc, {"a": 1.0})
+        assert len(v.table()) == 8
+
+    def test_value_of_mask_range_check(self, abc):
+        v = TableValuation(abc, {"a": 1.0})
+        with pytest.raises(UtilityModelError):
+            v.value_of_mask(9)
+
+
+class TestAdditiveValuation:
+    def test_sum(self, abc):
+        v = AdditiveValuation(abc, {"a": 1.0, "b": 2.0, "c": 3.0})
+        assert v.value(["a", "c"]) == 4.0
+        assert v.value([]) == 0.0
+
+    def test_missing_item_rejected(self, abc):
+        with pytest.raises(UtilityModelError, match="missing"):
+            AdditiveValuation(abc, {"a": 1.0})
+
+    def test_is_modular(self, abc):
+        v = AdditiveValuation(abc, {"a": 1.0, "b": 2.0, "c": 3.0})
+        assert is_submodular(v)
+        assert is_supermodular(v)
+        assert is_monotone(v)
+
+
+class TestMaxPlusValuation:
+    def test_values(self, abc):
+        v = MaxPlusValuation(abc, {"a": 5.0, "b": 3.0, "c": 1.0}, bonus=0.5)
+        assert v.value(["b"]) == 3.0
+        assert v.value(["a", "b"]) == 5.5
+        assert v.value(["a", "b", "c"]) == 6.0
+
+    def test_monotone_and_submodular(self, abc):
+        v = MaxPlusValuation(abc, {"a": 5.0, "b": 3.0, "c": 1.0}, bonus=0.5)
+        assert is_monotone(v)
+        assert is_submodular(v)
+
+    def test_negative_bonus_rejected(self, abc):
+        with pytest.raises(UtilityModelError):
+            MaxPlusValuation(abc, {"a": 1.0, "b": 1.0, "c": 1.0}, bonus=-1.0)
+
+
+class TestConcaveOverSumValuation:
+    def test_values(self, abc):
+        v = ConcaveOverSumValuation(abc, {"a": 4.0, "b": 9.0, "c": 0.0},
+                                    exponent=0.5)
+        assert v.value(["a"]) == pytest.approx(2.0)
+        assert v.value(["b"]) == pytest.approx(3.0)
+        assert v.value(["a", "b"]) == pytest.approx(13 ** 0.5)
+
+    def test_monotone_and_submodular(self, abc):
+        v = ConcaveOverSumValuation(abc, {"a": 4.0, "b": 9.0, "c": 2.0},
+                                    exponent=0.7)
+        assert is_monotone(v)
+        assert is_submodular(v)
+
+    def test_invalid_exponent(self, abc):
+        with pytest.raises(UtilityModelError):
+            ConcaveOverSumValuation(abc, {"a": 1, "b": 1, "c": 1}, exponent=1.5)
+
+    def test_negative_values_rejected(self, abc):
+        with pytest.raises(UtilityModelError):
+            ConcaveOverSumValuation(abc, {"a": -1, "b": 1, "c": 1})
+
+    def test_custom_transform(self, abc):
+        v = ConcaveOverSumValuation(abc, {"a": 2.0, "b": 3.0, "c": 0.0},
+                                    transform=lambda x: min(x, 4.0))
+        assert v.value(["a", "b"]) == 4.0
+
+
+class TestCoverageValuation:
+    def test_coverage(self, abc):
+        v = CoverageValuation(abc, {"a": ["f1", "f2"], "b": ["f2", "f3"],
+                                    "c": []})
+        assert v.value(["a"]) == 2.0
+        assert v.value(["a", "b"]) == 3.0
+        assert v.value(["c"]) == 0.0
+
+    def test_feature_weights(self, abc):
+        v = CoverageValuation(abc, {"a": ["f1"], "b": ["f2"], "c": []},
+                              feature_weights={"f1": 5.0})
+        assert v.value(["a"]) == 5.0
+        assert v.value(["a", "b"]) == 6.0
+
+    def test_monotone_and_submodular(self, abc):
+        v = CoverageValuation(abc, {"a": ["f1", "f2"], "b": ["f2"],
+                                    "c": ["f3", "f1"]})
+        assert is_monotone(v)
+        assert is_submodular(v)
+
+
+class TestValidators:
+    def test_non_monotone_detected(self, abc):
+        v = TableValuation(abc, {"a": 5.0, ("a", "b"): 1.0, "b": 0.5})
+        assert not is_monotone(v)
+
+    def test_supermodular_detected(self, abc):
+        v = TableValuation(abc, {"a": 1.0, "b": 1.0, "c": 1.0,
+                                 ("a", "b"): 4.0, ("a", "c"): 4.0,
+                                 ("b", "c"): 4.0, ("a", "b", "c"): 12.0})
+        assert is_supermodular(v)
+        assert not is_submodular(v)
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+item_values = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=2, max_size=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=item_values, bonus=st.floats(min_value=0.0, max_value=5.0))
+def test_maxplus_always_monotone_submodular(values, bonus):
+    catalog = ItemCatalog([f"x{k}" for k in range(len(values))])
+    valuation = MaxPlusValuation(
+        catalog, {f"x{k}": v for k, v in enumerate(values)}, bonus=bonus)
+    assert is_monotone(valuation)
+    # submodularity additionally needs the bonus to be at most the smallest
+    # item value (see the class docstring); all shipped configs satisfy it
+    if bonus <= min(values):
+        assert is_submodular(valuation)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=item_values,
+       exponent=st.floats(min_value=0.1, max_value=1.0))
+def test_concave_over_sum_always_monotone_submodular(values, exponent):
+    catalog = ItemCatalog([f"x{k}" for k in range(len(values))])
+    valuation = ConcaveOverSumValuation(
+        catalog, {f"x{k}": v for k, v in enumerate(values)}, exponent=exponent)
+    assert is_monotone(valuation)
+    assert is_submodular(valuation)
+
+
+@settings(max_examples=30, deadline=None)
+@given(features=st.lists(st.lists(st.sampled_from(["f1", "f2", "f3", "f4"]),
+                                  max_size=4), min_size=2, max_size=4))
+def test_coverage_always_monotone_submodular(features):
+    catalog = ItemCatalog([f"x{k}" for k in range(len(features))])
+    valuation = CoverageValuation(
+        catalog, {f"x{k}": feats for k, feats in enumerate(features)})
+    assert is_monotone(valuation)
+    assert is_submodular(valuation)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=item_values)
+def test_additive_is_modular(values):
+    catalog = ItemCatalog([f"x{k}" for k in range(len(values))])
+    valuation = AdditiveValuation(
+        catalog, {f"x{k}": v for k, v in enumerate(values)})
+    assert is_submodular(valuation)
+    assert is_supermodular(valuation)

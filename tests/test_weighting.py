@@ -1,0 +1,68 @@
+"""Unit tests for edge-probability weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_in_degree(self):
+        g = DirectedGraph.from_edges(
+            4, [(0, 3, 1.0), (1, 3, 1.0), (2, 3, 1.0), (0, 1, 1.0)])
+        wc = weighting.weighted_cascade(g)
+        assert wc.edge_probability(0, 3) == pytest.approx(1.0 / 3.0)
+        assert wc.edge_probability(1, 3) == pytest.approx(1.0 / 3.0)
+        assert wc.edge_probability(0, 1) == pytest.approx(1.0)
+
+    def test_structure_preserved(self):
+        g = generators.erdos_renyi(80, 4.0, rng=1)
+        wc = weighting.weighted_cascade(g)
+        assert wc.num_edges == g.num_edges
+        assert set((u, v) for u, v, _ in wc.edges()) == \
+            set((u, v) for u, v, _ in g.edges())
+
+    def test_all_probabilities_valid(self):
+        g = generators.preferential_attachment(100, 3, rng=2)
+        wc = weighting.weighted_cascade(g)
+        probs = [p for _, _, p in wc.edges()]
+        assert all(0 < p <= 1 for p in probs)
+
+    def test_incoming_probabilities_sum_to_one(self):
+        g = generators.erdos_renyi(60, 5.0, rng=3)
+        wc = weighting.weighted_cascade(g)
+        for node in range(60):
+            _, probs = wc.in_neighbors(node)
+            if len(probs):
+                assert probs.sum() == pytest.approx(1.0)
+
+
+class TestUniform:
+    def test_constant_probability(self):
+        g = generators.line_graph(10)
+        u = weighting.uniform(g, 0.05)
+        assert all(p == pytest.approx(0.05) for _, _, p in u.edges())
+
+    def test_invalid_probability(self):
+        g = generators.line_graph(3)
+        with pytest.raises(ValueError):
+            weighting.uniform(g, 1.5)
+
+
+class TestTrivalency:
+    def test_values_from_choices(self):
+        g = generators.erdos_renyi(50, 4.0, rng=4)
+        t = weighting.trivalency(g, rng=5)
+        values = {round(p, 4) for _, _, p in t.edges()}
+        assert values <= {0.1, 0.01, 0.001}
+
+    def test_custom_choices(self):
+        g = generators.line_graph(20)
+        t = weighting.trivalency(g, rng=5, choices=(0.5,))
+        assert all(p == pytest.approx(0.5) for _, _, p in t.edges())
+
+    def test_invalid_choice(self):
+        g = generators.line_graph(3)
+        with pytest.raises(ValueError):
+            weighting.trivalency(g, rng=1, choices=(2.0,))

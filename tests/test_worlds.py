@@ -1,0 +1,78 @@
+"""Tests for possible-world sampling (edge worlds and noise worlds)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.worlds import EdgeWorld, LazyEdgeWorld, sample_edge_world
+from repro.graphs import generators
+from repro.graphs.graph import DirectedGraph
+
+
+class TestSampleEdgeWorld:
+    def test_probability_one_keeps_all_edges(self, rng):
+        g = generators.line_graph(6, prob=1.0)
+        world = sample_edge_world(g, rng)
+        assert world.num_live_edges() == g.num_edges
+
+    def test_probability_zero_removes_all_edges(self, rng):
+        g = generators.line_graph(6, prob=0.0)
+        world = sample_edge_world(g, rng)
+        assert world.num_live_edges() == 0
+
+    def test_live_edges_subset_of_graph_edges(self, rng):
+        g = generators.erdos_renyi(80, 4.0, rng=1)
+        world = sample_edge_world(g, rng)
+        for u in range(g.num_nodes):
+            graph_nbrs = set(g.out_neighbors(u)[0].tolist())
+            for v in world.out_neighbors(u):
+                assert int(v) in graph_nbrs
+
+    def test_live_fraction_close_to_probability(self, rng):
+        g = generators.complete_graph(40, prob=0.3)
+        world = sample_edge_world(g, rng)
+        fraction = world.num_live_edges() / g.num_edges
+        assert 0.2 < fraction < 0.4
+
+    def test_num_nodes(self, rng):
+        g = generators.line_graph(7)
+        assert sample_edge_world(g, rng).num_nodes == 7
+
+
+class TestLazyEdgeWorld:
+    def test_caching_is_consistent(self):
+        g = generators.complete_graph(20, prob=0.5)
+        world = LazyEdgeWorld(g, rng=3)
+        first = world.out_neighbors(0)
+        second = world.out_neighbors(0)
+        assert np.array_equal(first, second)
+
+    def test_deterministic_probability_extremes(self):
+        g = DirectedGraph.from_edges(3, [(0, 1, 1.0), (0, 2, 0.0)])
+        world = LazyEdgeWorld(g, rng=1)
+        live = world.out_neighbors(0).tolist()
+        assert live == [1]
+
+    def test_no_out_edges(self):
+        g = generators.line_graph(3)
+        world = LazyEdgeWorld(g, rng=1)
+        assert len(world.out_neighbors(2)) == 0
+
+    def test_num_nodes(self):
+        g = generators.line_graph(4)
+        assert LazyEdgeWorld(g, rng=1).num_nodes == 4
+
+    def test_same_seed_same_world(self):
+        g = generators.erdos_renyi(50, 4.0, rng=2)
+        w1 = LazyEdgeWorld(g, rng=9)
+        w2 = LazyEdgeWorld(g, rng=9)
+        for node in range(50):
+            assert np.array_equal(w1.out_neighbors(node),
+                                  w2.out_neighbors(node))
+
+
+class TestEdgeWorldDataclass:
+    def test_manual_world(self):
+        world = EdgeWorld(live_out=[np.array([1]), np.array([], dtype=np.int64)])
+        assert world.num_nodes == 2
+        assert world.num_live_edges() == 1
+        assert world.out_neighbors(0).tolist() == [1]
