@@ -42,6 +42,14 @@ from repro.diffusion import (
     simulate_ic,
     simulate_uic,
 )
+from repro.engine import (
+    ENGINE_PYTHON,
+    ENGINE_VECTORIZED,
+    BatchDiffusionResult,
+    resolve_engine,
+    simulate_ic_batch,
+    simulate_uic_batch,
+)
 from repro.graphs import DirectedGraph, load_network, weighted_cascade
 from repro.rrsets import IMMOptions, imm, marginal_imm
 from repro.utility import (
@@ -93,6 +101,13 @@ __all__ = [
     # diffusion / estimation
     "simulate_uic",
     "simulate_ic",
+    # vectorized engine
+    "ENGINE_PYTHON",
+    "ENGINE_VECTORIZED",
+    "resolve_engine",
+    "simulate_uic_batch",
+    "simulate_ic_batch",
+    "BatchDiffusionResult",
     "estimate_welfare",
     "estimate_marginal_welfare",
     "estimate_spread",

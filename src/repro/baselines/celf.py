@@ -24,9 +24,8 @@ import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.allocation import Allocation, validate_budgets
-from repro.core.results import AllocationResult
+from repro.core.results import AllocationResult, degenerate_result
 from repro.diffusion.estimators import estimate_marginal_welfare, estimate_welfare
-from repro.exceptions import AlgorithmError
 from repro.graphs.graph import DirectedGraph
 from repro.utility.model import UtilityModel
 from repro.utils.rng import RngLike, ensure_rng
@@ -39,7 +38,8 @@ def celf_greedy_wm(graph: DirectedGraph, model: UtilityModel,
                    candidate_pool: Optional[Sequence[int]] = None,
                    evaluate_welfare: bool = False,
                    n_evaluation_samples: int = 500,
-                   rng: RngLike = None) -> AllocationResult:
+                   rng: RngLike = None,
+                   engine: Optional[str] = None) -> AllocationResult:
     """Greedy (node, item) welfare maximization with CELF lazy evaluation.
 
     Parameters match :func:`repro.baselines.greedy_wm.greedy_wm`; the result
@@ -53,7 +53,14 @@ def celf_greedy_wm(graph: DirectedGraph, model: UtilityModel,
     budgets = validate_budgets(budgets, model.catalog)
     remaining = {item: budget for item, budget in budgets.items() if budget > 0}
     if not remaining:
-        raise AlgorithmError("at least one item must have a positive budget")
+        # all budgets are zero: nothing to select (consistent with SupGRD
+        # and the heuristics, which also return an empty allocation)
+        return degenerate_result(
+            graph, model, fixed_allocation, "CELF-greedyWM",
+            evaluate_welfare, n_evaluation_samples, rng, engine,
+            details={"selections": [], "marginal_evaluations": 0,
+                     "candidate_pool_size": 0,
+                     "restricted_pool": candidate_pool is not None})
 
     start = time.perf_counter()
     if candidate_pool is None:
@@ -71,7 +78,7 @@ def celf_greedy_wm(graph: DirectedGraph, model: UtilityModel,
         base = allocation.union(fixed_allocation)
         return estimate_marginal_welfare(
             graph, model, base, Allocation.single(node, item),
-            n_samples=n_marginal_samples, rng=rng)
+            n_samples=n_marginal_samples, rng=rng, engine=engine)
 
     # initial pass: evaluate every candidate once (same cost as the first
     # round of exhaustive greedy) and build the lazy queue.
@@ -107,7 +114,7 @@ def celf_greedy_wm(graph: DirectedGraph, model: UtilityModel,
         estimated = estimate_welfare(graph, model,
                                      allocation.union(fixed_allocation),
                                      n_samples=n_evaluation_samples,
-                                     rng=rng).mean
+                                     rng=rng, engine=engine).mean
     return AllocationResult(
         allocation=allocation,
         fixed_allocation=fixed_allocation,

@@ -21,9 +21,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.allocation import Allocation, validate_budgets
-from repro.core.results import AllocationResult
+from repro.core.results import AllocationResult, degenerate_result
 from repro.diffusion.estimators import estimate_marginal_welfare, estimate_welfare
-from repro.exceptions import AlgorithmError
 from repro.graphs.graph import DirectedGraph
 from repro.utility.model import UtilityModel
 from repro.utils.rng import RngLike, ensure_rng
@@ -36,7 +35,8 @@ def greedy_wm(graph: DirectedGraph, model: UtilityModel,
               candidate_pool: Optional[Sequence[int]] = None,
               evaluate_welfare: bool = False,
               n_evaluation_samples: int = 500,
-              rng: RngLike = None) -> AllocationResult:
+              rng: RngLike = None,
+              engine: Optional[str] = None) -> AllocationResult:
     """Greedy welfare maximization over (node, item) pairs.
 
     Parameters
@@ -53,7 +53,13 @@ def greedy_wm(graph: DirectedGraph, model: UtilityModel,
     budgets = validate_budgets(budgets, model.catalog)
     remaining = {item: budget for item, budget in budgets.items() if budget > 0}
     if not remaining:
-        raise AlgorithmError("at least one item must have a positive budget")
+        # all budgets are zero: nothing to select (consistent with SupGRD
+        # and the heuristics, which also return an empty allocation)
+        return degenerate_result(
+            graph, model, fixed_allocation, "greedyWM",
+            evaluate_welfare, n_evaluation_samples, rng, engine,
+            details={"selections": [], "candidate_pool_size": 0,
+                     "restricted_pool": candidate_pool is not None})
 
     start = time.perf_counter()
     if candidate_pool is None:
@@ -76,7 +82,7 @@ def greedy_wm(graph: DirectedGraph, model: UtilityModel,
                     continue
                 gain = estimate_marginal_welfare(
                     graph, model, base, Allocation.single(node, item),
-                    n_samples=n_marginal_samples, rng=rng)
+                    n_samples=n_marginal_samples, rng=rng, engine=engine)
                 if gain > best_gain:
                     best_gain = gain
                     best_pair = (node, item)
@@ -94,7 +100,7 @@ def greedy_wm(graph: DirectedGraph, model: UtilityModel,
         estimated = estimate_welfare(graph, model,
                                      allocation.union(fixed_allocation),
                                      n_samples=n_evaluation_samples,
-                                     rng=rng).mean
+                                     rng=rng, engine=engine).mean
     return AllocationResult(
         allocation=allocation,
         fixed_allocation=fixed_allocation,

@@ -24,9 +24,8 @@ import numpy as np
 
 from repro.allocation import Allocation, validate_budgets
 from repro.core.prima import prima_plus
-from repro.core.results import AllocationResult
+from repro.core.results import AllocationResult, degenerate_result
 from repro.diffusion.estimators import estimate_welfare
-from repro.exceptions import AlgorithmError
 from repro.graphs.graph import DirectedGraph
 from repro.rrsets.imm import IMMOptions
 from repro.utility.model import UtilityModel
@@ -62,11 +61,12 @@ def round_robin(graph: DirectedGraph, model: UtilityModel,
                 options: Optional[IMMOptions] = None,
                 evaluate_welfare: bool = False,
                 n_evaluation_samples: int = 500,
-                rng: RngLike = None) -> AllocationResult:
+                rng: RngLike = None,
+                engine: Optional[str] = None) -> AllocationResult:
     """Round-robin item assignment over the ordered seed pool."""
     return _interleaved(graph, model, budgets, fixed_allocation, seed_pool,
                         options, evaluate_welfare, n_evaluation_samples, rng,
-                        snake=False)
+                        snake=False, engine=engine)
 
 
 def snake(graph: DirectedGraph, model: UtilityModel,
@@ -76,11 +76,12 @@ def snake(graph: DirectedGraph, model: UtilityModel,
           options: Optional[IMMOptions] = None,
           evaluate_welfare: bool = False,
           n_evaluation_samples: int = 500,
-          rng: RngLike = None) -> AllocationResult:
+          rng: RngLike = None,
+          engine: Optional[str] = None) -> AllocationResult:
     """Snake (boustrophedon) item assignment over the ordered seed pool."""
     return _interleaved(graph, model, budgets, fixed_allocation, seed_pool,
                         options, evaluate_welfare, n_evaluation_samples, rng,
-                        snake=True)
+                        snake=True, engine=engine)
 
 
 def _interleaved(graph: DirectedGraph, model: UtilityModel,
@@ -89,13 +90,20 @@ def _interleaved(graph: DirectedGraph, model: UtilityModel,
                  seed_pool: Optional[Sequence[int]],
                  options: Optional[IMMOptions],
                  evaluate_welfare: bool, n_evaluation_samples: int,
-                 rng: RngLike, snake: bool) -> AllocationResult:
+                 rng: RngLike, snake: bool,
+                 engine: Optional[str] = None) -> AllocationResult:
     rng = ensure_rng(rng)
     fixed_allocation = fixed_allocation or Allocation.empty()
     budgets = validate_budgets(budgets, model.catalog)
     items = _ordered_items(model, budgets, rng)
     if not items:
-        raise AlgorithmError("at least one item must have a positive budget")
+        # all budgets are zero: nothing to assign (consistent with SupGRD
+        # and the greedy baselines, which also return an empty allocation)
+        return degenerate_result(
+            graph, model, fixed_allocation,
+            "Snake" if snake else "Round-robin",
+            evaluate_welfare, n_evaluation_samples, rng, engine,
+            details={"seed_pool": [], "item_order": []})
 
     start = time.perf_counter()
     pool = _seed_pool(graph, budgets, fixed_allocation, options, rng, seed_pool)
@@ -124,7 +132,7 @@ def _interleaved(graph: DirectedGraph, model: UtilityModel,
         estimated = estimate_welfare(graph, model,
                                      allocation.union(fixed_allocation),
                                      n_samples=n_evaluation_samples,
-                                     rng=rng).mean
+                                     rng=rng, engine=engine).mean
     return AllocationResult(
         allocation=allocation,
         fixed_allocation=fixed_allocation,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -27,6 +28,7 @@ from repro.allocation import Allocation
 from repro.baselines import greedy_wm, round_robin, snake, tcim
 from repro.core import best_of, maxgrd, seqgrd, seqgrd_nm, supgrd
 from repro.diffusion.estimators import estimate_welfare
+from repro.engine.config import ENGINE_ENV_VAR
 from repro.exceptions import ReproError
 from repro.experiments import (
     figure3,
@@ -136,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epsilon", type=float, default=0.5)
     run.add_argument("--ell", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=2020)
+    run.add_argument("--engine", choices=["python", "vectorized"],
+                     default=None,
+                     help="Monte-Carlo engine: the scalar reference "
+                          "('python') or the batched vectorized engine "
+                          "(the default)")
     run.add_argument("--json", action="store_true",
                      help="print machine-readable JSON instead of text")
 
@@ -203,6 +210,23 @@ def _load_graph(name_or_path: str, scale: Optional[float], seed: int):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.engine:
+        # flip the default engine of every estimator/sampler for the
+        # duration of this run only (restored on exit so in-process
+        # embedders are not affected)
+        previous = os.environ.get(ENGINE_ENV_VAR)
+        os.environ[ENGINE_ENV_VAR] = args.engine
+        try:
+            return _cmd_run_inner(args)
+        finally:
+            if previous is None:
+                os.environ.pop(ENGINE_ENV_VAR, None)
+            else:
+                os.environ[ENGINE_ENV_VAR] = previous
+    return _cmd_run_inner(args)
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
     graph = _load_graph(args.network, args.scale, args.seed)
     model = CONFIGURATIONS[args.configuration]()
     options = IMMOptions(epsilon=args.epsilon, ell=args.ell,

@@ -33,7 +33,8 @@ def maxgrd(graph: DirectedGraph, model: UtilityModel,
            options: Optional[IMMOptions] = None,
            evaluate_welfare: bool = False,
            n_evaluation_samples: int = 500,
-           rng: RngLike = None) -> AllocationResult:
+           rng: RngLike = None,
+           engine: Optional[str] = None) -> AllocationResult:
     """Run MaxGRD and return the chosen single-item allocation.
 
     Parameters
@@ -77,7 +78,7 @@ def maxgrd(graph: DirectedGraph, model: UtilityModel,
         elif use_simulation:
             scores[item] = estimate_marginal_welfare(
                 graph, model, fixed_allocation, candidate,
-                n_samples=n_marginal_samples, rng=rng)
+                n_samples=n_marginal_samples, rng=rng, engine=engine)
         else:
             utility = model.expected_truncated_utility(item, rng=rng)
             scores[item] = utility * prima.prefix_spread(budgets[item])
@@ -91,7 +92,7 @@ def maxgrd(graph: DirectedGraph, model: UtilityModel,
         estimated = estimate_welfare(graph, model,
                                      allocation.union(fixed_allocation),
                                      n_samples=n_evaluation_samples,
-                                     rng=rng).mean
+                                     rng=rng, engine=engine).mean
     return AllocationResult(
         allocation=allocation,
         fixed_allocation=fixed_allocation,

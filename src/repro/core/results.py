@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.allocation import Allocation
+from repro.utils.rng import RngLike
 
 
 @dataclass
@@ -47,4 +48,40 @@ class AllocationResult:
         return self.allocation.seeds_for(item)
 
 
-__all__ = ["AllocationResult"]
+def degenerate_result(graph, model, fixed_allocation: Allocation,
+                      algorithm: str,
+                      evaluate_welfare: bool = False,
+                      n_evaluation_samples: int = 500,
+                      rng: RngLike = None,
+                      engine: Optional[str] = None,
+                      details: Optional[Dict[str, object]] = None
+                      ) -> AllocationResult:
+    """Empty :class:`AllocationResult` for degenerate inputs.
+
+    The shared contract for all-zero budget vectors and empty graphs:
+    nothing is selected, ``details["zero_budget"]`` is set, and (when the
+    caller asked for an evaluation) ``estimated_welfare`` is the welfare of
+    the *fixed* allocation alone — the welfare that actually propagates when
+    the algorithm has nothing to add.
+    """
+    estimated = None
+    if evaluate_welfare:
+        from repro.diffusion.estimators import estimate_welfare
+
+        estimated = estimate_welfare(graph, model, fixed_allocation,
+                                     n_samples=n_evaluation_samples,
+                                     rng=rng, engine=engine).mean
+    merged: Dict[str, object] = {"zero_budget": True}
+    if details:
+        merged.update(details)
+    return AllocationResult(
+        allocation=Allocation.empty(),
+        fixed_allocation=fixed_allocation,
+        algorithm=algorithm,
+        estimated_welfare=estimated,
+        runtime_seconds=0.0,
+        details=merged,
+    )
+
+
+__all__ = ["AllocationResult", "degenerate_result"]

@@ -39,7 +39,8 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
            options: Optional[IMMOptions] = None,
            evaluate_welfare: bool = False,
            n_evaluation_samples: int = 500,
-           rng: RngLike = None) -> AllocationResult:
+           rng: RngLike = None,
+           engine: Optional[str] = None) -> AllocationResult:
     """Run SeqGRD (or SeqGRD-NM when ``marginal_check=False``).
 
     Parameters
@@ -99,7 +100,7 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
             base = allocation.union(fixed_allocation)
             marginal = estimate_marginal_welfare(
                 graph, model, base, candidate,
-                n_samples=n_marginal_samples, rng=rng)
+                n_samples=n_marginal_samples, rng=rng, engine=engine)
             marginals[item] = marginal
             if marginal <= 0.0:
                 skipped.append(item)
@@ -125,7 +126,7 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
         estimated = estimate_welfare(graph, model,
                                      allocation.union(fixed_allocation),
                                      n_samples=n_evaluation_samples,
-                                     rng=rng).mean
+                                     rng=rng, engine=engine).mean
     return AllocationResult(
         allocation=allocation,
         fixed_allocation=fixed_allocation,
@@ -150,12 +151,14 @@ def seqgrd_nm(graph: DirectedGraph, model: UtilityModel,
               options: Optional[IMMOptions] = None,
               evaluate_welfare: bool = False,
               n_evaluation_samples: int = 500,
-              rng: RngLike = None) -> AllocationResult:
+              rng: RngLike = None,
+              engine: Optional[str] = None) -> AllocationResult:
     """SeqGRD-NM: SeqGRD without the Monte-Carlo marginal check."""
     return seqgrd(graph, model, budgets, fixed_allocation,
                   marginal_check=False, options=options,
                   evaluate_welfare=evaluate_welfare,
-                  n_evaluation_samples=n_evaluation_samples, rng=rng)
+                  n_evaluation_samples=n_evaluation_samples, rng=rng,
+                  engine=engine)
 
 
 def _check_item_split(budgets: Mapping[str, int],

@@ -24,8 +24,9 @@ from typing import Optional
 import numpy as np
 
 from repro.allocation import Allocation
-from repro.core.results import AllocationResult
+from repro.core.results import AllocationResult, degenerate_result
 from repro.diffusion.estimators import estimate_welfare
+from repro.engine.config import ENGINE_VECTORIZED, resolve_engine
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import DirectedGraph
 from repro.rrsets.imm import IMMOptions, run_imm_engine
@@ -42,7 +43,8 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
            options: Optional[IMMOptions] = None,
            evaluate_welfare: bool = False,
            n_evaluation_samples: int = 500,
-           rng: RngLike = None) -> AllocationResult:
+           rng: RngLike = None,
+           engine: Optional[str] = None) -> AllocationResult:
     """Select ``budget`` seeds for the superior item on top of ``S_P``.
 
     Parameters
@@ -78,6 +80,16 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
     if enforce_preconditions:
         _check_preconditions(model, superior_item, fixed_allocation)
 
+    if graph.num_nodes == 0 or budget == 0:
+        # degenerate inputs: nothing to seed — mirror the budget == 0
+        # behaviour instead of letting the samplers crash on an empty graph
+        return degenerate_result(
+            graph, model, fixed_allocation, "SupGRD",
+            evaluate_welfare, n_evaluation_samples, rng, engine,
+            details={"superior_item": superior_item, "num_rr_sets": 0,
+                     "zero_budget": budget == 0,
+                     "empty_graph": graph.num_nodes == 0})
+
     start = time.perf_counter()
     sampler_state = WeightedRRSampler(graph, model, superior_item,
                                       fixed_allocation, rng=rng)
@@ -95,10 +107,16 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
         rr = sampler_state.sample(generator)
         return rr.nodes, rr.weight
 
+    batch_sampler = None
+    if resolve_engine(engine) == ENGINE_VECTORIZED:
+        def batch_sampler(generator: np.random.Generator, count: int):
+            return [(rr.nodes, rr.weight)
+                    for rr in sampler_state.sample_batch(generator, count)]
+
     imm_result = run_imm_engine(
         graph.num_nodes, budget, sampler,
         max_value=float(graph.num_nodes) * superior_utility,
-        options=options, rng=rng)
+        options=options, rng=rng, batch_sampler=batch_sampler)
     allocation = Allocation({superior_item: imm_result.seeds}) \
         if imm_result.seeds else Allocation.empty()
     runtime = time.perf_counter() - start
@@ -108,7 +126,7 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
         estimated = estimate_welfare(graph, model,
                                      allocation.union(fixed_allocation),
                                      n_samples=n_evaluation_samples,
-                                     rng=rng).mean
+                                     rng=rng, engine=engine).mean
     return AllocationResult(
         allocation=allocation,
         fixed_allocation=fixed_allocation,

@@ -10,13 +10,21 @@ All estimators accept an explicit sample count and RNG; marginal estimates
 use *common random numbers* (the same possible worlds for both allocations)
 to reduce variance, which mirrors the paper's practice of averaging 5000
 simulations for every marginal-gain evaluation.
+
+Every estimator also accepts ``engine="python"|"vectorized"``
+(:mod:`repro.engine.config`): the scalar path simulates one possible world
+at a time with the reference simulators, the vectorized path requests
+batches of worlds from :mod:`repro.engine.forward`.  Both are unbiased
+estimators of the same quantity; they consume the RNG differently, so
+point estimates under a fixed seed differ between engines (but each engine
+is individually deterministic for a given seed).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +32,7 @@ from repro.allocation import Allocation
 from repro.diffusion.ic import simulate_ic
 from repro.diffusion.uic import simulate_uic
 from repro.diffusion.worlds import LazyEdgeWorld
+from repro.engine.config import ENGINE_PYTHON, batch_size, resolve_engine
 from repro.graphs.graph import DirectedGraph
 from repro.utility.model import UtilityModel
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -44,21 +53,10 @@ class WelfareEstimate:
         return (self.mean - z * self.std_error, self.mean + z * self.std_error)
 
 
-def estimate_welfare(graph: DirectedGraph, model: UtilityModel,
-                     allocation: Allocation, n_samples: int = 1_000,
-                     rng: RngLike = None) -> WelfareEstimate:
-    """Estimate ``ρ(S)`` by averaging ``n_samples`` independent diffusions."""
-    rng = ensure_rng(rng)
-    n_samples = max(1, int(n_samples))
-    welfare_draws = np.empty(n_samples, dtype=np.float64)
-    counts_total: Dict[str, float] = {name: 0.0 for name in model.items}
-    adopters_total = 0.0
-    for s in range(n_samples):
-        result = simulate_uic(graph, model, allocation, rng=rng)
-        welfare_draws[s] = result.welfare
-        for name, count in result.adoption_counts.items():
-            counts_total[name] += count
-        adopters_total += result.num_adopters
+def _summarize_welfare(welfare_draws: np.ndarray,
+                       counts_total: Dict[str, float],
+                       adopters_total: float) -> WelfareEstimate:
+    n_samples = len(welfare_draws)
     mean = float(welfare_draws.mean())
     std_error = float(welfare_draws.std(ddof=1) / math.sqrt(n_samples)) \
         if n_samples > 1 else 0.0
@@ -71,10 +69,49 @@ def estimate_welfare(graph: DirectedGraph, model: UtilityModel,
     )
 
 
+def estimate_welfare(graph: DirectedGraph, model: UtilityModel,
+                     allocation: Allocation, n_samples: int = 1_000,
+                     rng: RngLike = None,
+                     engine: Optional[str] = None) -> WelfareEstimate:
+    """Estimate ``ρ(S)`` by averaging ``n_samples`` independent diffusions."""
+    rng = ensure_rng(rng)
+    n_samples = max(1, int(n_samples))
+    counts_total: Dict[str, float] = {name: 0.0 for name in model.items}
+    adopters_total = 0.0
+
+    if resolve_engine(engine) == ENGINE_PYTHON:
+        welfare_draws = np.empty(n_samples, dtype=np.float64)
+        for s in range(n_samples):
+            result = simulate_uic(graph, model, allocation, rng=rng)
+            welfare_draws[s] = result.welfare
+            for name, count in result.adoption_counts.items():
+                counts_total[name] += count
+            adopters_total += result.num_adopters
+        return _summarize_welfare(welfare_draws, counts_total, adopters_total)
+
+    from repro.engine.forward import simulate_uic_batch
+
+    # bound the batch by nodes *and* edges: the lazy coin cache is (B, m)
+    state_size = max(graph.num_nodes, graph.num_edges)
+    welfare_draws = np.empty(n_samples, dtype=np.float64)
+    done = 0
+    while done < n_samples:
+        batch = batch_size(state_size, n_samples - done)
+        result = simulate_uic_batch(graph, model, allocation,
+                                    n_worlds=batch, rng=rng)
+        welfare_draws[done:done + batch] = result.welfare
+        for name, counts in result.adoption_counts.items():
+            counts_total[name] += float(counts.sum())
+        adopters_total += float(result.num_adopters.sum())
+        done += batch
+    return _summarize_welfare(welfare_draws, counts_total, adopters_total)
+
+
 def estimate_marginal_welfare(graph: DirectedGraph, model: UtilityModel,
                               base: Allocation, extra: Allocation,
                               n_samples: int = 1_000,
-                              rng: RngLike = None) -> float:
+                              rng: RngLike = None,
+                              engine: Optional[str] = None) -> float:
     """Estimate ``ρ(base ∪ extra) - ρ(base)`` with common random numbers.
 
     Both allocations are simulated in the *same* possible worlds (same edge
@@ -85,60 +122,127 @@ def estimate_marginal_welfare(graph: DirectedGraph, model: UtilityModel,
     rng = ensure_rng(rng)
     n_samples = max(1, int(n_samples))
     combined = base.union(extra)
-    total = 0.0
-    for world_rng in spawn_rngs(rng, n_samples):
-        seed = int(world_rng.integers(0, 2**62))
-        noise = model.sample_noise_world(world_rng)
-        base_world = LazyEdgeWorld(graph, np.random.default_rng(seed))
-        combined_world = LazyEdgeWorld(graph, np.random.default_rng(seed))
-        base_result = simulate_uic(graph, model, base, edge_world=base_world,
-                                   noise_world=noise)
-        combined_result = simulate_uic(graph, model, combined,
-                                       edge_world=combined_world,
+
+    if resolve_engine(engine) == ENGINE_PYTHON:
+        total = 0.0
+        for world_rng in spawn_rngs(rng, n_samples):
+            seed = int(world_rng.integers(0, 2**62))
+            noise = model.sample_noise_world(world_rng)
+            base_world = LazyEdgeWorld(graph, np.random.default_rng(seed))
+            combined_world = LazyEdgeWorld(graph, np.random.default_rng(seed))
+            base_result = simulate_uic(graph, model, base,
+                                       edge_world=base_world,
                                        noise_world=noise)
-        total += combined_result.welfare - base_result.welfare
+            combined_result = simulate_uic(graph, model, combined,
+                                           edge_world=combined_world,
+                                           noise_world=noise)
+            total += combined_result.welfare - base_result.welfare
+        return total / n_samples
+
+    from repro.engine.coins import FixedCoinBatch, sample_edge_coin_matrix
+    from repro.engine.forward import simulate_uic_batch
+
+    # bound the batch by nodes *and* edges: the shared coin matrix is (B, m)
+    state_size = max(graph.num_nodes, graph.num_edges)
+    total = 0.0
+    done = 0
+    while done < n_samples:
+        batch = batch_size(state_size, n_samples - done)
+        noise = model.sample_noise_worlds(rng, batch)
+        coins = FixedCoinBatch(graph,
+                               sample_edge_coin_matrix(graph, batch, rng))
+        base_result = simulate_uic_batch(graph, model, base, n_worlds=batch,
+                                         edge_worlds=coins,
+                                         noise_worlds=noise)
+        combined_result = simulate_uic_batch(graph, model, combined,
+                                             n_worlds=batch,
+                                             edge_worlds=coins,
+                                             noise_worlds=noise)
+        total += float((combined_result.welfare - base_result.welfare).sum())
+        done += batch
     return total / n_samples
 
 
 def estimate_spread(graph: DirectedGraph, seeds: Iterable[int],
-                    n_samples: int = 1_000, rng: RngLike = None) -> float:
+                    n_samples: int = 1_000, rng: RngLike = None,
+                    engine: Optional[str] = None) -> float:
     """Estimate the IC influence spread ``σ(S)`` of a seed set."""
     rng = ensure_rng(rng)
     seeds = list(int(v) for v in seeds)
     if not seeds:
         return 0.0
     n_samples = max(1, int(n_samples))
-    total = 0
-    for _ in range(n_samples):
-        total += len(simulate_ic(graph, seeds, rng=rng))
+
+    if resolve_engine(engine) == ENGINE_PYTHON:
+        total = 0
+        for _ in range(n_samples):
+            total += len(simulate_ic(graph, seeds, rng=rng))
+        return total / n_samples
+
+    from repro.engine.forward import simulate_ic_batch
+
+    total = 0.0
+    done = 0
+    while done < n_samples:
+        batch = batch_size(graph.num_nodes, n_samples - done)
+        active = simulate_ic_batch(graph, seeds, batch, rng=rng)
+        total += float(np.count_nonzero(active))
+        done += batch
     return total / n_samples
 
 
 def estimate_marginal_spread(graph: DirectedGraph, base: Iterable[int],
                              extra: Iterable[int], n_samples: int = 1_000,
-                             rng: RngLike = None) -> float:
+                             rng: RngLike = None,
+                             engine: Optional[str] = None) -> float:
     """Estimate ``σ(base ∪ extra) - σ(base)`` with common random numbers."""
     rng = ensure_rng(rng)
     base = list(int(v) for v in base)
     extra = list(int(v) for v in extra)
     combined = sorted(set(base) | set(extra))
     n_samples = max(1, int(n_samples))
+
+    if resolve_engine(engine) == ENGINE_PYTHON:
+        total = 0.0
+        for world_rng in spawn_rngs(rng, n_samples):
+            seed = int(world_rng.integers(0, 2**62))
+            world_a = LazyEdgeWorld(graph, np.random.default_rng(seed))
+            world_b = LazyEdgeWorld(graph, np.random.default_rng(seed))
+            spread_base = len(simulate_ic(graph, base, edge_world=world_a)) \
+                if base else 0
+            spread_comb = len(simulate_ic(graph, combined,
+                                          edge_world=world_b)) \
+                if combined else 0
+            total += spread_comb - spread_base
+        return total / n_samples
+
+    from repro.engine.coins import sample_edge_coin_matrix
+    from repro.engine.forward import simulate_ic_batch
+
+    state_size = max(graph.num_nodes, graph.num_edges)
     total = 0.0
-    for world_rng in spawn_rngs(rng, n_samples):
-        seed = int(world_rng.integers(0, 2**62))
-        world_a = LazyEdgeWorld(graph, np.random.default_rng(seed))
-        world_b = LazyEdgeWorld(graph, np.random.default_rng(seed))
-        spread_base = len(simulate_ic(graph, base, edge_world=world_a)) if base else 0
-        spread_comb = len(simulate_ic(graph, combined, edge_world=world_b)) if combined else 0
-        total += spread_comb - spread_base
+    done = 0
+    while done < n_samples:
+        batch = batch_size(state_size, n_samples - done)
+        live = sample_edge_coin_matrix(graph, batch, rng)
+        spread_base = np.count_nonzero(
+            simulate_ic_batch(graph, base, batch, edge_live=live)) \
+            if base else 0
+        spread_comb = np.count_nonzero(
+            simulate_ic_batch(graph, combined, batch, edge_live=live)) \
+            if combined else 0
+        total += float(spread_comb - spread_base)
+        done += batch
     return total / n_samples
 
 
 def estimate_adoption_counts(graph: DirectedGraph, model: UtilityModel,
                              allocation: Allocation, n_samples: int = 1_000,
-                             rng: RngLike = None) -> Dict[str, float]:
+                             rng: RngLike = None,
+                             engine: Optional[str] = None) -> Dict[str, float]:
     """Expected number of adopters of each item (paper Table 6)."""
-    estimate = estimate_welfare(graph, model, allocation, n_samples, rng)
+    estimate = estimate_welfare(graph, model, allocation, n_samples, rng,
+                                engine=engine)
     return estimate.adoption_counts
 
 
@@ -159,7 +263,7 @@ def exact_welfare_enumeration(graph: DirectedGraph, model: UtilityModel,
     total = 0.0
     for mask in range(1 << len(edges)):
         prob = 1.0
-        live_out = [[] for _ in range(graph.num_nodes)]
+        live_out: List[List[int]] = [[] for _ in range(graph.num_nodes)]
         for index, (u, v, p) in enumerate(edges):
             if mask >> index & 1:
                 prob *= p

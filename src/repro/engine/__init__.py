@@ -1,0 +1,73 @@
+"""Batched, array-vectorized possible-world engine.
+
+This package is the performance substrate of the library: it advances many
+possible worlds per call with numpy mask/``indptr`` operations over the CSR
+adjacency instead of per-node Python loops.
+
+* :mod:`repro.engine.forward` — frontier-vectorized UIC/IC simulation of
+  ``B`` worlds per call;
+* :mod:`repro.engine.reverse` — batched reverse-BFS RR-set sampling
+  (standard, marginal and weighted) with geometric edge-skip coins;
+* :mod:`repro.engine.coins` — the shared ``(B, m)`` lazy coin cache and
+  common-random-number coin matrices;
+* :mod:`repro.engine.config` — the ``engine="python"|"vectorized"`` switch
+  and batch sizing.
+
+The scalar implementations in :mod:`repro.diffusion` and
+:mod:`repro.rrsets` remain the reference oracle; every estimator accepts
+``engine=`` to select either path (``REPRO_ENGINE`` sets the default).
+"""
+
+from repro.engine.config import (
+    BATCH_ENV_VAR,
+    ENGINE_ENV_VAR,
+    ENGINE_PYTHON,
+    ENGINE_VECTORIZED,
+    batch_size,
+    default_engine,
+    resolve_engine,
+)
+from repro.engine.coins import (
+    FixedCoinBatch,
+    LazyCoinCache,
+    bernoulli_mask,
+    edge_world_live_mask,
+    fixed_coin_batch,
+    sample_edge_coin_matrix,
+)
+from repro.engine.forward import (
+    BatchDiffusionResult,
+    simulate_ic_batch,
+    simulate_uic_batch,
+)
+from repro.engine.reverse import (
+    marginal_rr_sets,
+    random_rr_sets,
+    weighted_rr_sets,
+)
+
+__all__ = [
+    # config
+    "ENGINE_PYTHON",
+    "ENGINE_VECTORIZED",
+    "ENGINE_ENV_VAR",
+    "BATCH_ENV_VAR",
+    "default_engine",
+    "resolve_engine",
+    "batch_size",
+    # coins
+    "LazyCoinCache",
+    "FixedCoinBatch",
+    "bernoulli_mask",
+    "sample_edge_coin_matrix",
+    "edge_world_live_mask",
+    "fixed_coin_batch",
+    # forward
+    "BatchDiffusionResult",
+    "simulate_uic_batch",
+    "simulate_ic_batch",
+    # reverse
+    "random_rr_sets",
+    "marginal_rr_sets",
+    "weighted_rr_sets",
+]

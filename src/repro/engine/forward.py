@@ -1,0 +1,350 @@
+"""Frontier-vectorized forward simulation of UIC and IC diffusions.
+
+The scalar simulators in :mod:`repro.diffusion` walk one possible world at a
+time with per-node Python loops.  This module advances **B worlds per call**:
+the diffusion state is a ``(B, n)`` array per quantity (desire bitmasks,
+adoption bitmasks, frontier items), and every synchronous round is a handful
+of numpy gather/scatter operations over the CSR adjacency — one
+``np.nonzero`` to find the active (world, node) pairs, one ragged gather of
+their out-edges, one coin lookup, one ``bitwise_or`` scatter of the inform
+events, and one vectorized best-bundle update for the informed nodes.
+
+On a fixed possible world (edge coins and noise both specified) the batched
+simulator is exactly the scalar one: same rounds, same desire/adoption
+fixpoint, bit-identical adoption masks.  When utilities contain near-ties
+closer than the scalar tie-break tolerance (1e-12) the two engines may pick
+different but equal-utility bundles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.allocation import Allocation
+from repro.diffusion.uic import DiffusionResult
+from repro.diffusion.worlds import EdgeWorld, LazyEdgeWorld
+from repro.engine.coins import (
+    CoinProvider,
+    FixedCoinBatch,
+    LazyCoinCache,
+    bernoulli_mask,
+    fixed_coin_batch,
+    gather_csr_edges,
+    unique_pairs,
+)
+from repro.graphs.graph import DirectedGraph
+from repro.utility.model import UtilityModel
+from repro.utils.rng import RngLike, ensure_rng
+
+EdgeWorldsLike = Union[CoinProvider,
+                       Sequence[Union[EdgeWorld, LazyEdgeWorld]]]
+
+#: tolerance of the best-bundle tie-break (mirrors the scalar simulator)
+_TIE_TOL = 1e-12
+
+
+@dataclass
+class BatchDiffusionResult:
+    """Outcome of ``B`` deterministic UIC diffusions, stored columnar.
+
+    The fields mirror :class:`~repro.diffusion.uic.DiffusionResult` with a
+    leading world axis; :meth:`world` materializes the scalar result of one
+    world for drop-in use (and for equivalence testing).
+    """
+
+    adoption_masks: np.ndarray          # (B, n) int64
+    welfare: np.ndarray                 # (B,) float64
+    adoption_counts: Dict[str, np.ndarray]  # item name -> (B,) int64
+    num_adopters: np.ndarray            # (B,) int64
+    rounds: np.ndarray                  # (B,) int64
+
+    @property
+    def num_worlds(self) -> int:
+        """Number of simulated worlds ``B``."""
+        return len(self.welfare)
+
+    def world(self, index: int) -> DiffusionResult:
+        """The scalar :class:`DiffusionResult` of world ``index``."""
+        return DiffusionResult(
+            adoption_masks=self.adoption_masks[index].copy(),
+            welfare=float(self.welfare[index]),
+            adoption_counts={name: int(counts[index])
+                             for name, counts in self.adoption_counts.items()},
+            num_adopters=int(self.num_adopters[index]),
+            rounds=int(self.rounds[index]),
+        )
+
+    def mean_welfare(self) -> float:
+        """Average welfare across the batch."""
+        return float(self.welfare.mean()) if len(self.welfare) else 0.0
+
+
+def _candidate_order(num_bundles: int) -> np.ndarray:
+    """Bundle masks sorted by (popcount, mask) — the tie-break preference."""
+    masks = np.arange(num_bundles, dtype=np.int64)
+    popcounts = np.array([bin(int(m)).count("1") for m in masks])
+    return masks[np.lexsort((masks, popcounts))]
+
+
+def _best_bundles(desire: np.ndarray, adopted: np.ndarray,
+                  utilities: np.ndarray, world_ids: np.ndarray,
+                  candidate_order: np.ndarray) -> np.ndarray:
+    """Vectorized best-bundle update for a batch of (world, node) pairs.
+
+    For each pair picks the utility-maximizing bundle ``T`` with
+    ``adopted ⊆ T ⊆ desire`` and ``U(T) ≥ 0``, preferring fewer items and
+    then smaller masks on ties — candidates are scanned in that preference
+    order, so a later candidate only wins by exceeding the incumbent by more
+    than the tie tolerance.
+    """
+    best_mask = adopted.copy()
+    best_utility = np.full(len(desire), -np.inf)
+    for candidate in candidate_order:
+        candidate = int(candidate)
+        valid = ((candidate & ~desire) == 0) \
+            & ((candidate & adopted) == adopted)
+        if not valid.any():
+            continue
+        utility = utilities[world_ids, candidate]
+        take = valid & (utility >= 0.0) & (utility > best_utility + _TIE_TOL)
+        if take.any():
+            best_utility[take] = utility[take]
+            best_mask[take] = candidate
+    return best_mask
+
+
+def _resolve_coins(graph: DirectedGraph, edge_worlds: Optional[EdgeWorldsLike],
+                   n_worlds: int, rng: np.random.Generator) -> CoinProvider:
+    if edge_worlds is None:
+        return LazyCoinCache(graph, n_worlds, rng)
+    if isinstance(edge_worlds, (LazyCoinCache, FixedCoinBatch)):
+        if edge_worlds.num_worlds != n_worlds:
+            raise ValueError(
+                f"coin provider covers {edge_worlds.num_worlds} worlds, "
+                f"expected {n_worlds}")
+        return edge_worlds
+    worlds = list(edge_worlds)
+    if len(worlds) != n_worlds:
+        raise ValueError(
+            f"expected {n_worlds} edge worlds, got {len(worlds)}")
+    return fixed_coin_batch(graph, worlds)
+
+
+def simulate_uic_batch(graph: DirectedGraph, model: UtilityModel,
+                       allocation: Allocation,
+                       n_worlds: Optional[int] = None,
+                       rng: RngLike = None,
+                       edge_worlds: Optional[EdgeWorldsLike] = None,
+                       noise_worlds: Optional[np.ndarray] = None,
+                       max_rounds: Optional[int] = None) -> BatchDiffusionResult:
+    """Run ``B`` independent UIC diffusions as one vectorized computation.
+
+    Parameters
+    ----------
+    graph, model, allocation:
+        The CWelMax instance and seed allocation, exactly as in
+        :func:`repro.diffusion.uic.simulate_uic`.
+    n_worlds:
+        Number of worlds ``B``; may be omitted when ``edge_worlds`` or
+        ``noise_worlds`` determines it.
+    rng:
+        Randomness for whatever part of the possible worlds is not supplied.
+    edge_worlds:
+        ``None`` (lazy per-world coins), a sequence of ``B`` fixed
+        :class:`EdgeWorld` s, or a pre-built coin provider
+        (:class:`FixedCoinBatch` / :class:`LazyCoinCache`) — the latter is
+        how common-random-number callers share coins across simulations.
+    noise_worlds:
+        Optional ``(B, num_items)`` noise matrix; sampled when omitted.
+    max_rounds:
+        Per-world safety cap on rounds (defaults to ``n``).
+    """
+    rng = ensure_rng(rng)
+    n = graph.num_nodes
+    catalog = model.catalog
+
+    if n_worlds is None:
+        if noise_worlds is not None:
+            n_worlds = len(noise_worlds)
+        elif isinstance(edge_worlds, (LazyCoinCache, FixedCoinBatch)):
+            n_worlds = edge_worlds.num_worlds
+        elif edge_worlds is not None:
+            n_worlds = len(list(edge_worlds))
+        else:
+            raise ValueError(
+                "n_worlds is required when neither edge_worlds nor "
+                "noise_worlds is given")
+    n_worlds = int(n_worlds)
+    if n_worlds < 0:
+        raise ValueError("n_worlds must be >= 0")
+
+    if noise_worlds is None:
+        noise_worlds = model.sample_noise_worlds(rng, n_worlds)
+    else:
+        noise_worlds = np.asarray(noise_worlds, dtype=np.float64)
+        if noise_worlds.shape != (n_worlds, model.num_items):
+            raise ValueError(
+                f"noise_worlds must have shape ({n_worlds}, "
+                f"{model.num_items}), got {noise_worlds.shape}")
+    utilities = model.utility_tables(noise_worlds)  # (B, 2^m)
+    coins = _resolve_coins(graph, edge_worlds, n_worlds, rng)
+
+    desire = np.zeros((n_worlds, n), dtype=np.int64)
+    adopted = np.zeros((n_worlds, n), dtype=np.int64)
+    rounds = np.zeros(n_worlds, dtype=np.int64)
+    order = _candidate_order(catalog.num_bundles)
+
+    # the frontier is carried as parallel index arrays — (world, node) pairs
+    # with the items each node newly adopted last round — so no round ever
+    # scans the dense (B, n) state to find the active pairs.
+    frontier_worlds = np.zeros(0, dtype=np.int64)
+    frontier_nodes = np.zeros(0, dtype=np.int64)
+    frontier_items = np.zeros(0, dtype=np.int64)
+
+    seed_masks = allocation.node_item_masks(catalog, n)
+    seeds = np.nonzero(seed_masks)[0]
+    if len(seeds) and n_worlds:
+        desire[:, seeds] = seed_masks[seeds][None, :]
+        pair_worlds = np.repeat(np.arange(n_worlds, dtype=np.int64),
+                                len(seeds))
+        pair_nodes = np.tile(seeds, n_worlds)
+        initial = _best_bundles(desire[pair_worlds, pair_nodes],
+                                np.zeros(len(pair_worlds), dtype=np.int64),
+                                utilities, pair_worlds, order)
+        adopted[pair_worlds, pair_nodes] = initial
+        adopting = initial != 0
+        frontier_worlds = pair_worlds[adopting]
+        frontier_nodes = pair_nodes[adopting]
+        frontier_items = initial[adopting]
+
+    indptr, indices, _ = graph.out_csr()
+    limit = n if max_rounds is None else int(max_rounds)
+    active_flags = np.zeros(n_worlds, dtype=bool)
+
+    executed = 0
+    while executed < limit and len(frontier_worlds):
+        executed += 1
+        active_flags[:] = False
+        active_flags[frontier_worlds] = True
+        rounds += active_flags
+
+        # one synchronous round: flip any missing coins, push the newly
+        # adopted items of every influencer across its live out-edges, then
+        # let each informed node re-optimize its adoption exactly once.
+        coins.ensure(frontier_worlds, frontier_nodes)
+        edge_ids, edge_worlds_ids, pushed = gather_csr_edges(
+            indptr, frontier_nodes, frontier_worlds, frontier_items)
+        live = coins.live_edges(edge_worlds_ids, edge_ids)
+        edge_worlds_ids = edge_worlds_ids[live]
+        targets = indices[edge_ids[live]]
+        pushed = pushed[live]
+        frontier_worlds = frontier_nodes = frontier_items = \
+            np.zeros(0, dtype=np.int64)
+        if len(edge_worlds_ids) == 0:
+            continue
+
+        # OR-combine the inform events per (world, target) pair: sort by a
+        # combined key and bitwise-or over each run (much faster than a
+        # scattered np.bitwise_or.at into dense state).
+        keys = edge_worlds_ids * n + targets
+        key_order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[key_order]
+        run_starts = np.nonzero(
+            np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])[0]
+        informed = np.bitwise_or.reduceat(pushed[key_order], run_starts)
+        informed_worlds = sorted_keys[run_starts] // n
+        informed_nodes = sorted_keys[run_starts] % n
+
+        informed &= ~desire[informed_worlds, informed_nodes]
+        fresh = informed != 0
+        if not fresh.any():
+            continue
+        informed_worlds = informed_worlds[fresh]
+        informed_nodes = informed_nodes[fresh]
+        desire[informed_worlds, informed_nodes] |= informed[fresh]
+        previous = adopted[informed_worlds, informed_nodes]
+        updated = _best_bundles(desire[informed_worlds, informed_nodes],
+                                previous, utilities, informed_worlds, order)
+        changed = updated != previous
+        frontier_worlds = informed_worlds[changed]
+        frontier_nodes = informed_nodes[changed]
+        frontier_items = updated[changed] & ~previous[changed]
+        adopted[frontier_worlds, frontier_nodes] = updated[changed]
+
+    if n:
+        welfare = np.take_along_axis(utilities, adopted, axis=1).sum(axis=1)
+    else:
+        welfare = np.zeros(n_worlds, dtype=np.float64)
+    counts_by_item = {name: np.count_nonzero(adopted & bit, axis=1)
+                      for name, bit in catalog.iter_singletons()}
+    num_adopters = np.count_nonzero(adopted, axis=1) if n \
+        else np.zeros(n_worlds, dtype=np.int64)
+    return BatchDiffusionResult(
+        adoption_masks=adopted,
+        welfare=welfare.astype(np.float64),
+        adoption_counts=counts_by_item,
+        num_adopters=np.asarray(num_adopters, dtype=np.int64),
+        rounds=rounds,
+    )
+
+
+def simulate_ic_batch(graph: DirectedGraph, seeds: Iterable[int],
+                      n_worlds: int, rng: RngLike = None,
+                      edge_live: Optional[np.ndarray] = None) -> np.ndarray:
+    """Run ``B`` independent IC diffusions; returns active masks ``(B, n)``.
+
+    ``edge_live`` optionally fixes the edge coins as a ``(B, m)`` liveness
+    matrix (the common-random-number path); otherwise coins are drawn on
+    demand — in IC every node activates at most once per world, so each
+    edge's coin is consumed exactly once and no cache is needed.
+    """
+    rng = ensure_rng(rng)
+    n = graph.num_nodes
+    n_worlds = int(n_worlds)
+    active = np.zeros((n_worlds, n), dtype=bool)
+    seed_list = sorted(set(int(v) for v in seeds))
+    if not seed_list or n == 0 or n_worlds == 0:
+        return active
+    for seed in seed_list:
+        if not 0 <= seed < n:
+            raise ValueError(f"seed node {seed} out of range [0, {n})")
+
+    if edge_live is not None:
+        edge_live = np.asarray(edge_live, dtype=bool)
+        if edge_live.shape != (n_worlds, graph.num_edges):
+            raise ValueError(
+                f"edge_live must have shape ({n_worlds}, "
+                f"{graph.num_edges}), got {edge_live.shape}")
+
+    indptr, indices, probs = graph.out_csr()
+    active[:, seed_list] = True
+    seed_arr = np.asarray(seed_list, dtype=np.int64)
+    world_ids = np.repeat(np.arange(n_worlds, dtype=np.int64), len(seed_arr))
+    node_ids = np.tile(seed_arr, n_worlds)
+
+    while len(world_ids):
+        edge_ids, edge_world_ids = gather_csr_edges(indptr, node_ids,
+                                                    world_ids)
+        if edge_live is None:
+            live = bernoulli_mask(rng, probs[edge_ids])
+        else:
+            live = edge_live[edge_world_ids, edge_ids]
+        edge_world_ids = edge_world_ids[live]
+        targets = indices[edge_ids[live]]
+        fresh = ~active[edge_world_ids, targets]
+        # dedupe same-round duplicate activations before they become the
+        # next frontier
+        world_ids, node_ids = unique_pairs(n, edge_world_ids[fresh],
+                                           targets[fresh])
+        active[world_ids, node_ids] = True
+    return active
+
+
+__all__ = [
+    "BatchDiffusionResult",
+    "simulate_uic_batch",
+    "simulate_ic_batch",
+]

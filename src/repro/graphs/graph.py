@@ -173,6 +173,23 @@ class DirectedGraph:
         self._check_node(node)
         return self._in.degree(node)
 
+    def out_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw forward adjacency ``(indptr, indices, probs)`` (no copies).
+
+        The arrays are the CSR layout used by the vectorized engine: the
+        out-edges of node ``u`` occupy positions ``indptr[u]:indptr[u + 1]``
+        of ``indices`` (targets) and ``probs``.  Callers must not mutate them.
+        """
+        return self._out.indptr, self._out.indices, self._out.probs
+
+    def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw reverse adjacency ``(indptr, indices, probs)`` (no copies).
+
+        Position ``indptr[v]:indptr[v + 1]`` holds the in-neighbours
+        (sources) of node ``v`` and the probabilities of those edges.
+        """
+        return self._in.indptr, self._in.indices, self._in.probs
+
     def out_degrees(self) -> np.ndarray:
         """Vector of out-degrees for all nodes."""
         return np.diff(self._out.indptr)

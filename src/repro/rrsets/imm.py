@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.engine.config import ENGINE_VECTORIZED, resolve_engine
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import DirectedGraph
 from repro.rrsets.bounds import adjusted_ell, lambda_prime, lambda_star
@@ -33,6 +34,10 @@ from repro.utils.rng import RngLike, ensure_rng
 
 #: A sampler returns one RR set as ``(nodes, weight)``.
 Sampler = Callable[[np.random.Generator], Tuple[np.ndarray, float]]
+
+#: A batch sampler returns ``count`` RR sets as ``(nodes, weight)`` pairs.
+BatchSampler = Callable[[np.random.Generator, int],
+                        Sequence[Tuple[np.ndarray, float]]]
 
 
 @dataclass
@@ -84,7 +89,8 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
                    max_value: float,
                    options: Optional[IMMOptions] = None,
                    num_budgets: int = 1,
-                   rng: RngLike = None) -> IMMResult:
+                   rng: RngLike = None,
+                   batch_sampler: Optional[BatchSampler] = None) -> IMMResult:
     """Run the IMM sampling + node-selection skeleton.
 
     Parameters
@@ -104,6 +110,10 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
     num_budgets:
         Number of budgets sharing the confidence budget (PRIMA+ passes the
         length of its budget vector so the union bound still holds).
+    batch_sampler:
+        Optional callable producing ``count`` RR sets per call; when given,
+        the sampling phases request whole batches from it (the vectorized
+        engine) instead of calling ``sampler`` once per set.
     """
     options = options or IMMOptions()
     rng = ensure_rng(rng)
@@ -126,6 +136,12 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
 
     def ensure_samples(target: float, into: RRCollection) -> None:
         target = int(min(math.ceil(target), options.max_rr_sets))
+        if batch_sampler is not None:
+            while into.num_sets < target:
+                for nodes, weight in batch_sampler(rng,
+                                                   target - into.num_sets):
+                    into.add(nodes, weight)
+            return
         while into.num_sets < target:
             nodes, weight = sampler(rng)
             into.add(nodes, weight)
@@ -174,28 +190,50 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
 
 def imm(graph: DirectedGraph, k: int,
         options: Optional[IMMOptions] = None,
-        rng: RngLike = None) -> IMMResult:
+        rng: RngLike = None,
+        engine: Optional[str] = None) -> IMMResult:
     """Classic single-item IMM: ``(1 - 1/e - ε)``-approximate IM seeds."""
     def sampler(generator: np.random.Generator) -> Tuple[np.ndarray, float]:
         return random_rr_set(graph, generator), 1.0
 
+    batch_sampler: Optional[BatchSampler] = None
+    if resolve_engine(engine) == ENGINE_VECTORIZED:
+        from repro.engine.reverse import random_rr_sets
+
+        def batch_sampler(generator: np.random.Generator, count: int):
+            return [(nodes, 1.0)
+                    for nodes in random_rr_sets(graph, count, generator)]
+
     return run_imm_engine(graph.num_nodes, k, sampler,
                           max_value=float(graph.num_nodes),
-                          options=options, rng=rng)
+                          options=options, rng=rng,
+                          batch_sampler=batch_sampler)
 
 
 def marginal_imm(graph: DirectedGraph, k: int, fixed_seeds: Set[int],
                  options: Optional[IMMOptions] = None,
-                 rng: RngLike = None) -> IMMResult:
+                 rng: RngLike = None,
+                 engine: Optional[str] = None) -> IMMResult:
     """IMM on *marginal* RR sets: maximizes spread on top of ``fixed_seeds``."""
     blocked = set(int(v) for v in fixed_seeds)
 
     def sampler(generator: np.random.Generator) -> Tuple[np.ndarray, float]:
         return marginal_rr_set(graph, blocked, generator), 1.0
 
+    batch_sampler: Optional[BatchSampler] = None
+    if resolve_engine(engine) == ENGINE_VECTORIZED:
+        from repro.engine.reverse import marginal_rr_sets
+
+        def batch_sampler(generator: np.random.Generator, count: int):
+            return [(nodes, 1.0)
+                    for nodes in marginal_rr_sets(graph, blocked, count,
+                                                  generator)]
+
     return run_imm_engine(graph.num_nodes, k, sampler,
                           max_value=float(graph.num_nodes),
-                          options=options, rng=rng)
+                          options=options, rng=rng,
+                          batch_sampler=batch_sampler)
 
 
-__all__ = ["IMMOptions", "IMMResult", "run_imm_engine", "imm", "marginal_imm"]
+__all__ = ["IMMOptions", "IMMResult", "run_imm_engine", "imm", "marginal_imm",
+           "Sampler", "BatchSampler"]

@@ -95,7 +95,11 @@ def marginal_rr_set(graph: DirectedGraph, blocked: Set[int],
 
 @dataclass
 class WeightedRRSet:
-    """A weighted RR set: its nodes and its welfare weight."""
+    """A weighted RR set: its nodes and its welfare weight.
+
+    ``root`` is ``-1`` for the degenerate empty-graph sample (no node to
+    root the set at).
+    """
 
     nodes: np.ndarray
     weight: float
@@ -160,6 +164,10 @@ class WeightedRRSampler:
         rng = ensure_rng(rng)
         graph = self._graph
         n = graph.num_nodes
+        if n == 0:
+            # degenerate empty graph: nothing to root the BFS at
+            return WeightedRRSet(nodes=np.empty(0, dtype=np.int64),
+                                 weight=0.0, root=-1)
         if root is None:
             root = int(rng.integers(0, n))
         visited: Set[int] = {root}
@@ -185,6 +193,32 @@ class WeightedRRSampler:
         weight = max(0.0, self._superior_utility - block_utility)
         nodes = np.fromiter(visited, dtype=np.int64, count=len(visited))
         return WeightedRRSet(nodes=nodes, weight=weight, root=root)
+
+    def sample_batch(self, rng: RngLike = None, count: int = 1,
+                     roots: Optional[Sequence[int]] = None
+                     ) -> List[WeightedRRSet]:
+        """Sample ``count`` weighted RR sets via the vectorized engine.
+
+        Semantically equivalent to ``count`` calls of :meth:`sample` (same
+        level-by-level stopping rule and weights) but the reverse BFS of the
+        whole batch advances together; on an empty graph every sample is the
+        empty set with weight 0.
+        """
+        rng = ensure_rng(rng)
+        count = int(count)
+        if count <= 0:
+            return []
+        if self._graph.num_nodes == 0:
+            return [WeightedRRSet(nodes=np.empty(0, dtype=np.int64),
+                                  weight=0.0, root=-1)
+                    for _ in range(count)]
+        from repro.engine.reverse import weighted_rr_sets
+
+        raw = weighted_rr_sets(self._graph, self._node_block_utility,
+                               self._superior_utility, count, rng,
+                               roots=roots)
+        return [WeightedRRSet(nodes=nodes, weight=weight, root=root)
+                for nodes, weight, root in raw]
 
 
 __all__ = [

@@ -134,6 +134,45 @@ class UtilityModel:
         return np.array([dist.sample(rng) for dist in self._noises],
                         dtype=np.float64)
 
+    def sample_noise_worlds(self, rng: RngLike = None,
+                            count: int = 1) -> np.ndarray:
+        """Sample ``count`` noise worlds at once as a ``(count, m)`` matrix.
+
+        The batched counterpart of :meth:`sample_noise_world`: each row is
+        one independent noise possible world.  Draws are vectorized per item
+        (column), so the stream differs from ``count`` scalar calls but the
+        distribution is identical.
+        """
+        rng = ensure_rng(rng)
+        count = int(count)
+        if count < 0:
+            raise UtilityModelError("count must be >= 0")
+        worlds = np.empty((count, self.num_items), dtype=np.float64)
+        for index, dist in enumerate(self._noises):
+            worlds[:, index] = np.asarray(dist.sample(rng, size=count),
+                                          dtype=np.float64)
+        return worlds
+
+    def utility_tables(self, noise_worlds: np.ndarray) -> np.ndarray:
+        """Utility tables of many noise worlds as a ``(count, 2^m)`` matrix.
+
+        Row ``b`` equals ``utility_table(noise_worlds[b])``; the per-bundle
+        noise sums are built with the same low-bit recurrence, vectorized
+        over the world axis.
+        """
+        noise_worlds = np.asarray(noise_worlds, dtype=np.float64)
+        if noise_worlds.ndim != 2 or noise_worlds.shape[1] != self.num_items:
+            raise UtilityModelError(
+                f"noise worlds must have shape (count, {self.num_items}), "
+                f"got {noise_worlds.shape}")
+        count = noise_worlds.shape[0]
+        sums = np.zeros((count, 1 << self.num_items), dtype=np.float64)
+        for mask in range(1, 1 << self.num_items):
+            low_bit = mask & -mask
+            sums[:, mask] = sums[:, mask ^ low_bit] \
+                + noise_worlds[:, low_bit.bit_length() - 1]
+        return self._det_table[None, :] + sums
+
     def utility_table(self, noise_world: Optional[np.ndarray] = None) -> np.ndarray:
         """Utilities of all bundles under a fixed noise world.
 

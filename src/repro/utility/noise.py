@@ -94,7 +94,9 @@ class GaussianNoise(NoiseDistribution):
         z = shift / self.sigma
         phi = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
         cdf = 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
-        return float(shift * cdf + self.sigma * phi)
+        # clamp: the exact value is >= 0 but the formula can round to a
+        # tiny negative for deeply negative shifts (e.g. shift = -8σ)
+        return max(0.0, float(shift * cdf + self.sigma * phi))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GaussianNoise(sigma={self.sigma})"

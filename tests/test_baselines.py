@@ -53,9 +53,10 @@ class TestGreedyWM:
                            n_marginal_samples=5, rng=4)
         assert result.allocation.seeds_for("i") == (0,)
 
-    def test_no_budget_rejected(self, small_er_graph, c1_model):
-        with pytest.raises(AlgorithmError):
-            greedy_wm(small_er_graph, c1_model, {"i": 0, "j": 0}, rng=1)
+    def test_zero_budget_returns_empty(self, small_er_graph, c1_model):
+        result = greedy_wm(small_er_graph, c1_model, {"i": 0, "j": 0}, rng=1)
+        assert result.allocation.is_empty()
+        assert result.details["zero_budget"] is True
 
     def test_welfare_quality_on_small_instance(self, star10):
         """greedyWM maximizes welfare directly, so it should not be worse
@@ -154,10 +155,11 @@ class TestRoundRobinAndSnake:
         assert rr.allocation.seed_count("i") == 4
         assert rr.allocation.seed_count("j") == 2
 
-    def test_empty_budget_rejected(self, small_er_graph, c1_model):
-        with pytest.raises(AlgorithmError):
-            round_robin(small_er_graph, c1_model, {"i": 0, "j": 0},
-                        options=FAST)
+    def test_zero_budget_returns_empty(self, small_er_graph, c1_model):
+        result = round_robin(small_er_graph, c1_model, {"i": 0, "j": 0},
+                             options=FAST)
+        assert result.allocation.is_empty()
+        assert result.details["zero_budget"] is True
 
     def test_evaluate_welfare_option(self, small_er_graph, c1_model):
         result = snake(small_er_graph, c1_model, {"i": 2, "j": 2},

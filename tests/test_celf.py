@@ -5,7 +5,6 @@ import pytest
 from repro.baselines.celf import celf_greedy_wm
 from repro.baselines.greedy_wm import greedy_wm
 from repro.diffusion.estimators import estimate_welfare
-from repro.exceptions import AlgorithmError
 from repro.graphs import generators, weighting
 from repro.utility.configs import two_item_config
 
@@ -61,9 +60,11 @@ class TestCelfGreedyWM:
                                 n_marginal_samples=10, rng=6)
         assert result.allocation.seeds_for("i") == (0,)
 
-    def test_no_budget_rejected(self, small_er_graph, c1_model):
-        with pytest.raises(AlgorithmError):
-            celf_greedy_wm(small_er_graph, c1_model, {"i": 0}, rng=1)
+    def test_zero_budget_returns_empty(self, small_er_graph, c1_model):
+        result = celf_greedy_wm(small_er_graph, c1_model, {"i": 0}, rng=1)
+        assert result.allocation.is_empty()
+        assert result.details["marginal_evaluations"] == 0
+        assert result.details["zero_budget"] is True
 
     def test_evaluate_welfare_option(self, small_er_graph, c1_model):
         result = celf_greedy_wm(small_er_graph, c1_model, {"i": 1, "j": 1},

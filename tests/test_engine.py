@@ -1,0 +1,363 @@
+"""Equivalence suite for the batched vectorized engine.
+
+The scalar simulators in :mod:`repro.diffusion` / :mod:`repro.rrsets` are
+the reference oracle.  On *fixed* possible worlds (fixed edge coins and
+noise) the batched engine must be **bit-identical** to the scalar one; on
+random worlds both engines must estimate the same quantities (checked
+against exact enumeration and against each other).
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation import Allocation
+from repro.diffusion.estimators import (
+    estimate_marginal_spread,
+    estimate_marginal_welfare,
+    estimate_spread,
+    estimate_welfare,
+    exact_welfare_enumeration,
+)
+from repro.diffusion.ic import simulate_ic
+from repro.diffusion.uic import simulate_uic
+from repro.diffusion.worlds import sample_edge_world
+from repro.engine.coins import (
+    FixedCoinBatch,
+    bernoulli_mask,
+    edge_world_live_mask,
+    sample_edge_coin_matrix,
+)
+from repro.engine.config import batch_size, resolve_engine
+from repro.engine.forward import simulate_ic_batch, simulate_uic_batch
+from repro.engine.reverse import (
+    marginal_rr_sets,
+    random_rr_sets,
+    weighted_rr_sets,
+)
+from repro.graphs import generators, weighting
+from repro.graphs.graph import DirectedGraph
+from repro.rrsets.rrset import WeightedRRSampler
+from repro.utility.configs import (
+    blocking_config,
+    single_item_config,
+    two_item_config,
+)
+from repro.utils.rng import ensure_rng
+
+
+def _fixture_graphs():
+    return [
+        generators.line_graph(6),
+        generators.star_graph(8),
+        weighting.weighted_cascade(
+            generators.erdos_renyi(60, 4.0, rng=3, directed=True)),
+    ]
+
+
+def _fixture_models():
+    return [
+        single_item_config(),
+        two_item_config("C1", noise_sigma=0.0),
+        two_item_config("C2", noise_sigma=0.0),
+        blocking_config(),
+    ]
+
+
+def _allocation_for(model):
+    items = list(model.items)
+    if len(items) == 1:
+        return Allocation({items[0]: [0, 3]})
+    return Allocation({items[0]: [0, 3], items[-1]: [1]})
+
+
+class TestConfig:
+    def test_resolve_engine(self):
+        assert resolve_engine("python") == "python"
+        assert resolve_engine("Vectorized") == "vectorized"
+        assert resolve_engine(None) in ("python", "vectorized")
+        with pytest.raises(ValueError):
+            resolve_engine("numba")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert resolve_engine(None) == "python"
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        with pytest.raises(ValueError):
+            resolve_engine(None)
+
+    def test_batch_size_bounds(self, monkeypatch):
+        assert batch_size(100) >= 1
+        assert batch_size(100, requested=3) == 3
+        assert batch_size(10**9) == 1  # state-cell budget kicks in
+        monkeypatch.setenv("REPRO_ENGINE_BATCH", "7")
+        assert batch_size(100) == 7
+
+
+class TestBernoulliMask:
+    def test_matches_probability_uniform(self):
+        rng = ensure_rng(1)
+        probs = np.full(200_000, 0.05)
+        mask = bernoulli_mask(rng, probs)  # geometric skip path
+        assert mask.mean() == pytest.approx(0.05, rel=0.1)
+
+    def test_matches_probability_heterogeneous(self):
+        rng = ensure_rng(2)
+        probs = np.tile([0.1, 0.9], 50_000)
+        mask = bernoulli_mask(rng, probs)
+        assert mask[0::2].mean() == pytest.approx(0.1, rel=0.1)
+        assert mask[1::2].mean() == pytest.approx(0.9, rel=0.05)
+
+    def test_extremes(self):
+        rng = ensure_rng(3)
+        assert not bernoulli_mask(rng, np.zeros(100)).any()
+        assert bernoulli_mask(rng, np.ones(100)).all()
+        assert bernoulli_mask(rng, np.zeros(0)).tolist() == []
+
+
+class TestUICBitIdentical:
+    """Fixed possible worlds: batched == scalar, bit for bit."""
+
+    @pytest.mark.parametrize("graph_index", [0, 1, 2])
+    @pytest.mark.parametrize("model_index", [0, 1, 2, 3])
+    def test_fixed_worlds(self, graph_index, model_index):
+        graph = _fixture_graphs()[graph_index]
+        model = _fixture_models()[model_index]
+        allocation = _allocation_for(model)
+        worlds = [sample_edge_world(graph, np.random.default_rng(seed))
+                  for seed in range(6)]
+        noise = np.zeros((6, model.num_items))
+        batch = simulate_uic_batch(graph, model, allocation,
+                                   edge_worlds=worlds, noise_worlds=noise)
+        for index, world in enumerate(worlds):
+            reference = simulate_uic(graph, model, allocation,
+                                     edge_world=world,
+                                     noise_world=np.zeros(model.num_items))
+            got = batch.world(index)
+            assert np.array_equal(reference.adoption_masks,
+                                  got.adoption_masks)
+            assert got.welfare == pytest.approx(reference.welfare, abs=1e-9)
+            assert got.adoption_counts == reference.adoption_counts
+            assert got.num_adopters == reference.num_adopters
+            assert got.rounds == reference.rounds
+
+    def test_fixed_noise_worlds_with_noise_terms(self):
+        graph = generators.line_graph(5)
+        model = two_item_config("C1", noise_sigma=0.5)
+        allocation = Allocation({"i": [0], "j": [2]})
+        rng = ensure_rng(9)
+        noise = model.sample_noise_worlds(rng, 4)
+        worlds = [sample_edge_world(graph, np.random.default_rng(s))
+                  for s in range(4)]
+        batch = simulate_uic_batch(graph, model, allocation,
+                                   edge_worlds=worlds, noise_worlds=noise)
+        for index, world in enumerate(worlds):
+            reference = simulate_uic(graph, model, allocation,
+                                     edge_world=world,
+                                     noise_world=noise[index])
+            assert np.array_equal(reference.adoption_masks,
+                                  batch.adoption_masks[index])
+            assert batch.welfare[index] == pytest.approx(reference.welfare)
+
+    def test_empty_batch_and_empty_graph(self):
+        model = two_item_config("C1", noise_sigma=0.0)
+        empty_graph = DirectedGraph.from_edges(0, [])
+        result = simulate_uic_batch(empty_graph, model, Allocation.empty(),
+                                    n_worlds=3, rng=1)
+        assert result.adoption_masks.shape == (3, 0)
+        assert result.welfare.tolist() == [0.0, 0.0, 0.0]
+        zero = simulate_uic_batch(generators.line_graph(3), model,
+                                  Allocation.empty(), n_worlds=0, rng=1)
+        assert zero.num_worlds == 0
+
+
+class TestICBitIdentical:
+    @pytest.mark.parametrize("graph_index", [0, 1, 2])
+    def test_fixed_worlds(self, graph_index):
+        graph = _fixture_graphs()[graph_index]
+        worlds = [sample_edge_world(graph, np.random.default_rng(100 + s))
+                  for s in range(6)]
+        live = np.stack([edge_world_live_mask(graph, w) for w in worlds])
+        active = simulate_ic_batch(graph, [0, 2], len(worlds),
+                                   edge_live=live)
+        for index, world in enumerate(worlds):
+            reference = simulate_ic(graph, [0, 2], edge_world=world)
+            assert reference == set(np.nonzero(active[index])[0].tolist())
+
+    def test_no_seeds(self):
+        graph = generators.line_graph(4)
+        active = simulate_ic_batch(graph, [], 5, rng=1)
+        assert not active.any()
+
+
+class TestEstimatorAgreement:
+    """Both engines estimate the same quantities."""
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_welfare_matches_exact_enumeration(self, engine):
+        graph = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5),
+                                             (0, 2, 0.25)])
+        model = two_item_config("C1", noise_sigma=0.0)
+        allocation = Allocation({"i": [0], "j": [1]})
+        exact = exact_welfare_enumeration(graph, model, allocation)
+        estimate = estimate_welfare(graph, model, allocation,
+                                    n_samples=6000, rng=3, engine=engine)
+        assert estimate.mean == pytest.approx(exact, rel=0.1)
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_deterministic_graph_exact(self, engine):
+        graph = generators.line_graph(4)
+        model = single_item_config()
+        estimate = estimate_welfare(graph, model, Allocation({"item": [0]}),
+                                    n_samples=16, rng=1, engine=engine)
+        assert estimate.mean == pytest.approx(4.0)
+        assert estimate.std_error == 0.0
+        assert estimate.mean_adopters == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_spread_line_graph(self, engine):
+        graph = DirectedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)])
+        spread = estimate_spread(graph, [0], n_samples=8000, rng=1,
+                                 engine=engine)
+        assert spread == pytest.approx(1.75, rel=0.05)
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_marginal_welfare_blocking(self, engine):
+        graph = generators.line_graph(4)
+        model = two_item_config("C2", noise_sigma=0.0)
+        marginal = estimate_marginal_welfare(
+            graph, model, Allocation({"i": [0]}), Allocation({"j": [1]}),
+            n_samples=10, rng=1, engine=engine)
+        assert marginal == pytest.approx(1.3 - 4.0)
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_marginal_spread(self, engine):
+        graph = generators.line_graph(4)
+        assert estimate_marginal_spread(graph, [0], [2], n_samples=10,
+                                        rng=1, engine=engine) \
+            == pytest.approx(0.0)
+        assert estimate_marginal_spread(graph, [2], [0], n_samples=10,
+                                        rng=1, engine=engine) \
+            == pytest.approx(2.0)
+
+    def test_engines_agree_statistically(self, small_er_graph):
+        model = two_item_config("C1", noise_sigma=0.0)
+        allocation = Allocation({"i": [0, 5, 9], "j": [3, 7]})
+        scalar = estimate_welfare(small_er_graph, model, allocation,
+                                  n_samples=1500, rng=11, engine="python")
+        vectorized = estimate_welfare(small_er_graph, model, allocation,
+                                      n_samples=1500, rng=11,
+                                      engine="vectorized")
+        tolerance = 4 * (scalar.std_error + vectorized.std_error)
+        assert abs(scalar.mean - vectorized.mean) <= tolerance
+
+
+class TestBatchedRRSets:
+    def test_standard_deterministic_line(self):
+        line4 = generators.line_graph(4)
+        sets = random_rr_sets(line4, 4, rng=1, roots=[0, 1, 2, 3])
+        assert [sorted(s.tolist()) for s in sets] == \
+            [[0], [0, 1], [0, 1, 2], [0, 1, 2, 3]]
+
+    def test_standard_members_reach_root(self):
+        graph = generators.erdos_renyi(60, 3.0, rng=1)
+        root = 7
+        rr = set(random_rr_sets(graph, 1, rng=12345, roots=[root])[0].tolist())
+        from collections import deque
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            sources, _ = graph.in_neighbors(node)
+            for source in sources:
+                source = int(source)
+                if source not in seen:
+                    seen.add(source)
+                    queue.append(source)
+        assert rr <= seen
+
+    def test_borgs_identity(self):
+        graph = weighting.weighted_cascade(
+            generators.erdos_renyi(100, 4.0, rng=3))
+        seeds = {0, 1, 2}
+        sets = random_rr_sets(graph, 4000, rng=5)
+        hits = sum(1 for s in sets if seeds & set(s.tolist()))
+        rr_estimate = graph.num_nodes * hits / 4000
+        mc_estimate = estimate_spread(graph, sorted(seeds), n_samples=2000,
+                                      rng=6)
+        assert rr_estimate == pytest.approx(mc_estimate, rel=0.2)
+
+    def test_marginal_semantics(self):
+        line4 = generators.line_graph(4)
+        # everything upstream of a blocked node is discarded
+        assert [s.tolist() for s in
+                marginal_rr_sets(line4, {0}, 3, rng=1, roots=[3, 1, 0])] \
+            == [[], [], []]
+        survivor = marginal_rr_sets(line4, {3}, 1, rng=1, roots=[1])[0]
+        assert sorted(survivor.tolist()) == [0, 1]
+        unblocked = marginal_rr_sets(line4, set(), 1, rng=1, roots=[3])[0]
+        assert sorted(unblocked.tolist()) == [0, 1, 2, 3]
+
+    def test_weighted_matches_scalar_semantics(self):
+        line4 = generators.line_graph(4)
+        model = two_item_config("C6", bounded_noise=True)
+        sampler = WeightedRRSampler(line4, model, "i",
+                                    Allocation({"j": [1]}), rng=1)
+        batch = sampler.sample_batch(ensure_rng(2), count=2, roots=[0, 3])
+        # root 0: no ancestor is a fixed seed -> full superior utility
+        assert batch[0].nodes.tolist() == [0]
+        assert batch[0].weight == pytest.approx(sampler.superior_utility)
+        # root 3: the BFS stops at the level of j's seed (node 1), so node 0
+        # is never explored, and the weight is discounted by U+(j)
+        assert sorted(batch[1].nodes.tolist()) == [1, 2, 3]
+        expected = (model.expected_truncated_utility("i")
+                    - model.expected_truncated_utility("j"))
+        assert batch[1].weight == pytest.approx(expected, rel=0.1)
+
+    def test_weighted_weight_never_negative(self):
+        graph = generators.erdos_renyi(40, 3.0, rng=2)
+        model = two_item_config("C6", bounded_noise=True)
+        sampler = WeightedRRSampler(graph, model, "i",
+                                    Allocation({"j": [0, 1, 2, 3]}), rng=3)
+        for rr in sampler.sample_batch(ensure_rng(4), count=50):
+            assert rr.weight >= 0.0
+
+    def test_empty_graph_batches(self):
+        empty = DirectedGraph.from_edges(0, [])
+        assert all(s.tolist() == [] for s in random_rr_sets(empty, 3, rng=1))
+        assert all(s.tolist() == []
+                   for s in marginal_rr_sets(empty, {0}, 3, rng=1))
+        sets = weighted_rr_sets(empty, {}, 1.0, 3, rng=1)
+        assert all(nodes.tolist() == [] and weight == 0.0 and root == -1
+                   for nodes, weight, root in sets)
+
+
+class TestCommonRandomNumbers:
+    def test_shared_coin_matrix_is_reused(self, small_er_graph):
+        rng = ensure_rng(4)
+        live = sample_edge_coin_matrix(small_er_graph, 8, rng)
+        coins = FixedCoinBatch(small_er_graph, live)
+        model = two_item_config("C1", noise_sigma=0.0)
+        noise = np.zeros((8, model.num_items))
+        base = Allocation({"i": [0]})
+        combined = base.union(Allocation({"i": [1]}))
+        first = simulate_uic_batch(small_er_graph, model, base,
+                                   edge_worlds=coins, noise_worlds=noise)
+        second = simulate_uic_batch(small_er_graph, model, combined,
+                                    edge_worlds=coins, noise_worlds=noise)
+        # the superset allocation can never do worse world-by-world when
+        # simulated on the same coins with a single competing item
+        assert (second.welfare >= first.welfare - 1e-9).all()
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_marginal_estimates_are_deterministic(self, small_er_graph,
+                                                  engine):
+        model = two_item_config("C1", noise_sigma=0.0)
+        base = Allocation({"i": [0, 1]})
+        extra = Allocation({"j": [2]})
+        first = estimate_marginal_welfare(small_er_graph, model, base, extra,
+                                          n_samples=30, rng=17,
+                                          engine=engine)
+        second = estimate_marginal_welfare(small_er_graph, model, base,
+                                           extra, n_samples=30, rng=17,
+                                           engine=engine)
+        assert first == pytest.approx(second)

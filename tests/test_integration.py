@@ -76,12 +76,16 @@ class TestTwoItemFindings:
 
     def test_seqgrd_nm_much_faster_than_seqgrd(self, graph):
         """The headline running-time finding (Figure 3): skipping the
-        marginal check is faster."""
+        marginal check is faster.  Pinned to the scalar engine — the
+        vectorized engine shrinks the marginal-check cost to the point
+        where the two runtimes are within measurement noise at this
+        scale."""
         model = two_item_config("C1")
         budgets = {"i": 5, "j": 5}
-        nm = seqgrd_nm(graph, model, budgets, options=FAST, rng=8)
+        nm = seqgrd_nm(graph, model, budgets, options=FAST, rng=8,
+                       engine="python")
         full = seqgrd(graph, model, budgets, n_marginal_samples=100,
-                      options=FAST, rng=8)
+                      options=FAST, rng=8, engine="python")
         assert nm.runtime_seconds < full.runtime_seconds
 
     def test_welfare_comparable_to_tcim_or_better_under_c1(self, graph):
