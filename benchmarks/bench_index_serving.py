@@ -1,0 +1,170 @@
+"""Benchmark: cold IMM runs vs warm queries over a persistent RR-set index.
+
+Measures the serving story of :mod:`repro.index` on a smoke-scale
+weighted-cascade graph:
+
+* **cold sweep** — a 5-point budget sweep where every point re-runs
+  SeqGRD-NM from scratch (the pre-index behaviour: full IMM sampling per
+  query);
+* **warm sweep** — the same sweep served from one prebuilt
+  :class:`~repro.index.FrozenRRIndex` through the
+  :class:`~repro.index.AllocationService` (one sampling pass ever, greedy
+  prefixes per point), asserting the >= 5x end-to-end speedup of the
+  acceptance criterion;
+* **parallel build** — index build time at 1/2/4 workers with the sharded
+  deterministic builder, asserting all worker counts produce identical
+  index contents.
+
+Results are written to ``benchmarks/BENCH_index.json``.  Scale is
+controlled by ``REPRO_BENCH_SCALE`` like the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import report
+
+from repro.graphs import generators, weighting
+from repro.index import AllocationService, FrozenRRIndex, build_index
+from repro.core import seqgrd_nm
+from repro.rrsets.imm import IMMOptions
+from repro.utility.configs import two_item_config
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_index.json"
+
+#: the budget sweep served both cold and warm (5 points, acceptance setting)
+BUDGET_SWEEP = (2, 4, 6, 8, 10)
+#: worker counts for the parallel-build comparison
+WORKER_COUNTS = (1, 2, 4)
+
+_GRAPH_NODES = {"smoke": 300, "default": 1_500, "large": 6_000}
+_MAX_RR_SETS = {"smoke": 20_000, "default": 60_000, "large": 200_000}
+
+
+def _bench_graph(scale):
+    nodes = _GRAPH_NODES.get(scale.name, 300)
+    graph = generators.erdos_renyi(nodes, avg_degree=8.0, rng=7,
+                                   directed=True,
+                                   name=f"er{nodes}-index-bench")
+    return weighting.weighted_cascade(graph)
+
+
+def _time(func):
+    start = time.perf_counter()
+    value = func()
+    return time.perf_counter() - start, value
+
+
+def test_index_serving_speedup(scale, tmp_path):
+    graph = _bench_graph(scale)
+    model = two_item_config("C1")
+    options = IMMOptions(max_rr_sets=_MAX_RR_SETS.get(scale.name, 20_000))
+    budgets = [{"i": b, "j": b} for b in BUDGET_SWEEP]
+    seed = scale.seed
+
+    # --- cold: one full IMM-sampling run per budget point ---------------
+    def cold_sweep():
+        return [seqgrd_nm(graph, model, b, options=options, rng=seed)
+                for b in budgets]
+
+    cold_s, cold_results = _time(cold_sweep)
+
+    # --- warm: build once, serve the sweep from the loaded index --------
+    build_s, index = _time(lambda: build_index(
+        graph, model, sampler="marginal",
+        budgets={"i": max(BUDGET_SWEEP), "j": max(BUDGET_SWEEP)},
+        options=options, seed=seed))
+    path = tmp_path / "bench-index"
+    save_s, _ = _time(lambda: index.save(path))
+
+    def warm_sweep():
+        loaded = FrozenRRIndex.load(path)
+        service = AllocationService(loaded, graph=graph, model=model)
+        return service.query_batch(
+            [{"algorithm": "SeqGRD-NM", "budgets": b} for b in budgets])
+
+    warm_s, warm_results = _time(warm_sweep)
+    speedup = cold_s / max(warm_s, 1e-9)
+
+    # the warm sweep must answer real allocations at every point
+    assert all(r["allocation"] for r in warm_results)
+    assert len(warm_results) == len(cold_results) == len(BUDGET_SWEEP)
+
+    # repeated (cached) queries are nearly free
+    service = AllocationService(FrozenRRIndex.load(path), graph=graph,
+                                model=model)
+    service.query_batch(
+        [{"algorithm": "SeqGRD-NM", "budgets": b} for b in budgets])
+    cached_s, _ = _time(lambda: service.query_batch(
+        [{"algorithm": "SeqGRD-NM", "budgets": b} for b in budgets]))
+
+    # --- parallel build: 1/2/4 workers, identical contents --------------
+    build_rows = []
+    reference = None
+    for workers in WORKER_COUNTS:
+        workers_s, built = _time(lambda w=workers: build_index(
+            graph, model, sampler="marginal",
+            budgets={"i": max(BUDGET_SWEEP), "j": max(BUDGET_SWEEP)},
+            options=options, seed=seed, workers=w))
+        if reference is None:
+            reference = built
+            base_s = workers_s
+        else:
+            np.testing.assert_array_equal(built._offsets,
+                                          reference._offsets)
+            np.testing.assert_array_equal(built._nodes, reference._nodes)
+            np.testing.assert_array_equal(built._weights,
+                                          reference._weights)
+        build_rows.append({"workers": workers,
+                           "build_s": round(workers_s, 4),
+                           "speedup_vs_1": round(base_s / workers_s, 2),
+                           "num_rr_sets": built.num_sets})
+
+    rows = [
+        {"workload": f"cold sweep ({len(BUDGET_SWEEP)} IMM runs)",
+         "seconds": round(cold_s, 4), "per_point_ms": round(
+             cold_s / len(BUDGET_SWEEP) * 1e3, 2)},
+        {"workload": "index build (once)", "seconds": round(build_s, 4),
+         "per_point_ms": ""},
+        {"workload": f"warm sweep (load + {len(BUDGET_SWEEP)} queries)",
+         "seconds": round(warm_s, 4), "per_point_ms": round(
+             warm_s / len(BUDGET_SWEEP) * 1e3, 2)},
+        {"workload": "cached sweep (LRU hits)",
+         "seconds": round(cached_s, 4), "per_point_ms": round(
+             cached_s / len(BUDGET_SWEEP) * 1e3, 2)},
+    ]
+    report(f"Index serving — {graph.name} ({graph.num_nodes} nodes), "
+           f"warm speedup {speedup:.1f}x", rows,
+           columns=["workload", "seconds", "per_point_ms"])
+    report("Parallel index build", build_rows,
+           columns=["workers", "build_s", "speedup_vs_1", "num_rr_sets"])
+
+    ARTIFACT.write_text(json.dumps({
+        "benchmark": "index_serving",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale.name,
+        "graph": {"name": graph.name, "nodes": graph.num_nodes,
+                  "edges": graph.num_edges},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "budget_sweep": list(BUDGET_SWEEP),
+        "num_rr_sets": index.num_sets,
+        "index_bytes": (tmp_path / "bench-index.npz").stat().st_size,
+        "cold_sweep_seconds": cold_s,
+        "index_build_seconds": build_s,
+        "index_save_seconds": save_s,
+        "warm_sweep_seconds": warm_s,
+        "cached_sweep_seconds": cached_s,
+        "warm_speedup": speedup,
+        "parallel_build": build_rows,
+    }, indent=2) + "\n")
+
+    assert speedup >= 5.0, (
+        f"a warm index query sweep must be >= 5x faster end-to-end than "
+        f"re-running IMM per point, measured {speedup:.1f}x")

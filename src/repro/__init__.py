@@ -51,6 +51,12 @@ from repro.engine import (
     simulate_uic_batch,
 )
 from repro.graphs import DirectedGraph, load_network, weighted_cascade
+from repro.index import (
+    AllocationService,
+    FrozenRRIndex,
+    build_index,
+    index_fingerprint,
+)
 from repro.rrsets import IMMOptions, imm, marginal_imm
 from repro.utility import (
     GaussianNoise,
@@ -71,6 +77,7 @@ from repro.exceptions import (
     AlgorithmError,
     AllocationError,
     GraphError,
+    IndexStoreError,
     ReproError,
     UtilityModelError,
 )
@@ -120,6 +127,11 @@ __all__ = [
     "imm",
     "marginal_imm",
     "IMMOptions",
+    # persistent index store + serving
+    "FrozenRRIndex",
+    "AllocationService",
+    "build_index",
+    "index_fingerprint",
     # utility models
     "ItemCatalog",
     "UtilityModel",
@@ -140,4 +152,5 @@ __all__ = [
     "UtilityModelError",
     "AllocationError",
     "AlgorithmError",
+    "IndexStoreError",
 ]

@@ -11,6 +11,11 @@ or a job scheduler without writing Python:
   print it as a text table.
 * ``repro learn`` — learn item utilities from a selection-log file
   (``user-selections`` as comma-separated items per line).
+* ``repro index build`` / ``repro index query`` — persist the RR-set
+  collection of a run as an on-disk index, then answer allocation queries
+  against it without resampling (stale indexes are fingerprint-rejected).
+* ``repro serve`` — long-lived JSON-lines allocation service over a loaded
+  index (one request per stdin line, one response per stdout line).
 
 Invoke with ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -29,7 +34,7 @@ from repro.baselines import greedy_wm, round_robin, snake, tcim
 from repro.core import best_of, maxgrd, seqgrd, seqgrd_nm, supgrd
 from repro.diffusion.estimators import estimate_welfare
 from repro.engine.config import ENGINE_ENV_VAR
-from repro.exceptions import ReproError
+from repro.exceptions import IndexStoreError, ReproError
 from repro.experiments import (
     figure3,
     figure4,
@@ -46,6 +51,13 @@ from repro.experiments import (
 )
 from repro.graphs.datasets import NETWORKS, load_network, network_statistics
 from repro.graphs.loaders import read_edge_list, write_edge_list
+from repro.index import (
+    SAMPLER_KINDS,
+    AllocationService,
+    FrozenRRIndex,
+    build_index,
+    expected_index_fingerprint,
+)
 from repro.rrsets.imm import IMMOptions, imm
 from repro.utility.configs import (
     blocking_config,
@@ -143,8 +155,76 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Monte-Carlo engine: the scalar reference "
                           "('python') or the batched vectorized engine "
                           "(the default)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="sample RR sets with this many worker processes "
+                          "(SeqGRD/SeqGRD-NM/SupGRD; results are identical "
+                          "for any worker count at a fixed seed)")
     run.add_argument("--json", action="store_true",
                      help="print machine-readable JSON instead of text")
+
+    # index --------------------------------------------------------------
+    index = sub.add_parser("index",
+                           help="build and query persistent RR-set indexes")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    build = index_sub.add_parser(
+        "build", help="sample an RR-set index once and persist it")
+    build.add_argument("--out", type=Path, required=True,
+                       help="index path stem (writes <out>.npz + "
+                            "<out>.manifest.json)")
+    build.add_argument("--network", default="nethept")
+    build.add_argument("--scale", type=float, default=None)
+    build.add_argument("--configuration", default="C1",
+                       choices=sorted(CONFIGURATIONS))
+    build.add_argument("--sampler", default="marginal",
+                       choices=sorted(SAMPLER_KINDS),
+                       help="RR-set kind: 'marginal' serves SeqGRD-NM, "
+                            "'weighted' serves SupGRD, 'standard' serves "
+                            "plain top-k selection")
+    build.add_argument("--budget", type=int, default=10)
+    build.add_argument("--budgets", type=str, default=None,
+                       help='per-item budgets as JSON, e.g. '
+                            '\'{"i": 10, "j": 5}\'')
+    build.add_argument("--fixed-imm-item", type=str, default=None)
+    build.add_argument("--fixed-imm-budget", type=int, default=50)
+    build.add_argument("--max-rr-sets", type=int, default=100_000)
+    build.add_argument("--epsilon", type=float, default=0.5)
+    build.add_argument("--ell", type=float, default=1.0)
+    build.add_argument("--seed", type=int, default=2020)
+    build.add_argument("--workers", type=int, default=None,
+                       help="worker processes for sampling (the index is "
+                            "identical for any worker count; omit for the "
+                            "serial stream, matching `repro run` without "
+                            "--workers)")
+    build.add_argument("--engine", choices=["python", "vectorized"],
+                       default=None)
+    build.add_argument("--json", action="store_true")
+
+    query = index_sub.add_parser(
+        "query", help="answer an allocation query from a persisted index")
+    query.add_argument("--index", type=Path, required=True,
+                       help="index path stem (or its .npz/.manifest.json)")
+    query.add_argument("--algorithm", default=None,
+                       choices=["select", "SeqGRD-NM", "SupGRD"],
+                       help="defaults to the algorithm the index was "
+                            "built for")
+    query.add_argument("--budget", type=int, default=None)
+    query.add_argument("--budgets", type=str, default=None)
+    query.add_argument("--samples", type=int, default=0,
+                       help="Monte-Carlo samples for an optional welfare "
+                            "estimate of the served allocation (0 = skip)")
+    query.add_argument("--no-verify", action="store_true",
+                       help="skip the fingerprint check against the "
+                            "freshly rebuilt graph/configuration")
+    query.add_argument("--json", action="store_true")
+
+    # serve --------------------------------------------------------------
+    serve = sub.add_parser(
+        "serve", help="JSON-lines allocation service over a persisted index")
+    serve.add_argument("--index", type=Path, required=True)
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="LRU capacity for distinct query results")
+    serve.add_argument("--no-verify", action="store_true")
 
     # experiment ---------------------------------------------------------
     experiment = sub.add_parser("experiment",
@@ -226,12 +306,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _cmd_run_inner(args)
 
 
-def _cmd_run_inner(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.network, args.scale, args.seed)
-    model = CONFIGURATIONS[args.configuration]()
-    options = IMMOptions(epsilon=args.epsilon, ell=args.ell,
-                         max_rr_sets=args.max_rr_sets)
+def _resolve_workload(args: argparse.Namespace, graph, model,
+                      options: IMMOptions):
+    """Shared ``repro run`` / ``repro index build`` workload resolution.
 
+    Returns the per-item budget vector and the fixed allocation (the top
+    IMM seeds of ``--fixed-imm-item``, removed from the budgets).  Both
+    commands must resolve these identically so a built index reproduces the
+    direct run bit for bit.
+    """
     if args.budgets:
         budgets: Dict[str, int] = {str(k): int(v)
                                    for k, v in json.loads(args.budgets).items()}
@@ -242,17 +325,28 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
     if args.fixed_imm_item:
         fixed_item = args.fixed_imm_item
         seeds = imm(graph, args.fixed_imm_budget, options=options,
-                    rng=args.seed).seeds
+                    rng=args.seed, engine=args.engine).seeds
         fixed = Allocation({fixed_item: seeds})
         budgets.pop(fixed_item, None)
+    return budgets, fixed
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.network, args.scale, args.seed)
+    model = CONFIGURATIONS[args.configuration]()
+    options = IMMOptions(epsilon=args.epsilon, ell=args.ell,
+                         max_rr_sets=args.max_rr_sets)
+    budgets, fixed = _resolve_workload(args, graph, model, options)
 
     algorithm = args.algorithm
     common = dict(options=options, rng=args.seed)
+    workers = dict(workers=args.workers)
     if algorithm == "SeqGRD":
         result = seqgrd(graph, model, budgets, fixed,
-                        n_marginal_samples=args.marginal_samples, **common)
+                        n_marginal_samples=args.marginal_samples,
+                        **common, **workers)
     elif algorithm == "SeqGRD-NM":
-        result = seqgrd_nm(graph, model, budgets, fixed, **common)
+        result = seqgrd_nm(graph, model, budgets, fixed, **common, **workers)
     elif algorithm == "MaxGRD":
         result = maxgrd(graph, model, budgets, fixed,
                         n_marginal_samples=args.marginal_samples, **common)
@@ -260,7 +354,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         ((item, budget),) = budgets.items() if len(budgets) == 1 else \
             (max(budgets.items(), key=lambda kv: kv[1]),)
         result = supgrd(graph, model, budget, fixed, superior_item=item,
-                        enforce_preconditions=False, **common)
+                        enforce_preconditions=False, **common, **workers)
     elif algorithm == "BestOf":
         result = best_of(graph, model, budgets, fixed,
                          n_marginal_samples=args.marginal_samples,
@@ -339,6 +433,177 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.network, args.scale, args.seed)
+    model = CONFIGURATIONS[args.configuration]()
+    options = IMMOptions(epsilon=args.epsilon, ell=args.ell,
+                         max_rr_sets=args.max_rr_sets)
+    budgets, fixed = _resolve_workload(args, graph, model, options)
+
+    superior_item = None
+    if args.sampler == "weighted":
+        # mirror `repro run --algorithm SupGRD`: allocate the single
+        # budgeted item, or the one with the largest budget
+        ((item, budget),) = budgets.items() if len(budgets) == 1 else \
+            (max(budgets.items(), key=lambda kv: kv[1]),)
+        superior_item = item
+        budgets = {item: budget}
+
+    index = build_index(
+        graph, model, sampler=args.sampler, budgets=budgets,
+        fixed_allocation=fixed, superior_item=superior_item,
+        options=options, seed=args.seed, workers=args.workers,
+        engine=args.engine,
+        meta_extra={
+            "network": args.network,
+            "scale": args.scale,
+            "configuration": args.configuration,
+            "graph_seed": args.seed,
+            "fixed_imm_item": args.fixed_imm_item,
+            "fixed_imm_budget": args.fixed_imm_budget,
+        })
+    npz_path, manifest_path = index.save(args.out)
+    payload = {
+        "index": str(npz_path),
+        "manifest": str(manifest_path),
+        "network": args.network,
+        "configuration": args.configuration,
+        "sampler": args.sampler,
+        "algorithm": index.meta.get("algorithm"),
+        "budgets": budgets,
+        "num_rr_sets": index.num_sets,
+        "num_nodes": index.num_nodes,
+        "size_bytes": npz_path.stat().st_size,
+        "fingerprint": index.fingerprint,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"built {args.sampler} index: {index.num_sets} RR sets over "
+              f"{index.num_nodes} nodes "
+              f"({payload['size_bytes'] / 1024:.1f} KiB)")
+        print(f"  arrays   : {npz_path}")
+        print(f"  manifest : {manifest_path}")
+        print(f"  serves   : {index.meta.get('algorithm')} "
+              f"(budgets {budgets})")
+        print(f"  fingerprint: {index.fingerprint[:16]}…")
+    return 0
+
+
+def _load_service(index_path: Path, verify: bool,
+                  cache_size: int = 128):
+    """Load an index + rebuild its instance, returning an AllocationService.
+
+    The graph and utility model are reconstructed from the manifest and the
+    index fingerprint is re-verified against them (unless ``verify`` is
+    false), so a stale index — the network file or configuration changed
+    since the build — is rejected instead of silently served.
+    """
+    index = FrozenRRIndex.load(index_path)
+    meta = index.meta
+    network = meta.get("network")
+    configuration = meta.get("configuration")
+    if network is None or configuration not in CONFIGURATIONS:
+        raise IndexStoreError(
+            f"the index manifest does not name a network/configuration "
+            f"this CLI can rebuild (network={network!r}, "
+            f"configuration={configuration!r}); query it in-process via "
+            f"repro.index.AllocationService instead")
+    graph = _load_graph(str(network), meta.get("scale"),
+                        int(meta.get("graph_seed", meta.get("seed", 0))))
+    model = CONFIGURATIONS[configuration]()
+    if verify:
+        expected = expected_index_fingerprint(graph, model, meta)
+        if expected != index.fingerprint:
+            raise IndexStoreError(
+                f"stale index {index_path}: the rebuilt graph/configuration "
+                f"fingerprints to {expected[:12]}… but the index was built "
+                f"for {str(index.fingerprint)[:12]}…; rebuild it with "
+                f"`repro index build`")
+    fixed = Allocation(
+        {item: [int(v) for v in nodes] for item, nodes
+         in (meta.get("fingerprint_extra", {}).get("fixed") or {}).items()})
+    service = AllocationService(index, graph=graph, model=model,
+                                fixed_allocation=fixed,
+                                cache_size=cache_size)
+    return service, graph, model, fixed
+
+
+#: manifest algorithm name -> service algorithm name
+_SERVE_ALGORITHMS = {"SeqGRD-NM": "SeqGRD-NM", "SupGRD": "SupGRD",
+                     "IMM": "select"}
+
+
+def _cmd_index_query(args: argparse.Namespace) -> int:
+    service, graph, model, fixed = _load_service(args.index,
+                                                 verify=not args.no_verify)
+    meta = service.index.meta
+    algorithm = args.algorithm or _SERVE_ALGORITHMS.get(
+        str(meta.get("algorithm")), "select")
+    budgets = None
+    if args.budgets:
+        budgets = {str(k): int(v)
+                   for k, v in json.loads(args.budgets).items()}
+    payload = service.query(algorithm, budgets=budgets, k=args.budget)
+    payload.update(network=graph.name,
+                   configuration=meta.get("configuration"))
+    if args.samples > 0:
+        allocation = Allocation(payload["allocation"]).union(fixed)
+        welfare = estimate_welfare(graph, model, allocation,
+                                   n_samples=args.samples,
+                                   rng=int(meta.get("seed", 0)))
+        payload["expected_welfare"] = round(welfare.mean, 3)
+        payload["welfare_std_error"] = round(welfare.std_error, 3)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"algorithm        : {payload['algorithm']} (served from "
+              f"{service.index.num_sets} indexed RR sets)")
+        print(f"network          : {payload['network']}")
+        print(f"configuration    : {payload['configuration']}")
+        print(f"estimated value  : {payload['estimated_value']:.3f}")
+        if "expected_welfare" in payload:
+            print(f"expected welfare : {payload['expected_welfare']}")
+        for item, nodes in payload["allocation"].items():
+            print(f"  seeds[{item}]: {nodes}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    if args.index_command == "build":
+        return _cmd_index_build(args)
+    return _cmd_index_query(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service, graph, _model, _fixed = _load_service(
+        args.index, verify=not args.no_verify, cache_size=args.cache_size)
+    meta = service.index.meta
+    print(f"serving {meta.get('sampler')} index "
+          f"({service.index.num_sets} RR sets, {graph.name}) — one JSON "
+          f"request per line on stdin, e.g. "
+          f'{{"op": "query", "budgets": {{"i": 5}}}}',
+          file=sys.stderr, flush=True)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            print(json.dumps({"ok": False, "error": f"bad JSON: {error}"}),
+                  flush=True)
+            continue
+        if not isinstance(request, dict):
+            print(json.dumps({"ok": False,
+                              "error": "requests must be JSON objects"}),
+                  flush=True)
+            continue
+        response = service.handle_request(request)
+        print(json.dumps(response, default=str), flush=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -349,6 +614,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "learn": _cmd_learn,
+        "index": _cmd_index,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -34,7 +34,7 @@ from repro.rrsets.bounds import adjusted_ell, lambda_prime, lambda_star
 from repro.rrsets.coverage import RRCollection, node_selection
 from repro.rrsets.imm import IMMOptions
 from repro.rrsets.rrset import marginal_rr_set
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, derive_seed, ensure_rng
 
 
 @dataclass
@@ -45,6 +45,8 @@ class PrimaResult:
     prefix_marginal_spreads: List[float]
     num_rr_sets: int
     lower_bounds: Dict[int, float] = field(default_factory=dict)
+    collection: Optional[RRCollection] = field(default=None, repr=False,
+                                               compare=False)
 
     def prefix(self, k: int) -> List[int]:
         """First ``k`` seeds of the ordered seed set."""
@@ -61,7 +63,9 @@ class PrimaResult:
 def prima_plus(graph: DirectedGraph, fixed_seeds: Iterable[int],
                budgets: Sequence[int], num_seeds: int,
                options: Optional[IMMOptions] = None,
-               rng: RngLike = None) -> PrimaResult:
+               rng: RngLike = None,
+               workers: Optional[int] = None,
+               keep_collection: bool = False) -> PrimaResult:
     """Select ``num_seeds`` ordered seeds maximizing marginal spread.
 
     Parameters
@@ -78,6 +82,13 @@ def prima_plus(graph: DirectedGraph, fixed_seeds: Iterable[int],
         ``max b_i`` for MaxGRD).
     options:
         IMM accuracy options (ε, ℓ, sampling caps).
+    workers:
+        When given, marginal RR sets come from the deterministic sharded
+        builder with this many worker processes (identical results for any
+        worker count at a fixed seed); ``None`` keeps the serial stream.
+    keep_collection:
+        Return the final RR collection on ``PrimaResult.collection`` so it
+        can be frozen into a persistent index.
     """
     options = options or IMMOptions()
     rng = ensure_rng(rng)
@@ -95,8 +106,22 @@ def prima_plus(graph: DirectedGraph, fixed_seeds: Iterable[int],
     epsilon_prime = math.sqrt(2.0) * epsilon
     ell_adj = adjusted_ell(n, options.ell, num_budgets=len(budget_list))
 
+    parallel_sampler = None
+    if workers is not None:
+        from repro.index.builder import ParallelRRSampler, ShardSpec
+
+        parallel_sampler = ParallelRRSampler(
+            ShardSpec(kind="marginal", graph=graph,
+                      blocked=frozenset(blocked)),
+            seed=derive_seed(rng), workers=workers)
+
     def sample_into(collection: RRCollection, target: float) -> None:
         target = int(min(math.ceil(target), options.max_rr_sets))
+        if parallel_sampler is not None:
+            missing = target - collection.num_sets
+            if missing > 0:
+                collection.extend(parallel_sampler(missing))
+            return
         while collection.num_sets < target:
             collection.add(marginal_rr_set(graph, blocked, rng), 1.0)
 
@@ -104,34 +129,40 @@ def prima_plus(graph: DirectedGraph, fixed_seeds: Iterable[int],
     # sampling phase: one lower-bound search per distinct budget, sharing
     # the same growing RR collection (Algorithm 4's outer while loop).
     # ------------------------------------------------------------------
-    collection = RRCollection(n)
-    lower_bounds: Dict[int, float] = {}
-    required_theta = float(options.min_rr_sets)
-    for k in budget_list:
-        lam_prime = lambda_prime(n, k, epsilon_prime, ell_adj)
-        lam_star = lambda_star(n, k, epsilon, ell_adj)
-        lower_bound = 1.0
-        max_rounds = max(1, int(math.ceil(math.log2(max(n, 2)))) - 1)
-        for i in range(1, max_rounds + 1):
-            x = n / (2.0 ** i)
-            sample_into(collection, lam_prime / x)
-            selection = node_selection(collection, k)
-            estimate = n * selection.covered_weight / max(collection.num_sets, 1)
-            if estimate >= (1.0 + epsilon_prime) * x:
-                lower_bound = estimate / (1.0 + epsilon_prime)
-                break
-            if collection.num_sets >= options.max_rr_sets:
-                lower_bound = max(lower_bound, estimate)
-                break
-        lower_bounds[k] = lower_bound
-        required_theta = max(required_theta, lam_star / max(lower_bound, 1e-12))
+    try:
+        collection = RRCollection(n)
+        lower_bounds: Dict[int, float] = {}
+        required_theta = float(options.min_rr_sets)
+        for k in budget_list:
+            lam_prime = lambda_prime(n, k, epsilon_prime, ell_adj)
+            lam_star = lambda_star(n, k, epsilon, ell_adj)
+            lower_bound = 1.0
+            max_rounds = max(1, int(math.ceil(math.log2(max(n, 2)))) - 1)
+            for i in range(1, max_rounds + 1):
+                x = n / (2.0 ** i)
+                sample_into(collection, lam_prime / x)
+                selection = node_selection(collection, k)
+                estimate = n * selection.covered_weight / max(collection.num_sets, 1)
+                if estimate >= (1.0 + epsilon_prime) * x:
+                    lower_bound = estimate / (1.0 + epsilon_prime)
+                    break
+                if collection.num_sets >= options.max_rr_sets:
+                    lower_bound = max(lower_bound, estimate)
+                    break
+            lower_bounds[k] = lower_bound
+            required_theta = max(required_theta,
+                                 lam_star / max(lower_bound, 1e-12))
 
-    # ------------------------------------------------------------------
-    # final phase: fresh RR sets (Chen's fix) and one greedy selection whose
-    # prefixes serve every budget in the vector.
-    # ------------------------------------------------------------------
-    final_collection = RRCollection(n) if options.fresh_final_sampling else collection
-    sample_into(final_collection, required_theta)
+        # --------------------------------------------------------------
+        # final phase: fresh RR sets (Chen's fix) and one greedy selection
+        # whose prefixes serve every budget in the vector.
+        # --------------------------------------------------------------
+        final_collection = RRCollection(n) if options.fresh_final_sampling \
+            else collection
+        sample_into(final_collection, required_theta)
+    finally:
+        if parallel_sampler is not None:
+            parallel_sampler.close()
     selection = node_selection(final_collection, num_seeds)
     scale = n / max(final_collection.num_sets, 1)
     return PrimaResult(
@@ -139,6 +170,7 @@ def prima_plus(graph: DirectedGraph, fixed_seeds: Iterable[int],
         prefix_marginal_spreads=[w * scale for w in selection.prefix_weights],
         num_rr_sets=final_collection.num_sets,
         lower_bounds=lower_bounds,
+        collection=final_collection if keep_collection else None,
     )
 
 

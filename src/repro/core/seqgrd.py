@@ -21,8 +21,9 @@ import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.allocation import Allocation, validate_budgets
-from repro.core.prima import prima_plus
+from repro.core.prima import PrimaResult, prima_plus
 from repro.core.results import AllocationResult
+from repro.rrsets.coverage import node_selection
 from repro.diffusion.estimators import estimate_marginal_welfare, estimate_welfare
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import DirectedGraph
@@ -40,7 +41,10 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
            evaluate_welfare: bool = False,
            n_evaluation_samples: int = 500,
            rng: RngLike = None,
-           engine: Optional[str] = None) -> AllocationResult:
+           engine: Optional[str] = None,
+           workers: Optional[int] = None,
+           index: Optional["FrozenRRIndex"] = None,
+           keep_rr_collection: bool = False) -> AllocationResult:
     """Run SeqGRD (or SeqGRD-NM when ``marginal_check=False``).
 
     Parameters
@@ -64,6 +68,19 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
     evaluate_welfare:
         When true, the returned result carries a Monte-Carlo estimate of
         ``ρ(S ∪ S_P)``.
+    workers:
+        When given, PRIMA+'s marginal RR sets come from the deterministic
+        sharded builder with this many worker processes (identical results
+        for any worker count at a fixed seed).
+    index:
+        A prebuilt marginal :class:`~repro.index.frozen.FrozenRRIndex`:
+        PRIMA+'s sampling is skipped and the ordered seed pool comes from
+        one greedy coverage selection over the index (bit-identical to the
+        pool of the build run).
+    keep_rr_collection:
+        Record PRIMA+'s final RR collection in
+        ``result.details["rr_collection"]`` so it can be frozen into a
+        persistent index.
     """
     rng = ensure_rng(rng)
     options = options or IMMOptions()
@@ -76,8 +93,13 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
     fixed_seeds = fixed_allocation.all_seeds()
     total_budget = sum(budgets[item] for item in items)
 
-    prima = prima_plus(graph, fixed_seeds, [budgets[i] for i in items],
-                       total_budget, options=options, rng=rng)
+    if index is not None:
+        prima = _pool_from_index(graph, index, total_budget)
+    else:
+        prima = prima_plus(graph, fixed_seeds, [budgets[i] for i in items],
+                           total_budget, options=options, rng=rng,
+                           workers=workers,
+                           keep_collection=keep_rr_collection)
     available: List[int] = list(prima.seeds)
 
     # sort items by expected truncated utility, highest first (line 4)
@@ -127,21 +149,28 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
                                      allocation.union(fixed_allocation),
                                      n_samples=n_evaluation_samples,
                                      rng=rng, engine=engine).mean
+    details = {
+        "item_order": ordered_items,
+        "item_utilities": utilities,
+        "added_in_first_pass": added,
+        "appended_items": skipped,
+        "marginal_estimates": marginals,
+        "num_rr_sets": prima.num_rr_sets,
+        "prima_prefix_spreads": prima.prefix_marginal_spreads,
+        "pool_marginal_spread": (prima.prefix_marginal_spreads[-1]
+                                 if prima.prefix_marginal_spreads else 0.0),
+    }
+    if index is not None:
+        details["served_from_index"] = True
+    if keep_rr_collection:
+        details["rr_collection"] = prima.collection
     return AllocationResult(
         allocation=allocation,
         fixed_allocation=fixed_allocation,
         algorithm=algorithm,
         estimated_welfare=estimated,
         runtime_seconds=runtime,
-        details={
-            "item_order": ordered_items,
-            "item_utilities": utilities,
-            "added_in_first_pass": added,
-            "appended_items": skipped,
-            "marginal_estimates": marginals,
-            "num_rr_sets": prima.num_rr_sets,
-            "prima_prefix_spreads": prima.prefix_marginal_spreads,
-        },
+        details=details,
     )
 
 
@@ -152,13 +181,44 @@ def seqgrd_nm(graph: DirectedGraph, model: UtilityModel,
               evaluate_welfare: bool = False,
               n_evaluation_samples: int = 500,
               rng: RngLike = None,
-              engine: Optional[str] = None) -> AllocationResult:
+              engine: Optional[str] = None,
+              workers: Optional[int] = None,
+              index: Optional["FrozenRRIndex"] = None,
+              keep_rr_collection: bool = False) -> AllocationResult:
     """SeqGRD-NM: SeqGRD without the Monte-Carlo marginal check."""
     return seqgrd(graph, model, budgets, fixed_allocation,
                   marginal_check=False, options=options,
                   evaluate_welfare=evaluate_welfare,
                   n_evaluation_samples=n_evaluation_samples, rng=rng,
-                  engine=engine)
+                  engine=engine, workers=workers, index=index,
+                  keep_rr_collection=keep_rr_collection)
+
+
+def _pool_from_index(graph: DirectedGraph, index, num_seeds: int
+                     ) -> PrimaResult:
+    """Recover PRIMA+'s ordered seed pool from a frozen marginal index.
+
+    The greedy order over the frozen collection is bit-identical to the
+    order PRIMA+ computed when the index was built, so its prefixes keep
+    serving every budget in the build's budget vector.
+    """
+    if index.num_nodes != graph.num_nodes:
+        raise AlgorithmError(
+            f"the index covers {index.num_nodes} nodes but the graph has "
+            f"{graph.num_nodes}; rebuild the index")
+    kind = index.meta.get("sampler")
+    if kind not in (None, "marginal", "standard"):
+        raise AlgorithmError(
+            f"SeqGRD needs a marginal (or standard) RR-set index, "
+            f"got {kind!r}")
+    selection = node_selection(index, num_seeds)
+    scale = graph.num_nodes / max(index.num_sets, 1)
+    return PrimaResult(
+        seeds=selection.seeds,
+        prefix_marginal_spreads=[w * scale
+                                 for w in selection.prefix_weights],
+        num_rr_sets=index.num_sets,
+    )
 
 
 def _check_item_split(budgets: Mapping[str, int],

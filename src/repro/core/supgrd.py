@@ -29,10 +29,11 @@ from repro.diffusion.estimators import estimate_welfare
 from repro.engine.config import ENGINE_VECTORIZED, resolve_engine
 from repro.exceptions import AlgorithmError
 from repro.graphs.graph import DirectedGraph
+from repro.rrsets.coverage import node_selection
 from repro.rrsets.imm import IMMOptions, run_imm_engine
 from repro.rrsets.rrset import WeightedRRSampler
 from repro.utility.model import UtilityModel
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, derive_seed, ensure_rng
 
 
 def supgrd(graph: DirectedGraph, model: UtilityModel,
@@ -44,7 +45,10 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
            evaluate_welfare: bool = False,
            n_evaluation_samples: int = 500,
            rng: RngLike = None,
-           engine: Optional[str] = None) -> AllocationResult:
+           engine: Optional[str] = None,
+           workers: Optional[int] = None,
+           index: Optional["FrozenRRIndex"] = None,
+           keep_rr_collection: bool = False) -> AllocationResult:
     """Select ``budget`` seeds for the superior item on top of ``S_P``.
 
     Parameters
@@ -62,6 +66,19 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
         When ``True`` (default) the preconditions of Theorem 5 are checked
         and violations raise :class:`AlgorithmError`; ``False`` lets callers
         run SupGRD as a heuristic outside its guaranteed regime.
+    workers:
+        When given, weighted RR sets come from the deterministic sharded
+        builder with this many worker processes (identical results for any
+        worker count at a fixed seed); ``None`` keeps the serial stream.
+    index:
+        A prebuilt weighted :class:`~repro.index.frozen.FrozenRRIndex`.
+        Sampling is skipped entirely — seeds come from one greedy coverage
+        selection over the index, reproducing the allocation of the build
+        run in milliseconds.
+    keep_rr_collection:
+        Record the final RR collection in
+        ``result.details["rr_collection"]`` so it can be frozen into a
+        persistent index.
     """
     rng = ensure_rng(rng)
     options = options or IMMOptions()
@@ -90,6 +107,11 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
                      "zero_budget": budget == 0,
                      "empty_graph": graph.num_nodes == 0})
 
+    if index is not None:
+        return _serve_from_index(graph, model, budget, fixed_allocation,
+                                 superior_item, index, evaluate_welfare,
+                                 n_evaluation_samples, rng, engine)
+
     start = time.perf_counter()
     sampler_state = WeightedRRSampler(graph, model, superior_item,
                                       fixed_allocation, rng=rng)
@@ -113,14 +135,83 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
             return [(rr.nodes, rr.weight)
                     for rr in sampler_state.sample_batch(generator, count)]
 
-    imm_result = run_imm_engine(
-        graph.num_nodes, budget, sampler,
-        max_value=float(graph.num_nodes) * superior_utility,
-        options=options, rng=rng, batch_sampler=batch_sampler)
+    parallel_sampler = None
+    if workers is not None:
+        from repro.index.builder import ParallelRRSampler, ShardSpec
+
+        parallel_sampler = ParallelRRSampler(
+            ShardSpec(kind="weighted", graph=graph,
+                      engine=resolve_engine(engine),
+                      node_block_utility=sampler_state.node_block_utility,
+                      superior_utility=superior_utility),
+            seed=derive_seed(rng), workers=workers)
+
+    try:
+        imm_result = run_imm_engine(
+            graph.num_nodes, budget, sampler,
+            max_value=float(graph.num_nodes) * superior_utility,
+            options=options, rng=rng, batch_sampler=batch_sampler,
+            parallel_sampler=parallel_sampler,
+            keep_collection=keep_rr_collection)
+    finally:
+        if parallel_sampler is not None:
+            parallel_sampler.close()
     allocation = Allocation({superior_item: imm_result.seeds}) \
         if imm_result.seeds else Allocation.empty()
     runtime = time.perf_counter() - start
 
+    estimated = None
+    if evaluate_welfare:
+        estimated = estimate_welfare(graph, model,
+                                     allocation.union(fixed_allocation),
+                                     n_samples=n_evaluation_samples,
+                                     rng=rng, engine=engine).mean
+    details = {
+        "superior_item": superior_item,
+        "superior_truncated_utility": superior_utility,
+        "estimated_marginal_welfare": imm_result.estimated_value,
+        "num_rr_sets": imm_result.num_rr_sets,
+        "lower_bound": imm_result.lower_bound,
+        "cap_hit": imm_result.cap_hit,
+    }
+    if keep_rr_collection:
+        details["rr_collection"] = imm_result.collection
+    return AllocationResult(
+        allocation=allocation,
+        fixed_allocation=fixed_allocation,
+        algorithm="SupGRD",
+        estimated_welfare=estimated,
+        runtime_seconds=runtime,
+        details=details,
+    )
+
+
+def _serve_from_index(graph: DirectedGraph, model: UtilityModel, budget: int,
+                      fixed_allocation: Allocation, superior_item: str,
+                      index, evaluate_welfare: bool,
+                      n_evaluation_samples: int, rng, engine: Optional[str]
+                      ) -> AllocationResult:
+    """Answer a SupGRD query from a prebuilt weighted RR-set index.
+
+    One greedy coverage selection over the frozen collection — the same
+    ``node_selection`` the build ran — so the served seeds are bit-identical
+    to the build-time allocation (for the built budget) or its greedy
+    prefix (for smaller budgets).
+    """
+    if index.num_nodes != graph.num_nodes:
+        raise AlgorithmError(
+            f"the index covers {index.num_nodes} nodes but the graph has "
+            f"{graph.num_nodes}; rebuild the index")
+    kind = index.meta.get("sampler")
+    if kind not in (None, "weighted"):
+        raise AlgorithmError(
+            f"SupGRD needs a weighted RR-set index, got {kind!r}")
+    start = time.perf_counter()
+    selection = node_selection(index, budget)
+    allocation = Allocation({superior_item: selection.seeds}) \
+        if selection.seeds else Allocation.empty()
+    scale = graph.num_nodes / max(index.num_sets, 1)
+    runtime = time.perf_counter() - start
     estimated = None
     if evaluate_welfare:
         estimated = estimate_welfare(graph, model,
@@ -135,10 +226,10 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
         runtime_seconds=runtime,
         details={
             "superior_item": superior_item,
-            "superior_truncated_utility": superior_utility,
-            "estimated_marginal_welfare": imm_result.estimated_value,
-            "num_rr_sets": imm_result.num_rr_sets,
-            "lower_bound": imm_result.lower_bound,
+            "superior_truncated_utility": index.meta.get("superior_utility"),
+            "estimated_marginal_welfare": selection.covered_weight * scale,
+            "num_rr_sets": index.num_sets,
+            "served_from_index": True,
         },
     )
 

@@ -36,3 +36,10 @@ class AlgorithmError(ReproError):
 class ConvergenceError(ReproError):
     """Raised when an iterative procedure fails to converge within its
     configured iteration limit."""
+
+
+class IndexStoreError(ReproError):
+    """Raised by the persistent RR-set index store: missing or corrupt index
+    files, format-version mismatches, or a fingerprint mismatch (the stored
+    index was built for a different graph/configuration and must be
+    rebuilt)."""

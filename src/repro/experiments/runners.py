@@ -82,23 +82,35 @@ def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
                   scale: Optional[ExperimentScale] = None,
                   configuration: str = "",
                   superior_item: Optional[str] = None,
-                  rng=None) -> RunRecord:
-    """Run ``algorithm`` on the given workload and measure time and welfare."""
+                  rng=None,
+                  index=None) -> RunRecord:
+    """Run ``algorithm`` on the given workload and measure time and welfare.
+
+    ``index`` is an optional prebuilt
+    :class:`~repro.index.frozen.FrozenRRIndex` for the coverage-greedy
+    algorithms (SeqGRD/SeqGRD-NM/SupGRD): sampling is skipped and seeds are
+    served from the shared index, which is how the figure sweeps reuse one
+    sampling pass across every budget point.
+    """
     scale = get_scale(scale)
     rng = ensure_rng(rng if rng is not None else scale.seed)
     fixed_allocation = fixed_allocation or Allocation.empty()
     budgets = dict(budgets)
     options = scale.imm_options
+    if index is not None and algorithm not in ("SeqGRD", "SeqGRD-NM",
+                                               "SupGRD"):
+        raise AlgorithmError(
+            f"{algorithm} cannot be served from a prebuilt RR-set index")
 
     start = time.perf_counter()
     if algorithm == "SeqGRD":
         result = seqgrd(graph, model, budgets, fixed_allocation,
                         marginal_check=True,
                         n_marginal_samples=scale.marginal_samples,
-                        options=options, rng=rng)
+                        options=options, rng=rng, index=index)
     elif algorithm == "SeqGRD-NM":
         result = seqgrd_nm(graph, model, budgets, fixed_allocation,
-                           options=options, rng=rng)
+                           options=options, rng=rng, index=index)
     elif algorithm == "MaxGRD":
         result = maxgrd(graph, model, budgets, fixed_allocation,
                         n_marginal_samples=scale.marginal_samples,
@@ -110,7 +122,7 @@ def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
         result = supgrd(graph, model, budget, fixed_allocation,
                         superior_item=superior_item or item,
                         enforce_preconditions=False,
-                        options=options, rng=rng)
+                        options=options, rng=rng, index=index)
     elif algorithm == "greedyWM":
         result = greedy_wm(graph, model, budgets, fixed_allocation,
                            n_marginal_samples=scale.marginal_samples,

@@ -1,0 +1,53 @@
+"""Persistent RR-set index store and allocation-query serving.
+
+The RR-set collection an IMM-style run samples is a build-once, query-many
+artifact: for a fixed graph and utility configuration, every allocation
+query (any budget, any of the coverage-greedy algorithms) can be answered
+from the same collection.  This package turns that observation into a
+serving layer:
+
+* :mod:`repro.index.frozen` — :class:`FrozenRRIndex`, the immutable
+  CSR-packed collection + inverted index with ``.npz`` + JSON-manifest
+  persistence;
+* :mod:`repro.index.fingerprint` — instance fingerprints so stale indexes
+  are detected and rebuilt, never silently reused;
+* :mod:`repro.index.builder` — deterministic sharded (multiprocessing)
+  RR-set generation and the one-stop :func:`build_index`;
+* :mod:`repro.index.service` — :class:`AllocationService`, the cached
+  query layer behind ``repro index query`` and ``repro serve``.
+"""
+
+from repro.index.builder import (
+    DEFAULT_SHARD_SIZE,
+    SAMPLER_KINDS,
+    ParallelRRSampler,
+    ShardSpec,
+    build_index,
+    expected_index_fingerprint,
+    shard_size,
+)
+from repro.index.fingerprint import (
+    graph_fingerprint,
+    index_fingerprint,
+    model_fingerprint,
+)
+from repro.index.frozen import FORMAT_VERSION, FrozenRRIndex, index_paths
+from repro.index.service import SERVICE_ALGORITHMS, AllocationService
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "FORMAT_VERSION",
+    "SAMPLER_KINDS",
+    "SERVICE_ALGORITHMS",
+    "AllocationService",
+    "FrozenRRIndex",
+    "ParallelRRSampler",
+    "ShardSpec",
+    "build_index",
+    "expected_index_fingerprint",
+    "graph_fingerprint",
+    "index_fingerprint",
+    "index_paths",
+    "model_fingerprint",
+    "shard_size",
+]

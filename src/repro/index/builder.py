@@ -1,0 +1,406 @@
+"""Deterministic sharded (and optionally parallel) RR-set index building.
+
+RR-set generation is embarrassingly parallel, but naive parallelism makes
+results depend on the worker count and on OS scheduling.  Here generation
+is split into fixed-size **shards**: shard ``s`` draws its RR sets from an
+independent :class:`numpy.random.SeedSequence` child stream, and shards are
+merged in shard order.  The shard layout depends only on the requested
+counts and the root seed — never on the worker count — so building with 1
+worker or 16 yields bit-identical collections; workers only decide how many
+shards are sampled concurrently (via ``multiprocessing``).
+
+:class:`ParallelRRSampler` is the callable plugged into
+:func:`~repro.rrsets.imm.run_imm_engine` (the ``workers=`` option of
+``imm``/``marginal_imm``/``supgrd``/``prima_plus``); :func:`build_index`
+is the one-stop entry point used by ``repro index build`` that runs the
+right algorithm, freezes its final RR collection and stamps the manifest
+with the instance fingerprint.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.allocation import Allocation
+from repro.engine.config import ENGINE_VECTORIZED, resolve_engine
+from repro.exceptions import AlgorithmError, IndexStoreError
+from repro.graphs.graph import DirectedGraph
+from repro.index.fingerprint import index_fingerprint
+from repro.index.frozen import FrozenRRIndex
+from repro.rrsets.coverage import RRCollection
+from repro.rrsets.imm import IMMOptions
+from repro.utility.model import UtilityModel
+
+#: sampler kinds an index can be built from
+SAMPLER_KINDS = ("standard", "marginal", "weighted")
+
+#: default RR sets per shard; small enough that smoke-scale builds still
+#: split across workers, large enough to amortize task dispatch
+DEFAULT_SHARD_SIZE = 2048
+#: environment variable overriding the shard size
+SHARD_ENV_VAR = "REPRO_INDEX_SHARD"
+
+
+def shard_size() -> int:
+    """The configured RR sets per shard (``REPRO_INDEX_SHARD`` override)."""
+    override = os.environ.get(SHARD_ENV_VAR, "").strip()
+    if not override:
+        return DEFAULT_SHARD_SIZE
+    try:
+        value = int(override)
+    except ValueError:
+        raise ValueError(
+            f"{SHARD_ENV_VAR}={override!r} is not an integer") from None
+    if value <= 0:
+        raise ValueError(f"{SHARD_ENV_VAR} must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable description of what one shard samples.
+
+    Shipped to worker processes once (via the pool initializer), so it must
+    carry plain data: the graph, the sampler kind, and the kind-specific
+    state (blocked seeds for marginal sampling; block utilities and
+    ``U⁺(i_m)`` for weighted sampling).
+    """
+
+    kind: str
+    graph: DirectedGraph
+    engine: str = ENGINE_VECTORIZED
+    blocked: FrozenSet[int] = frozenset()
+    node_block_utility: Tuple[Tuple[int, float], ...] = ()
+    superior_utility: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SAMPLER_KINDS:
+            raise AlgorithmError(
+                f"unknown sampler kind {self.kind!r}; "
+                f"expected one of {list(SAMPLER_KINDS)}")
+        # normalize the mapping/set spellings callers naturally pass
+        if not isinstance(self.blocked, frozenset):
+            object.__setattr__(self, "blocked",
+                               frozenset(int(v) for v in self.blocked))
+        if isinstance(self.node_block_utility, Mapping):
+            object.__setattr__(
+                self, "node_block_utility",
+                tuple(sorted((int(k), float(v))
+                             for k, v in self.node_block_utility.items())))
+
+
+def _sample_shard(spec: ShardSpec, seed_seq: np.random.SeedSequence,
+                  size: int) -> List[Tuple[np.ndarray, float]]:
+    """Sample one shard of ``size`` RR sets from its own seed stream."""
+    rng = np.random.default_rng(seed_seq)
+    if spec.kind == "standard":
+        if spec.engine == ENGINE_VECTORIZED:
+            from repro.engine.reverse import random_rr_sets
+            return [(nodes, 1.0)
+                    for nodes in random_rr_sets(spec.graph, size, rng)]
+        from repro.rrsets.rrset import random_rr_set
+        return [(random_rr_set(spec.graph, rng), 1.0) for _ in range(size)]
+    if spec.kind == "marginal":
+        blocked: Set[int] = set(spec.blocked)
+        if spec.engine == ENGINE_VECTORIZED:
+            from repro.engine.reverse import marginal_rr_sets
+            return [(nodes, 1.0)
+                    for nodes in marginal_rr_sets(spec.graph, blocked,
+                                                  size, rng)]
+        from repro.rrsets.rrset import marginal_rr_set
+        return [(marginal_rr_set(spec.graph, blocked, rng), 1.0)
+                for _ in range(size)]
+    # weighted
+    block_utility = dict(spec.node_block_utility)
+    if spec.engine == ENGINE_VECTORIZED:
+        from repro.engine.reverse import weighted_rr_sets
+        return [(nodes, weight)
+                for nodes, weight, _root in weighted_rr_sets(
+                    spec.graph, block_utility, spec.superior_utility,
+                    size, rng)]
+    from repro.rrsets.rrset import WeightedRRSampler
+    sampler = WeightedRRSampler.from_state(spec.graph, block_utility,
+                                           spec.superior_utility)
+    out: List[Tuple[np.ndarray, float]] = []
+    for _ in range(size):
+        rr = sampler.sample(rng)
+        out.append((rr.nodes, rr.weight))
+    return out
+
+
+# pool-worker plumbing: the spec is installed once per worker process so it
+# is pickled once, not once per shard task
+_WORKER_SPEC: Optional[ShardSpec] = None
+
+
+def _init_worker(spec: ShardSpec) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _run_shard(task: Tuple[np.random.SeedSequence, int]
+               ) -> List[Tuple[np.ndarray, float]]:
+    seed_seq, size = task
+    assert _WORKER_SPEC is not None, "worker pool was not initialized"
+    return _sample_shard(_WORKER_SPEC, seed_seq, size)
+
+
+class ParallelRRSampler:
+    """Deterministic sharded RR-set generation, optionally multiprocess.
+
+    ``generate(count)`` (also available as plain call syntax) returns
+    exactly ``count`` fresh ``(nodes, weight)`` pairs.  Successive calls
+    spawn fresh :class:`~numpy.random.SeedSequence` children, so a fixed
+    sequence of requested counts reproduces the same RR sets regardless of
+    ``workers`` — worker processes only change wall-clock time.
+
+    Use as a context manager (or call :meth:`close`) to tear the worker
+    pool down; the pool is created lazily on the first parallel call and a
+    failure to spawn processes degrades gracefully to in-process sampling
+    with identical results.
+    """
+
+    def __init__(self, spec: ShardSpec, seed, workers: int = 1,
+                 shard_sets: Optional[int] = None) -> None:
+        self._spec = spec
+        self._seed_seq = (seed if isinstance(seed, np.random.SeedSequence)
+                          else np.random.SeedSequence(int(seed)))
+        self._workers = max(1, int(workers))
+        self._shard_sets = int(shard_sets or shard_size())
+        self._pool = None
+        self._pool_broken = False
+
+    @property
+    def workers(self) -> int:
+        """Requested worker-process count."""
+        return self._workers
+
+    def _ensure_pool(self):
+        if self._pool is not None or self._pool_broken:
+            return self._pool
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+            self._pool = context.Pool(processes=self._workers,
+                                      initializer=_init_worker,
+                                      initargs=(self._spec,))
+        except (OSError, ValueError) as error:  # pragma: no cover - env dep
+            warnings.warn(
+                f"could not start {self._workers} sampling workers "
+                f"({error}); falling back to in-process sampling "
+                f"(results are identical by construction)", RuntimeWarning)
+            self._pool_broken = True
+            self._pool = None
+        return self._pool
+
+    def generate(self, count: int) -> List[Tuple[np.ndarray, float]]:
+        """Sample ``count`` RR sets across fixed-size shards."""
+        count = int(count)
+        if count <= 0:
+            return []
+        sizes = [self._shard_sets] * (count // self._shard_sets)
+        if count % self._shard_sets:
+            sizes.append(count % self._shard_sets)
+        tasks = list(zip(self._seed_seq.spawn(len(sizes)), sizes))
+        pool = None
+        if self._workers > 1 and len(tasks) > 1:
+            pool = self._ensure_pool()
+        if pool is None:
+            shards = [_sample_shard(self._spec, seed_seq, size)
+                      for seed_seq, size in tasks]
+        else:
+            shards = pool.map(_run_shard, tasks, chunksize=1)
+        return [pair for shard in shards for pair in shard]
+
+    __call__ = generate
+
+    def close(self) -> None:
+        """Terminate the worker pool (no-op if none was started)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRRSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# one-stop index building
+# ----------------------------------------------------------------------
+def build_index(graph: DirectedGraph, model: Optional[UtilityModel] = None, *,
+                sampler: str = "marginal",
+                budgets: Optional[Mapping[str, int]] = None,
+                k: Optional[int] = None,
+                fixed_allocation: Optional[Allocation] = None,
+                superior_item: Optional[str] = None,
+                options: Optional[IMMOptions] = None,
+                seed: int = 2020,
+                workers: Optional[int] = None,
+                engine: Optional[str] = None,
+                meta_extra: Optional[Dict[str, Any]] = None
+                ) -> FrozenRRIndex:
+    """Build a persistent RR-set index for one CWelMax instance.
+
+    Runs the sampling phase of the matching algorithm — plain IMM for
+    ``sampler="standard"``, SeqGRD-NM/PRIMA+ for ``"marginal"``, SupGRD for
+    ``"weighted"`` — with the deterministic sharded builder, freezes the
+    final RR collection, and stamps the manifest with the instance
+    fingerprint plus enough build metadata (budgets, seed, options) for
+    ``repro index query`` to verify and serve it.
+
+    The build uses exactly the code path of a direct ``repro run`` with the
+    same ``workers`` and ``seed``, so querying the returned index
+    reproduces that run's allocation bit for bit.  ``workers=None`` (the
+    default, like ``repro run``) samples on the legacy serial stream; any
+    integer switches to the sharded deterministic builder, whose results
+    are identical for every worker count.
+    """
+    if sampler not in SAMPLER_KINDS:
+        raise AlgorithmError(
+            f"unknown sampler kind {sampler!r}; "
+            f"expected one of {list(SAMPLER_KINDS)}")
+    options = options or IMMOptions()
+    fixed_allocation = fixed_allocation or Allocation.empty()
+    engine_name = resolve_engine(engine)
+    budgets = dict(budgets or {})
+    if k is None:
+        k = max(budgets.values()) if budgets else 0
+    extra: Dict[str, Any] = {
+        "epsilon": options.epsilon,
+        "ell": options.ell,
+        "max_rr_sets": options.max_rr_sets,
+        "min_rr_sets": options.min_rr_sets,
+        "budgets": dict(sorted(budgets.items())),
+        "fixed": {item: list(fixed_allocation.seeds_for(item))
+                  for item in sorted(fixed_allocation.items)},
+        # sharded and serial sampling draw different (both valid) RR-set
+        # streams from the same seed; the worker *count* is deliberately
+        # not hashed because shards make contents count-invariant
+        "sharded": workers is not None,
+    }
+    meta: Dict[str, Any] = {
+        "sampler": sampler,
+        "engine": engine_name,
+        "seed": int(seed),
+        "workers": None if workers is None else int(workers),
+        "budgets": dict(sorted(budgets.items())),
+        "options": {"epsilon": options.epsilon, "ell": options.ell,
+                    "max_rr_sets": options.max_rr_sets,
+                    "min_rr_sets": options.min_rr_sets},
+    }
+
+    if sampler == "standard":
+        from repro.rrsets.imm import imm
+
+        if k <= 0:
+            raise AlgorithmError(
+                "building a standard index needs a positive budget k")
+        extra["k"] = int(k)
+        result = imm(graph, k, options=options, rng=seed, engine=engine_name,
+                     workers=workers, keep_collection=True)
+        collection = result.collection
+        meta.update(k=int(k), algorithm="IMM", seeds=list(result.seeds),
+                    estimated_value=result.estimated_value,
+                    cap_hit=result.cap_hit,
+                    lower_bound=result.lower_bound)
+    elif sampler == "marginal":
+        from repro.core.seqgrd import seqgrd_nm
+
+        if model is None:
+            raise AlgorithmError(
+                "building a marginal index needs the utility model "
+                "(item budgets drive PRIMA+'s prefix guarantees)")
+        if not budgets:
+            raise AlgorithmError(
+                "building a marginal index needs per-item budgets")
+        run = seqgrd_nm(graph, model, budgets, fixed_allocation,
+                        options=options, rng=seed, engine=engine_name,
+                        workers=workers, keep_rr_collection=True)
+        collection = run.details.get("rr_collection")
+        meta.update(algorithm="SeqGRD-NM",
+                    num_prima_rr_sets=run.details.get("num_rr_sets"))
+    else:  # weighted
+        from repro.core.supgrd import supgrd
+
+        if model is None:
+            raise AlgorithmError(
+                "building a weighted index needs the utility model")
+        if superior_item is None:
+            if len(budgets) == 1:
+                (superior_item,) = budgets
+            else:
+                superior_item = model.superior_item()
+        if superior_item is None:
+            raise AlgorithmError(
+                "building a weighted index needs a superior item")
+        budget = budgets.get(superior_item, k)
+        if budget is None or budget <= 0:
+            raise AlgorithmError(
+                "building a weighted index needs a positive budget for "
+                f"the superior item {superior_item!r}")
+        extra["superior_item"] = superior_item
+        extra["k"] = int(budget)
+        run = supgrd(graph, model, budget, fixed_allocation,
+                     superior_item=superior_item,
+                     enforce_preconditions=False, options=options,
+                     rng=seed, engine=engine_name, workers=workers,
+                     keep_rr_collection=True)
+        collection = run.details.get("rr_collection")
+        meta.update(algorithm="SupGRD", k=int(budget),
+                    superior_item=superior_item,
+                    superior_utility=run.details.get(
+                        "superior_truncated_utility"),
+                    estimated_value=run.details.get(
+                        "estimated_marginal_welfare"))
+    if collection is None:
+        raise IndexStoreError(
+            f"the {meta['algorithm']} build returned no RR collection "
+            f"(degenerate instance: empty graph or zero budget?)")
+
+    meta["fingerprint"] = index_fingerprint(
+        graph, model, sampler=sampler, engine=engine_name, seed=int(seed),
+        extra=extra)
+    meta["fingerprint_extra"] = extra
+    if meta_extra:
+        meta.update(meta_extra)
+    return FrozenRRIndex.from_collection(collection, meta=meta)
+
+
+def expected_index_fingerprint(graph: DirectedGraph,
+                               model: Optional[UtilityModel],
+                               meta: Mapping[str, Any]) -> str:
+    """Recompute the fingerprint a manifest's ``meta`` claims to have.
+
+    Used by loaders to detect stale indexes: the stored
+    ``meta["fingerprint_extra"]`` pins the build parameters while the graph
+    and model are re-hashed from the live instance.
+    """
+    return index_fingerprint(
+        graph, model,
+        sampler=str(meta.get("sampler")),
+        engine=str(meta.get("engine")),
+        seed=meta.get("seed"),
+        extra=dict(meta.get("fingerprint_extra") or {}))
+
+
+__all__ = [
+    "SAMPLER_KINDS",
+    "DEFAULT_SHARD_SIZE",
+    "SHARD_ENV_VAR",
+    "shard_size",
+    "ShardSpec",
+    "ParallelRRSampler",
+    "build_index",
+    "expected_index_fingerprint",
+]

@@ -1,0 +1,292 @@
+"""Immutable CSR-packed RR-set indexes with a persistent on-disk format.
+
+A :class:`FrozenRRIndex` is the read-only counterpart of
+:class:`~repro.rrsets.coverage.RRCollection`: the RR sets are packed into
+``offsets``/``nodes``/``weights`` arrays (CSR over sets) together with the
+inverted node → set index in the same layout, so the greedy
+:func:`~repro.rrsets.coverage.node_selection` runs on it directly — and
+produces bit-identical selections, because posting lists and set members
+are stored in exactly the order the growable collection maintains them.
+
+Persistence is one ``.npz`` of arrays plus one JSON manifest carrying the
+instance fingerprint (see :mod:`repro.index.fingerprint`) and build
+metadata; :meth:`FrozenRRIndex.load` refuses a manifest whose fingerprint
+does not match the caller's expectation, so stale indexes are rebuilt
+rather than silently reused.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import IndexStoreError
+from repro.rrsets.coverage import RRCollection
+
+#: bump when the array layout changes (invalidates older files)
+FORMAT_VERSION = 1
+
+
+def index_paths(path: Union[str, Path]) -> Tuple[Path, Path]:
+    """Resolve ``path`` to its ``(arrays.npz, manifest.json)`` file pair.
+
+    ``path`` may be the bare stem (``runs/nethept-c1``), the ``.npz`` file
+    or the ``.manifest.json`` file; all three name the same index.
+    """
+    path = Path(path)
+    name = path.name
+    if name.endswith(".manifest.json"):
+        stem = path.with_name(name[:-len(".manifest.json")])
+    elif name.endswith(".npz"):
+        stem = path.with_name(name[:-len(".npz")])
+    else:
+        stem = path
+    return (stem.with_name(stem.name + ".npz"),
+            stem.with_name(stem.name + ".manifest.json"))
+
+
+class FrozenRRIndex:
+    """An immutable, CSR-packed RR-set collection plus its inverted index.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of graph nodes the index refers to.
+    offsets:
+        ``(num_sets + 1,)`` int64 — set ``i`` occupies
+        ``nodes[offsets[i]:offsets[i + 1]]``.
+    nodes:
+        Concatenated member node ids of all sets, in per-set stored order.
+    weights:
+        ``(num_sets,)`` float64 per-set weights.
+    meta:
+        Arbitrary JSON-serializable build metadata; ``meta["fingerprint"]``
+        is checked by :meth:`load`.
+    """
+
+    def __init__(self, num_nodes: int, offsets: np.ndarray, nodes: np.ndarray,
+                 weights: np.ndarray,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        self._num_nodes = int(num_nodes)
+        self._offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self._nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+        self._weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self._meta: Dict[str, Any] = dict(meta or {})
+        if self._offsets.ndim != 1 or len(self._offsets) == 0:
+            raise IndexStoreError("offsets must be a non-empty 1-d array")
+        if int(self._offsets[0]) != 0 \
+                or int(self._offsets[-1]) != len(self._nodes):
+            raise IndexStoreError("offsets do not span the nodes array")
+        if np.any(np.diff(self._offsets) < 0):
+            raise IndexStoreError("offsets must be non-decreasing")
+        if len(self._weights) != self.num_sets:
+            raise IndexStoreError(
+                f"expected {self.num_sets} weights, got {len(self._weights)}")
+        if len(self._nodes) and (self._nodes.min() < 0
+                                 or self._nodes.max() >= self._num_nodes):
+            raise IndexStoreError("set members must be valid node ids")
+        self._inv_offsets, self._inv_sets = self._build_inverted()
+
+    def _build_inverted(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Invert the set → nodes CSR into a node → sets CSR.
+
+        Only positive-weight sets are indexed (zero-weight sets can never
+        contribute coverage), and each node's posting list is in ascending
+        set order — matching ``RRCollection``'s incremental index exactly.
+        """
+        lengths = np.diff(self._offsets)
+        positive = self._weights > 0.0
+        keep = np.repeat(positive, lengths)
+        member_nodes = self._nodes[keep]
+        member_sets = np.repeat(
+            np.arange(self.num_sets, dtype=np.int64), lengths)[keep]
+        order = np.argsort(member_nodes, kind="stable")
+        sorted_nodes = member_nodes[order]
+        inv_sets = member_sets[order]
+        counts = np.bincount(sorted_nodes, minlength=self._num_nodes)
+        inv_offsets = np.zeros(self._num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=inv_offsets[1:])
+        return inv_offsets, inv_sets
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_collection(cls, collection: RRCollection,
+                        meta: Optional[Dict[str, Any]] = None
+                        ) -> "FrozenRRIndex":
+        """Freeze a growable :class:`RRCollection` into CSR arrays."""
+        sets = [collection.set_members(i) for i in range(collection.num_sets)]
+        offsets = np.zeros(len(sets) + 1, dtype=np.int64)
+        if sets:
+            np.cumsum([len(s) for s in sets], out=offsets[1:])
+        nodes = (np.concatenate(sets) if sets
+                 else np.empty(0, dtype=np.int64))
+        return cls(collection.num_nodes, offsets, nodes,
+                   collection.weights(), meta=meta)
+
+    def to_collection(self) -> RRCollection:
+        """Thaw back into a growable :class:`RRCollection` (same ordering)."""
+        collection = RRCollection(self._num_nodes)
+        collection.extend(
+            (self.set_members(i), float(self._weights[i]))
+            for i in range(self.num_sets))
+        return collection
+
+    # ------------------------------------------------------------------
+    # the coverage-collection protocol consumed by node_selection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes the index refers to."""
+        return self._num_nodes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of RR sets (empty and zero-weight sets included)."""
+        return len(self._offsets) - 1
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all set weights."""
+        return float(self._weights.sum())
+
+    @property
+    def meta(self) -> Dict[str, Any]:
+        """Build metadata recorded in the manifest."""
+        return self._meta
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """The instance fingerprint this index was built for (if recorded)."""
+        value = self._meta.get("fingerprint")
+        return str(value) if value is not None else None
+
+    def weights(self) -> np.ndarray:
+        """Weights of all RR sets (the stored array; do not mutate)."""
+        return self._weights
+
+    def set_members(self, set_index: int) -> np.ndarray:
+        """Node ids of the RR set ``set_index`` (in stored order)."""
+        start, stop = self._offsets[set_index], self._offsets[set_index + 1]
+        return self._nodes[start:stop]
+
+    def sets_covered_by(self, node: int) -> np.ndarray:
+        """Indices of the positive-weight RR sets containing ``node``."""
+        node = int(node)
+        if not 0 <= node < self._num_nodes:
+            return np.empty(0, dtype=np.int64)
+        start, stop = self._inv_offsets[node], self._inv_offsets[node + 1]
+        return self._inv_sets[start:stop]
+
+    def initial_gains(self) -> np.ndarray:
+        """Per-node coverage gain of an empty selection (``M_R({v})``).
+
+        Accumulated set-major (for each node, ascending set order), the same
+        float addition order as ``RRCollection.initial_gains`` so greedy
+        selections stay bit-identical.
+        """
+        gains = np.zeros(self._num_nodes, dtype=np.float64)
+        lengths = np.diff(self._offsets)
+        positive = self._weights > 0.0
+        keep = np.repeat(positive, lengths)
+        np.add.at(gains, self._nodes[keep],
+                  np.repeat(self._weights, lengths)[keep])
+        return gains
+
+    def covered_weight(self, seeds) -> float:
+        """Total weight of RR sets hit by ``seeds`` (``M_R(S)``)."""
+        covered: set = set()
+        for node in seeds:
+            covered.update(int(i) for i in self.sets_covered_by(node))
+        return float(sum(float(self._weights[i]) for i in covered))
+
+    def coverage_fraction(self, seeds) -> float:
+        """``F_R(S)``: covered weight divided by the number of RR sets."""
+        if self.num_sets == 0:
+            return 0.0
+        return self.covered_weight(seeds) / self.num_sets
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Tuple[Path, Path]:
+        """Write the index to ``<path>.npz`` + ``<path>.manifest.json``."""
+        npz_path, manifest_path = index_paths(path)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(npz_path, offsets=self._offsets,
+                            nodes=self._nodes, weights=self._weights)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "num_nodes": self._num_nodes,
+            "num_sets": self.num_sets,
+            "total_weight": self.total_weight,
+            "meta": self._meta,
+        }
+        manifest_path.write_text(json.dumps(manifest, indent=2,
+                                            sort_keys=True, default=str),
+                                 encoding="utf-8")
+        return npz_path, manifest_path
+
+    @classmethod
+    def load(cls, path: Union[str, Path],
+             expected_fingerprint: Optional[str] = None) -> "FrozenRRIndex":
+        """Load an index, optionally verifying its fingerprint.
+
+        Raises
+        ------
+        IndexStoreError
+            If the files are missing, the format version is unknown, or
+            ``expected_fingerprint`` does not match the stored one (the
+            index is stale for the caller's instance and must be rebuilt).
+        """
+        npz_path, manifest_path = index_paths(path)
+        if not npz_path.exists() or not manifest_path.exists():
+            raise IndexStoreError(
+                f"no index at {npz_path} (+ {manifest_path.name}); "
+                f"build one with `repro index build`")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise IndexStoreError(
+                f"unreadable index manifest {manifest_path}: {error}"
+            ) from error
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise IndexStoreError(
+                f"index format version {version!r} is not supported "
+                f"(expected {FORMAT_VERSION}); rebuild the index")
+        meta = dict(manifest.get("meta") or {})
+        if expected_fingerprint is not None:
+            stored = meta.get("fingerprint")
+            if stored != expected_fingerprint:
+                raise IndexStoreError(
+                    f"stale index {npz_path.name}: fingerprint "
+                    f"{str(stored)[:12]}… does not match the current "
+                    f"graph/configuration ({expected_fingerprint[:12]}…); "
+                    f"rebuild the index")
+        try:
+            with np.load(npz_path) as data:
+                index = cls(int(manifest["num_nodes"]), data["offsets"],
+                            data["nodes"], data["weights"], meta=meta)
+        except (KeyError, TypeError, ValueError, OSError) as error:
+            raise IndexStoreError(
+                f"corrupt index {npz_path.name}: {error!r}; rebuild it "
+                f"with `repro index build`") from error
+        if index.num_sets != int(manifest.get("num_sets", index.num_sets)):
+            raise IndexStoreError(
+                f"corrupt index {npz_path.name}: manifest records "
+                f"{manifest.get('num_sets')} sets, arrays hold "
+                f"{index.num_sets}")
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FrozenRRIndex(num_nodes={self._num_nodes}, "
+                f"num_sets={self.num_sets}, "
+                f"sampler={self._meta.get('sampler')!r})")
+
+
+__all__ = ["FORMAT_VERSION", "FrozenRRIndex", "index_paths"]

@@ -62,9 +62,45 @@ class RRCollection:
                 self._inverted.setdefault(int(node), []).append(index)
 
     def extend(self, sets: Iterable[Tuple[np.ndarray, float]]) -> None:
-        """Append many ``(nodes, weight)`` pairs."""
-        for nodes, weight in sets:
-            self.add(nodes, weight)
+        """Append many ``(nodes, weight)`` pairs in one batch.
+
+        Equivalent to calling :meth:`add` per pair but the inverted index is
+        updated in bulk (one argsort over the concatenated nodes instead of a
+        Python dict operation per node occurrence) — this is the merge path
+        the sharded parallel builder relies on.
+        """
+        pairs = [(np.asarray(nodes, dtype=np.int64), float(weight))
+                 for nodes, weight in sets]
+        if not pairs:
+            return
+        base = len(self._sets)
+        for nodes, weight in pairs:
+            self._sets.append(nodes)
+            self._weights.append(weight)
+            self._total_weight += weight
+        # bulk inverted-index update: concatenate the nodes of all
+        # positive-weight sets (set-major, so per-node posting lists stay in
+        # ascending set order, exactly as repeated add() calls would leave
+        # them) and group by node with one stable argsort.
+        chunks = [nodes for nodes, weight in pairs
+                  if weight > 0.0 and len(nodes)]
+        set_ids = [np.full(len(nodes), base + offset, dtype=np.int64)
+                   for offset, (nodes, weight) in enumerate(pairs)
+                   if weight > 0.0 and len(nodes)]
+        if not chunks:
+            return
+        all_nodes = np.concatenate(chunks)
+        all_sets = np.concatenate(set_ids)
+        order = np.argsort(all_nodes, kind="stable")
+        all_nodes = all_nodes[order]
+        all_sets = all_sets[order]
+        boundaries = np.nonzero(np.diff(all_nodes))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(all_nodes)]))
+        for start, stop in zip(starts, stops):
+            node = int(all_nodes[start])
+            self._inverted.setdefault(node, []).extend(
+                int(s) for s in all_sets[start:stop])
 
     def weights(self) -> np.ndarray:
         """Weights of all RR sets as an array."""
@@ -73,6 +109,22 @@ class RRCollection:
     def sets_covered_by(self, node: int) -> Sequence[int]:
         """Indices of the RR sets containing ``node``."""
         return self._inverted.get(int(node), ())
+
+    def set_members(self, set_index: int) -> np.ndarray:
+        """Node ids of the RR set ``set_index`` (in stored order)."""
+        return self._sets[set_index]
+
+    def initial_gains(self) -> np.ndarray:
+        """Per-node coverage gain of an empty selection (``M_R({v})``).
+
+        Entry ``v`` is the total weight of the RR sets containing ``v`` —
+        the starting gains of the greedy :func:`node_selection`.
+        """
+        gains = np.zeros(self._num_nodes, dtype=np.float64)
+        weights = self.weights()
+        for node, set_indices in self._inverted.items():
+            gains[node] = float(sum(weights[i] for i in set_indices))
+        return gains
 
     def covered_weight(self, seeds: Iterable[int]) -> float:
         """Total weight of RR sets hit by ``seeds`` (``M_R(S)`` in the paper)."""
@@ -114,20 +166,25 @@ class SelectionResult:
         return self.seeds[:k]
 
 
-def node_selection(collection: RRCollection, k: int) -> SelectionResult:
+def node_selection(collection, k: int) -> SelectionResult:
     """Greedy weighted maximum coverage (Algorithm 5, ``NodeSelection``).
 
     Selects ``k`` nodes one at a time, each maximizing the additional weight
     of newly covered RR sets, with exact incremental gain updates.
+
+    ``collection`` may be a growable :class:`RRCollection` or a frozen
+    :class:`~repro.index.frozen.FrozenRRIndex` — anything exposing
+    ``num_nodes``, ``num_sets``, ``weights()``, ``initial_gains()``,
+    ``sets_covered_by(node)`` and ``set_members(set_index)`` with the same
+    posting/member ordering, so selections over a frozen index are
+    bit-identical to selections over the collection it was built from.
     """
     if k < 0:
         raise AlgorithmError("k must be >= 0")
     n = collection.num_nodes
     k = min(k, n)
-    gains = np.zeros(n, dtype=np.float64)
+    gains = collection.initial_gains()
     weights = collection.weights()
-    for node, set_indices in collection._inverted.items():
-        gains[node] = float(sum(weights[i] for i in set_indices))
     covered = np.zeros(collection.num_sets, dtype=bool)
     selected: List[int] = []
     prefix_weights: List[float] = []
@@ -145,7 +202,7 @@ def node_selection(collection: RRCollection, k: int) -> SelectionResult:
             covered[set_index] = True
             weight = weights[set_index]
             total += weight
-            for node in collection._sets[set_index]:
+            for node in collection.set_members(set_index):
                 gains[int(node)] -= weight
         prefix_weights.append(total)
     return SelectionResult(seeds=selected, covered_weight=total,

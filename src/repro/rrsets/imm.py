@@ -19,6 +19,7 @@ following the fix of Chen (arXiv:1808.09363) cited by the paper.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
@@ -30,7 +31,7 @@ from repro.graphs.graph import DirectedGraph
 from repro.rrsets.bounds import adjusted_ell, lambda_prime, lambda_star
 from repro.rrsets.coverage import RRCollection, SelectionResult, node_selection
 from repro.rrsets.rrset import marginal_rr_set, random_rr_set
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, derive_seed, ensure_rng
 
 #: A sampler returns one RR set as ``(nodes, weight)``.
 Sampler = Callable[[np.random.Generator], Tuple[np.ndarray, float]]
@@ -38,6 +39,10 @@ Sampler = Callable[[np.random.Generator], Tuple[np.ndarray, float]]
 #: A batch sampler returns ``count`` RR sets as ``(nodes, weight)`` pairs.
 BatchSampler = Callable[[np.random.Generator, int],
                         Sequence[Tuple[np.ndarray, float]]]
+
+#: A parallel sampler returns ``count`` fresh RR sets; it owns its own
+#: deterministic seeding (see :class:`repro.index.builder.ParallelRRSampler`).
+ParallelSampler = Callable[[int], Sequence[Tuple[np.ndarray, float]]]
 
 
 @dataclass
@@ -65,6 +70,12 @@ class IMMResult:
     solutions for smaller budgets).  ``estimated_value`` is
     ``n · M_R(S) / θ`` — an estimate of the objective (spread for plain IMM,
     marginal spread for PRIMA+, marginal welfare for SupGRD).
+
+    ``cap_hit`` records whether sampling was truncated at
+    ``IMMOptions.max_rr_sets``: when true the theoretical guarantees do not
+    hold and downstream welfare estimates should not be trusted blindly.
+    ``collection`` carries the final RR collection when the engine was run
+    with ``keep_collection=True`` (used to freeze persistent indexes).
     """
 
     seeds: List[int]
@@ -73,6 +84,9 @@ class IMMResult:
     num_rr_sets: int
     lower_bound: float
     sampling_rounds: int
+    cap_hit: bool = False
+    collection: Optional[RRCollection] = field(default=None, repr=False,
+                                               compare=False)
 
     def prefix(self, k: int) -> List[int]:
         """First ``k`` seeds (greedy prefix)."""
@@ -90,7 +104,9 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
                    options: Optional[IMMOptions] = None,
                    num_budgets: int = 1,
                    rng: RngLike = None,
-                   batch_sampler: Optional[BatchSampler] = None) -> IMMResult:
+                   batch_sampler: Optional[BatchSampler] = None,
+                   parallel_sampler: Optional[ParallelSampler] = None,
+                   keep_collection: bool = False) -> IMMResult:
     """Run the IMM sampling + node-selection skeleton.
 
     Parameters
@@ -114,6 +130,14 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
         Optional callable producing ``count`` RR sets per call; when given,
         the sampling phases request whole batches from it (the vectorized
         engine) instead of calling ``sampler`` once per set.
+    parallel_sampler:
+        Optional callable producing ``count`` fresh RR sets with its own
+        deterministic seeding (the sharded multiprocessing builder); takes
+        precedence over ``batch_sampler`` and ``sampler``.
+    keep_collection:
+        When true, the final RR collection is returned on
+        ``IMMResult.collection`` so callers can freeze it into a persistent
+        index.
     """
     options = options or IMMOptions()
     rng = ensure_rng(rng)
@@ -133,9 +157,19 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
     lam_star = lambda_star(num_nodes, k, epsilon, ell_adj)
 
     collection = RRCollection(num_nodes)
+    cap_hit = False
 
     def ensure_samples(target: float, into: RRCollection) -> None:
-        target = int(min(math.ceil(target), options.max_rr_sets))
+        nonlocal cap_hit
+        requested = int(math.ceil(target))
+        if requested > options.max_rr_sets:
+            cap_hit = True
+        target = min(requested, options.max_rr_sets)
+        if parallel_sampler is not None:
+            missing = target - into.num_sets
+            if missing > 0:
+                into.extend(parallel_sampler(missing))
+            return
         if batch_sampler is not None:
             while into.num_sets < target:
                 for nodes, weight in batch_sampler(rng,
@@ -164,11 +198,14 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
             break
         if collection.num_sets >= options.max_rr_sets:
             # the cap was hit: use the best estimate seen so far
+            cap_hit = True
             lower_bound = max(lower_bound, estimate)
             break
 
     # --- final sampling and node selection ------------------------------
     theta = lam_star / max(lower_bound, 1e-12)
+    if theta > options.max_rr_sets:
+        cap_hit = True
     theta = min(theta, options.max_rr_sets)
     theta = max(theta, options.min_rr_sets)
     if options.fresh_final_sampling:
@@ -178,6 +215,13 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
     ensure_samples(theta, final_collection)
     selection = node_selection(final_collection, k)
     scale = num_nodes / max(final_collection.num_sets, 1)
+    if cap_hit:
+        warnings.warn(
+            f"IMM sampling stopped at the max_rr_sets cap "
+            f"({options.max_rr_sets}); the (1 - 1/e - eps) guarantee does "
+            f"not hold and the estimated objective may be biased — raise "
+            f"IMMOptions.max_rr_sets for trustworthy estimates",
+            RuntimeWarning, stacklevel=2)
     return IMMResult(
         seeds=selection.seeds,
         estimated_value=selection.covered_weight * scale,
@@ -185,14 +229,23 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
         num_rr_sets=final_collection.num_sets,
         lower_bound=lower_bound,
         sampling_rounds=sampling_rounds,
+        cap_hit=cap_hit,
+        collection=final_collection if keep_collection else None,
     )
 
 
 def imm(graph: DirectedGraph, k: int,
         options: Optional[IMMOptions] = None,
         rng: RngLike = None,
-        engine: Optional[str] = None) -> IMMResult:
-    """Classic single-item IMM: ``(1 - 1/e - ε)``-approximate IM seeds."""
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
+        keep_collection: bool = False) -> IMMResult:
+    """Classic single-item IMM: ``(1 - 1/e - ε)``-approximate IM seeds.
+
+    ``workers`` switches sampling to the deterministic sharded builder
+    (``workers`` processes; results are identical for every worker count at
+    a fixed seed, but differ from the ``workers=None`` serial stream).
+    """
     def sampler(generator: np.random.Generator) -> Tuple[np.ndarray, float]:
         return random_rr_set(graph, generator), 1.0
 
@@ -204,16 +257,23 @@ def imm(graph: DirectedGraph, k: int,
             return [(nodes, 1.0)
                     for nodes in random_rr_sets(graph, count, generator)]
 
-    return run_imm_engine(graph.num_nodes, k, sampler,
-                          max_value=float(graph.num_nodes),
-                          options=options, rng=rng,
-                          batch_sampler=batch_sampler)
+    rng = ensure_rng(rng)
+    with _parallel_sampler(graph, "standard", engine, rng,
+                           workers) as parallel_sampler:
+        return run_imm_engine(graph.num_nodes, k, sampler,
+                              max_value=float(graph.num_nodes),
+                              options=options, rng=rng,
+                              batch_sampler=batch_sampler,
+                              parallel_sampler=parallel_sampler,
+                              keep_collection=keep_collection)
 
 
 def marginal_imm(graph: DirectedGraph, k: int, fixed_seeds: Set[int],
                  options: Optional[IMMOptions] = None,
                  rng: RngLike = None,
-                 engine: Optional[str] = None) -> IMMResult:
+                 engine: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 keep_collection: bool = False) -> IMMResult:
     """IMM on *marginal* RR sets: maximizes spread on top of ``fixed_seeds``."""
     blocked = set(int(v) for v in fixed_seeds)
 
@@ -229,11 +289,36 @@ def marginal_imm(graph: DirectedGraph, k: int, fixed_seeds: Set[int],
                     for nodes in marginal_rr_sets(graph, blocked, count,
                                                   generator)]
 
-    return run_imm_engine(graph.num_nodes, k, sampler,
-                          max_value=float(graph.num_nodes),
-                          options=options, rng=rng,
-                          batch_sampler=batch_sampler)
+    rng = ensure_rng(rng)
+    with _parallel_sampler(graph, "marginal", engine, rng, workers,
+                           blocked=blocked) as parallel_sampler:
+        return run_imm_engine(graph.num_nodes, k, sampler,
+                              max_value=float(graph.num_nodes),
+                              options=options, rng=rng,
+                              batch_sampler=batch_sampler,
+                              parallel_sampler=parallel_sampler,
+                              keep_collection=keep_collection)
+
+
+def _parallel_sampler(graph: DirectedGraph, kind: str, engine: Optional[str],
+                      rng: np.random.Generator, workers: Optional[int],
+                      **spec_kwargs):
+    """Context manager yielding a sharded parallel sampler (or ``None``).
+
+    Imports the index builder lazily so :mod:`repro.rrsets` does not depend
+    on :mod:`repro.index` at import time.  Draws one seed from ``rng`` when
+    the parallel path is taken, so the derived shard streams are
+    reproducible from the caller's seed.
+    """
+    if workers is None:
+        import contextlib
+        return contextlib.nullcontext(None)
+    from repro.index.builder import ParallelRRSampler, ShardSpec
+
+    spec = ShardSpec(kind=kind, graph=graph,
+                     engine=resolve_engine(engine), **spec_kwargs)
+    return ParallelRRSampler(spec, seed=derive_seed(rng), workers=workers)
 
 
 __all__ = ["IMMOptions", "IMMResult", "run_imm_engine", "imm", "marginal_imm",
-           "Sampler", "BatchSampler"]
+           "Sampler", "BatchSampler", "ParallelSampler"]

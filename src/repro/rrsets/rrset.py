@@ -141,6 +141,33 @@ class WeightedRRSampler:
                 self._node_block_utility[int(node)] = max(current, item_utility)
         self._blocked_nodes: Set[int] = set(self._node_block_utility)
 
+    @classmethod
+    def from_state(cls, graph: DirectedGraph,
+                   node_block_utility: Dict[int, float],
+                   superior_utility: float) -> "WeightedRRSampler":
+        """Rebuild a sampler from its precomputed state.
+
+        Used by the sharded parallel builder and the serving layer, where the
+        per-node block utilities and ``U⁺(i_m)`` have already been estimated
+        (re-estimating them per worker would both waste time and desync the
+        utility-sampling RNG streams).
+        """
+        sampler = object.__new__(cls)
+        sampler._graph = graph
+        sampler._model = None
+        sampler._superior_item = None
+        sampler._superior_utility = float(superior_utility)
+        sampler._node_block_utility = {int(node): float(value)
+                                       for node, value
+                                       in node_block_utility.items()}
+        sampler._blocked_nodes = set(sampler._node_block_utility)
+        return sampler
+
+    @property
+    def node_block_utility(self) -> Dict[int, float]:
+        """Truncated utility of the best fixed item seeded at each node."""
+        return dict(self._node_block_utility)
+
     @property
     def max_weight(self) -> float:
         """Upper bound ``w_max`` on the weight of any RR set."""

@@ -137,6 +137,71 @@ class TestLearnCommand:
         assert "learned utilities" in capsys.readouterr().out
 
 
+class TestIndexCommands:
+    BUILD = ["index", "build", "--network", "nethept", "--scale", "0.01",
+             "--budget", "2", "--max-rr-sets", "2000", "--seed", "4"]
+    RUN = ["run", "--network", "nethept", "--scale", "0.01", "--budget", "2",
+           "--samples", "10", "--max-rr-sets", "2000", "--seed", "4"]
+
+    def test_build_then_query_reproduces_run(self, tmp_path, capsys):
+        assert main(self.RUN + ["--json"]) == 0
+        run_payload = json.loads(capsys.readouterr().out)
+        out = tmp_path / "idx"
+        assert main(self.BUILD + ["--out", str(out), "--json"]) == 0
+        build_payload = json.loads(capsys.readouterr().out)
+        assert build_payload["num_rr_sets"] > 0
+        assert (tmp_path / "idx.npz").exists()
+        assert (tmp_path / "idx.manifest.json").exists()
+        assert main(["index", "query", "--index", str(out), "--json"]) == 0
+        query_payload = json.loads(capsys.readouterr().out)
+        assert query_payload["allocation"] == run_payload["allocation"]
+
+    def test_query_rejects_stale_manifest(self, tmp_path, capsys):
+        out = tmp_path / "idx"
+        assert main(self.BUILD + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        manifest = tmp_path / "idx.manifest.json"
+        data = json.loads(manifest.read_text())
+        data["meta"]["fingerprint_extra"]["budgets"]["i"] = 99
+        manifest.write_text(json.dumps(data))
+        assert main(["index", "query", "--index", str(out)]) == 2
+        assert "stale" in capsys.readouterr().err
+        assert main(["index", "query", "--index", str(out),
+                     "--no-verify"]) == 0
+
+    def test_query_with_explicit_budget(self, tmp_path, capsys):
+        out = tmp_path / "idx"
+        assert main(self.BUILD + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["index", "query", "--index", str(out), "--algorithm",
+                     "select", "--budget", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["allocation"]["seeds"]) == 1
+
+    def test_serve_loop_round_trip(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        out = tmp_path / "idx"
+        assert main(self.BUILD + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        requests = "\n".join([
+            '{"id": 1, "op": "ping"}',
+            '{"id": 2, "op": "query", "budgets": {"i": 2, "j": 1}}',
+            '{"id": 3, "op": "query", "budgets": {"i": 2, "j": 1}}',
+            "garbage",
+            '{"id": 4, "op": "stats"}',
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        assert main(["serve", "--index", str(out)]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert lines[0]["pong"] is True
+        assert lines[1]["cached"] is False and lines[2]["cached"] is True
+        assert lines[1]["allocation"] == lines[2]["allocation"]
+        assert lines[3]["ok"] is False
+        assert lines[4]["stats"]["hits"] == 1
+
+
 class TestErrorHandling:
     def test_library_errors_become_exit_code_2(self, tmp_path, capsys):
         logfile = tmp_path / "empty.txt"

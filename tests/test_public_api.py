@@ -20,6 +20,7 @@ class TestPublicAPI:
     @pytest.mark.parametrize("module", [
         "repro.graphs", "repro.utility", "repro.diffusion", "repro.rrsets",
         "repro.core", "repro.baselines", "repro.experiments", "repro.utils",
+        "repro.index",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)
