@@ -155,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Monte-Carlo engine: the scalar reference "
                           "('python') or the batched vectorized engine "
                           "(the default)")
+    run.add_argument("--selection-strategy",
+                     choices=["lazy", "eager", "reference"], default=None,
+                     help="greedy node-selection strategy (SeqGRD/"
+                          "SeqGRD-NM/MaxGRD/SupGRD): CELF-style lazy "
+                          "greedy (the default), the vectorized eager "
+                          "greedy, or the pure-Python reference loop — "
+                          "all three return bit-identical allocations")
     run.add_argument("--workers", type=int, default=None,
                      help="sample RR sets with this many worker processes "
                           "(SeqGRD/SeqGRD-NM/SupGRD; results are identical "
@@ -198,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "--workers)")
     build.add_argument("--engine", choices=["python", "vectorized"],
                        default=None)
+    build.add_argument("--selection-strategy",
+                       choices=["lazy", "eager", "reference"], default=None,
+                       help="greedy strategy for the build's selection "
+                            "phases (the stored index is identical either "
+                            "way)")
     build.add_argument("--json", action="store_true")
 
     query = index_sub.add_parser(
@@ -216,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-verify", action="store_true",
                        help="skip the fingerprint check against the "
                             "freshly rebuilt graph/configuration")
+    query.add_argument("--selection-strategy",
+                       choices=["lazy", "eager", "reference"], default=None,
+                       help="greedy strategy answering the query "
+                            "(bit-identical allocations either way)")
     query.add_argument("--json", action="store_true")
 
     # serve --------------------------------------------------------------
@@ -225,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=128,
                        help="LRU capacity for distinct query results")
     serve.add_argument("--no-verify", action="store_true")
+    serve.add_argument("--selection-strategy",
+                       choices=["lazy", "eager", "reference"], default=None,
+                       help="greedy strategy answering queries "
+                            "(bit-identical allocations either way)")
 
     # experiment ---------------------------------------------------------
     experiment = sub.add_parser("experiment",
@@ -341,20 +361,24 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
     algorithm = args.algorithm
     common = dict(options=options, rng=args.seed)
     workers = dict(workers=args.workers)
+    selection = dict(selection_strategy=args.selection_strategy)
     if algorithm == "SeqGRD":
         result = seqgrd(graph, model, budgets, fixed,
                         n_marginal_samples=args.marginal_samples,
-                        **common, **workers)
+                        **common, **workers, **selection)
     elif algorithm == "SeqGRD-NM":
-        result = seqgrd_nm(graph, model, budgets, fixed, **common, **workers)
+        result = seqgrd_nm(graph, model, budgets, fixed, **common, **workers,
+                           **selection)
     elif algorithm == "MaxGRD":
         result = maxgrd(graph, model, budgets, fixed,
-                        n_marginal_samples=args.marginal_samples, **common)
+                        n_marginal_samples=args.marginal_samples, **common,
+                        **selection)
     elif algorithm == "SupGRD":
         ((item, budget),) = budgets.items() if len(budgets) == 1 else \
             (max(budgets.items(), key=lambda kv: kv[1]),)
         result = supgrd(graph, model, budget, fixed, superior_item=item,
-                        enforce_preconditions=False, **common, **workers)
+                        enforce_preconditions=False, **common, **workers,
+                        **selection)
     elif algorithm == "BestOf":
         result = best_of(graph, model, budgets, fixed,
                          n_marginal_samples=args.marginal_samples,
@@ -453,7 +477,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         graph, model, sampler=args.sampler, budgets=budgets,
         fixed_allocation=fixed, superior_item=superior_item,
         options=options, seed=args.seed, workers=args.workers,
-        engine=args.engine,
+        engine=args.engine, selection_strategy=args.selection_strategy,
         meta_extra={
             "network": args.network,
             "scale": args.scale,
@@ -491,7 +515,8 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
 
 
 def _load_service(index_path: Path, verify: bool,
-                  cache_size: int = 128):
+                  cache_size: int = 128,
+                  selection_strategy: Optional[str] = None):
     """Load an index + rebuild its instance, returning an AllocationService.
 
     The graph and utility model are reconstructed from the manifest and the
@@ -525,7 +550,8 @@ def _load_service(index_path: Path, verify: bool,
          in (meta.get("fingerprint_extra", {}).get("fixed") or {}).items()})
     service = AllocationService(index, graph=graph, model=model,
                                 fixed_allocation=fixed,
-                                cache_size=cache_size)
+                                cache_size=cache_size,
+                                selection_strategy=selection_strategy)
     return service, graph, model, fixed
 
 
@@ -535,8 +561,9 @@ _SERVE_ALGORITHMS = {"SeqGRD-NM": "SeqGRD-NM", "SupGRD": "SupGRD",
 
 
 def _cmd_index_query(args: argparse.Namespace) -> int:
-    service, graph, model, fixed = _load_service(args.index,
-                                                 verify=not args.no_verify)
+    service, graph, model, fixed = _load_service(
+        args.index, verify=not args.no_verify,
+        selection_strategy=args.selection_strategy)
     meta = service.index.meta
     algorithm = args.algorithm or _SERVE_ALGORITHMS.get(
         str(meta.get("algorithm")), "select")
@@ -577,7 +604,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     service, graph, _model, _fixed = _load_service(
-        args.index, verify=not args.no_verify, cache_size=args.cache_size)
+        args.index, verify=not args.no_verify, cache_size=args.cache_size,
+        selection_strategy=args.selection_strategy)
     meta = service.index.meta
     print(f"serving {meta.get('sampler')} index "
           f"({service.index.num_sets} RR sets, {graph.name}) — one JSON "

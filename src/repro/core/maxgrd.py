@@ -34,7 +34,8 @@ def maxgrd(graph: DirectedGraph, model: UtilityModel,
            evaluate_welfare: bool = False,
            n_evaluation_samples: int = 500,
            rng: RngLike = None,
-           engine: Optional[str] = None) -> AllocationResult:
+           engine: Optional[str] = None,
+           selection_strategy: Optional[str] = None) -> AllocationResult:
     """Run MaxGRD and return the chosen single-item allocation.
 
     Parameters
@@ -65,7 +66,8 @@ def maxgrd(graph: DirectedGraph, model: UtilityModel,
     max_budget = max(budgets[item] for item in items)
 
     prima = prima_plus(graph, fixed_seeds, [budgets[i] for i in items],
-                       max_budget, options=options, rng=rng)
+                       max_budget, options=options, rng=rng,
+                       selection_strategy=selection_strategy)
 
     scores: Dict[str, float] = {}
     candidates: Dict[str, Allocation] = {}

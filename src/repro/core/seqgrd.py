@@ -44,7 +44,8 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
            engine: Optional[str] = None,
            workers: Optional[int] = None,
            index: Optional["FrozenRRIndex"] = None,
-           keep_rr_collection: bool = False) -> AllocationResult:
+           keep_rr_collection: bool = False,
+           selection_strategy: Optional[str] = None) -> AllocationResult:
     """Run SeqGRD (or SeqGRD-NM when ``marginal_check=False``).
 
     Parameters
@@ -81,6 +82,10 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
         Record PRIMA+'s final RR collection in
         ``result.details["rr_collection"]`` so it can be frozen into a
         persistent index.
+    selection_strategy:
+        Greedy-selection strategy
+        (:data:`repro.rrsets.coverage.SELECTION_STRATEGIES`); bit-identical
+        allocations for every strategy.
     """
     rng = ensure_rng(rng)
     options = options or IMMOptions()
@@ -94,12 +99,14 @@ def seqgrd(graph: DirectedGraph, model: UtilityModel,
     total_budget = sum(budgets[item] for item in items)
 
     if index is not None:
-        prima = _pool_from_index(graph, index, total_budget)
+        prima = _pool_from_index(graph, index, total_budget,
+                                 selection_strategy)
     else:
         prima = prima_plus(graph, fixed_seeds, [budgets[i] for i in items],
                            total_budget, options=options, rng=rng,
                            workers=workers,
-                           keep_collection=keep_rr_collection)
+                           keep_collection=keep_rr_collection,
+                           selection_strategy=selection_strategy)
     available: List[int] = list(prima.seeds)
 
     # sort items by expected truncated utility, highest first (line 4)
@@ -184,17 +191,20 @@ def seqgrd_nm(graph: DirectedGraph, model: UtilityModel,
               engine: Optional[str] = None,
               workers: Optional[int] = None,
               index: Optional["FrozenRRIndex"] = None,
-              keep_rr_collection: bool = False) -> AllocationResult:
+              keep_rr_collection: bool = False,
+              selection_strategy: Optional[str] = None) -> AllocationResult:
     """SeqGRD-NM: SeqGRD without the Monte-Carlo marginal check."""
     return seqgrd(graph, model, budgets, fixed_allocation,
                   marginal_check=False, options=options,
                   evaluate_welfare=evaluate_welfare,
                   n_evaluation_samples=n_evaluation_samples, rng=rng,
                   engine=engine, workers=workers, index=index,
-                  keep_rr_collection=keep_rr_collection)
+                  keep_rr_collection=keep_rr_collection,
+                  selection_strategy=selection_strategy)
 
 
-def _pool_from_index(graph: DirectedGraph, index, num_seeds: int
+def _pool_from_index(graph: DirectedGraph, index, num_seeds: int,
+                     selection_strategy: Optional[str] = None
                      ) -> PrimaResult:
     """Recover PRIMA+'s ordered seed pool from a frozen marginal index.
 
@@ -211,7 +221,8 @@ def _pool_from_index(graph: DirectedGraph, index, num_seeds: int
         raise AlgorithmError(
             f"SeqGRD needs a marginal (or standard) RR-set index, "
             f"got {kind!r}")
-    selection = node_selection(index, num_seeds)
+    selection = node_selection(index, num_seeds,
+                               strategy=selection_strategy)
     scale = graph.num_nodes / max(index.num_sets, 1)
     return PrimaResult(
         seeds=selection.seeds,

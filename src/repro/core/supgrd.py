@@ -48,7 +48,8 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
            engine: Optional[str] = None,
            workers: Optional[int] = None,
            index: Optional["FrozenRRIndex"] = None,
-           keep_rr_collection: bool = False) -> AllocationResult:
+           keep_rr_collection: bool = False,
+           selection_strategy: Optional[str] = None) -> AllocationResult:
     """Select ``budget`` seeds for the superior item on top of ``S_P``.
 
     Parameters
@@ -79,6 +80,10 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
         Record the final RR collection in
         ``result.details["rr_collection"]`` so it can be frozen into a
         persistent index.
+    selection_strategy:
+        Greedy-selection strategy
+        (:data:`repro.rrsets.coverage.SELECTION_STRATEGIES`); bit-identical
+        allocations for every strategy.
     """
     rng = ensure_rng(rng)
     options = options or IMMOptions()
@@ -110,7 +115,8 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
     if index is not None:
         return _serve_from_index(graph, model, budget, fixed_allocation,
                                  superior_item, index, evaluate_welfare,
-                                 n_evaluation_samples, rng, engine)
+                                 n_evaluation_samples, rng, engine,
+                                 selection_strategy)
 
     start = time.perf_counter()
     sampler_state = WeightedRRSampler(graph, model, superior_item,
@@ -132,8 +138,7 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
     batch_sampler = None
     if resolve_engine(engine) == ENGINE_VECTORIZED:
         def batch_sampler(generator: np.random.Generator, count: int):
-            return [(rr.nodes, rr.weight)
-                    for rr in sampler_state.sample_batch(generator, count)]
+            return sampler_state.sample_pairs(generator, count)
 
     parallel_sampler = None
     if workers is not None:
@@ -152,7 +157,8 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
             max_value=float(graph.num_nodes) * superior_utility,
             options=options, rng=rng, batch_sampler=batch_sampler,
             parallel_sampler=parallel_sampler,
-            keep_collection=keep_rr_collection)
+            keep_collection=keep_rr_collection,
+            selection_strategy=selection_strategy)
     finally:
         if parallel_sampler is not None:
             parallel_sampler.close()
@@ -189,7 +195,8 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
 def _serve_from_index(graph: DirectedGraph, model: UtilityModel, budget: int,
                       fixed_allocation: Allocation, superior_item: str,
                       index, evaluate_welfare: bool,
-                      n_evaluation_samples: int, rng, engine: Optional[str]
+                      n_evaluation_samples: int, rng, engine: Optional[str],
+                      selection_strategy: Optional[str] = None
                       ) -> AllocationResult:
     """Answer a SupGRD query from a prebuilt weighted RR-set index.
 
@@ -207,7 +214,7 @@ def _serve_from_index(graph: DirectedGraph, model: UtilityModel, budget: int,
         raise AlgorithmError(
             f"SupGRD needs a weighted RR-set index, got {kind!r}")
     start = time.perf_counter()
-    selection = node_selection(index, budget)
+    selection = node_selection(index, budget, strategy=selection_strategy)
     allocation = Allocation({superior_item: selection.seeds}) \
         if selection.seeds else Allocation.empty()
     scale = graph.num_nodes / max(index.num_sets, 1)

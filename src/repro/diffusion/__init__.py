@@ -14,6 +14,7 @@ from repro.diffusion.estimators import (
     estimate_adoption_counts,
     estimate_marginal_spread,
     estimate_marginal_welfare,
+    estimate_marginal_welfare_batch,
     estimate_spread,
     estimate_welfare,
     exact_welfare_enumeration,
@@ -37,6 +38,7 @@ __all__ = [
     "WelfareEstimate",
     "estimate_welfare",
     "estimate_marginal_welfare",
+    "estimate_marginal_welfare_batch",
     "estimate_spread",
     "estimate_marginal_spread",
     "estimate_adoption_counts",

@@ -83,14 +83,18 @@ def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
                   configuration: str = "",
                   superior_item: Optional[str] = None,
                   rng=None,
-                  index=None) -> RunRecord:
+                  index=None,
+                  selection_strategy: Optional[str] = None) -> RunRecord:
     """Run ``algorithm`` on the given workload and measure time and welfare.
 
     ``index`` is an optional prebuilt
     :class:`~repro.index.frozen.FrozenRRIndex` for the coverage-greedy
     algorithms (SeqGRD/SeqGRD-NM/SupGRD): sampling is skipped and seeds are
     served from the shared index, which is how the figure sweeps reuse one
-    sampling pass across every budget point.
+    sampling pass across every budget point.  ``selection_strategy`` picks
+    the greedy node-selection engine for the coverage-greedy algorithms
+    (:data:`repro.rrsets.coverage.SELECTION_STRATEGIES`; allocations are
+    bit-identical across strategies).
     """
     scale = get_scale(scale)
     rng = ensure_rng(rng if rng is not None else scale.seed)
@@ -107,14 +111,17 @@ def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
         result = seqgrd(graph, model, budgets, fixed_allocation,
                         marginal_check=True,
                         n_marginal_samples=scale.marginal_samples,
-                        options=options, rng=rng, index=index)
+                        options=options, rng=rng, index=index,
+                        selection_strategy=selection_strategy)
     elif algorithm == "SeqGRD-NM":
         result = seqgrd_nm(graph, model, budgets, fixed_allocation,
-                           options=options, rng=rng, index=index)
+                           options=options, rng=rng, index=index,
+                           selection_strategy=selection_strategy)
     elif algorithm == "MaxGRD":
         result = maxgrd(graph, model, budgets, fixed_allocation,
                         n_marginal_samples=scale.marginal_samples,
-                        options=options, rng=rng)
+                        options=options, rng=rng,
+                        selection_strategy=selection_strategy)
     elif algorithm == "SupGRD":
         if len(budgets) != 1:
             raise AlgorithmError("SupGRD allocates exactly one item")
@@ -122,7 +129,8 @@ def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
         result = supgrd(graph, model, budget, fixed_allocation,
                         superior_item=superior_item or item,
                         enforce_preconditions=False,
-                        options=options, rng=rng, index=index)
+                        options=options, rng=rng, index=index,
+                        selection_strategy=selection_strategy)
     elif algorithm == "greedyWM":
         result = greedy_wm(graph, model, budgets, fixed_allocation,
                            n_marginal_samples=scale.marginal_samples,

@@ -248,6 +248,7 @@ def build_index(graph: DirectedGraph, model: Optional[UtilityModel] = None, *,
                 seed: int = 2020,
                 workers: Optional[int] = None,
                 engine: Optional[str] = None,
+                selection_strategy: Optional[str] = None,
                 meta_extra: Optional[Dict[str, Any]] = None
                 ) -> FrozenRRIndex:
     """Build a persistent RR-set index for one CWelMax instance.
@@ -308,7 +309,8 @@ def build_index(graph: DirectedGraph, model: Optional[UtilityModel] = None, *,
                 "building a standard index needs a positive budget k")
         extra["k"] = int(k)
         result = imm(graph, k, options=options, rng=seed, engine=engine_name,
-                     workers=workers, keep_collection=True)
+                     workers=workers, keep_collection=True,
+                     selection_strategy=selection_strategy)
         collection = result.collection
         meta.update(k=int(k), algorithm="IMM", seeds=list(result.seeds),
                     estimated_value=result.estimated_value,
@@ -326,7 +328,8 @@ def build_index(graph: DirectedGraph, model: Optional[UtilityModel] = None, *,
                 "building a marginal index needs per-item budgets")
         run = seqgrd_nm(graph, model, budgets, fixed_allocation,
                         options=options, rng=seed, engine=engine_name,
-                        workers=workers, keep_rr_collection=True)
+                        workers=workers, keep_rr_collection=True,
+                        selection_strategy=selection_strategy)
         collection = run.details.get("rr_collection")
         meta.update(algorithm="SeqGRD-NM",
                     num_prima_rr_sets=run.details.get("num_rr_sets"))
@@ -355,7 +358,8 @@ def build_index(graph: DirectedGraph, model: Optional[UtilityModel] = None, *,
                      superior_item=superior_item,
                      enforce_preconditions=False, options=options,
                      rng=seed, engine=engine_name, workers=workers,
-                     keep_rr_collection=True)
+                     keep_rr_collection=True,
+                     selection_strategy=selection_strategy)
         collection = run.details.get("rr_collection")
         meta.update(algorithm="SupGRD", k=int(budget),
                     superior_item=superior_item,
@@ -374,7 +378,9 @@ def build_index(graph: DirectedGraph, model: Optional[UtilityModel] = None, *,
     meta["fingerprint_extra"] = extra
     if meta_extra:
         meta.update(meta_extra)
-    return FrozenRRIndex.from_collection(collection, meta=meta)
+    # compact: the collection is discarded here but the index may serve for
+    # a long time — don't pin the doubling-grown sampling buffers
+    return collection.freeze(meta=meta, compact=True)
 
 
 def expected_index_fingerprint(graph: DirectedGraph,

@@ -1,12 +1,14 @@
 """Immutable CSR-packed RR-set indexes with a persistent on-disk format.
 
 A :class:`FrozenRRIndex` is the read-only counterpart of
-:class:`~repro.rrsets.coverage.RRCollection`: the RR sets are packed into
-``offsets``/``nodes``/``weights`` arrays (CSR over sets) together with the
-inverted node → set index in the same layout, so the greedy
-:func:`~repro.rrsets.coverage.node_selection` runs on it directly — and
-produces bit-identical selections, because posting lists and set members
-are stored in exactly the order the growable collection maintains them.
+:class:`~repro.rrsets.coverage.RRCollection`: both implement the
+:class:`~repro.rrsets.coverage.PackedCoverage` accessor protocol over the
+same packed representation — set-major ``offsets``/``nodes``/``weights``
+CSR arrays plus the node → set inverted CSR — so the greedy
+:func:`~repro.rrsets.coverage.node_selection` runs on either directly and
+produces bit-identical selections.  :meth:`RRCollection.freeze` hands its
+buffers over without copying; :meth:`FrozenRRIndex.to_collection` thaws
+back.
 
 Persistence is one ``.npz`` of arrays plus one JSON manifest carrying the
 instance fingerprint (see :mod:`repro.index.fingerprint`) and build
@@ -24,7 +26,11 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import IndexStoreError
-from repro.rrsets.coverage import RRCollection
+from repro.rrsets.coverage import (
+    PackedCoverage,
+    RRCollection,
+    build_inverted_csr,
+)
 
 #: bump when the array layout changes (invalidates older files)
 FORMAT_VERSION = 1
@@ -48,7 +54,7 @@ def index_paths(path: Union[str, Path]) -> Tuple[Path, Path]:
             stem.with_name(stem.name + ".manifest.json"))
 
 
-class FrozenRRIndex:
+class FrozenRRIndex(PackedCoverage):
     """An immutable, CSR-packed RR-set collection plus its inverted index.
 
     Parameters
@@ -65,11 +71,17 @@ class FrozenRRIndex:
     meta:
         Arbitrary JSON-serializable build metadata; ``meta["fingerprint"]``
         is checked by :meth:`load`.
+    inverted:
+        Optional prebuilt ``(inv_offsets, inv_sets)`` node → set CSR pair
+        (the zero-copy :meth:`RRCollection.freeze` handoff); built from the
+        set-major arrays when omitted.
     """
 
     def __init__(self, num_nodes: int, offsets: np.ndarray, nodes: np.ndarray,
                  weights: np.ndarray,
-                 meta: Optional[Dict[str, Any]] = None) -> None:
+                 meta: Optional[Dict[str, Any]] = None,
+                 inverted: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                 ) -> None:
         self._num_nodes = int(num_nodes)
         self._offsets = np.ascontiguousarray(offsets, dtype=np.int64)
         self._nodes = np.ascontiguousarray(nodes, dtype=np.int64)
@@ -88,28 +100,19 @@ class FrozenRRIndex:
         if len(self._nodes) and (self._nodes.min() < 0
                                  or self._nodes.max() >= self._num_nodes):
             raise IndexStoreError("set members must be valid node ids")
-        self._inv_offsets, self._inv_sets = self._build_inverted()
-
-    def _build_inverted(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Invert the set → nodes CSR into a node → sets CSR.
-
-        Only positive-weight sets are indexed (zero-weight sets can never
-        contribute coverage), and each node's posting list is in ascending
-        set order — matching ``RRCollection``'s incremental index exactly.
-        """
-        lengths = np.diff(self._offsets)
-        positive = self._weights > 0.0
-        keep = np.repeat(positive, lengths)
-        member_nodes = self._nodes[keep]
-        member_sets = np.repeat(
-            np.arange(self.num_sets, dtype=np.int64), lengths)[keep]
-        order = np.argsort(member_nodes, kind="stable")
-        sorted_nodes = member_nodes[order]
-        inv_sets = member_sets[order]
-        counts = np.bincount(sorted_nodes, minlength=self._num_nodes)
-        inv_offsets = np.zeros(self._num_nodes + 1, dtype=np.int64)
-        np.cumsum(counts, out=inv_offsets[1:])
-        return inv_offsets, inv_sets
+        if inverted is not None:
+            inv_offsets, inv_sets = inverted
+            inv_offsets = np.ascontiguousarray(inv_offsets, dtype=np.int64)
+            inv_sets = np.ascontiguousarray(inv_sets, dtype=np.int64)
+            if len(inv_offsets) != self._num_nodes + 1 \
+                    or int(inv_offsets[-1]) != len(inv_sets):
+                raise IndexStoreError(
+                    "inverted CSR does not match the packed arrays")
+            self._inv_offsets, self._inv_sets = inv_offsets, inv_sets
+        else:
+            self._inv_offsets, self._inv_sets = build_inverted_csr(
+                self._offsets, self._nodes, self._weights, self._num_nodes)
+        self._gains0: Optional[np.ndarray] = None  # initial_gains cache
 
     # ------------------------------------------------------------------
     # constructors
@@ -118,27 +121,23 @@ class FrozenRRIndex:
     def from_collection(cls, collection: RRCollection,
                         meta: Optional[Dict[str, Any]] = None
                         ) -> "FrozenRRIndex":
-        """Freeze a growable :class:`RRCollection` into CSR arrays."""
-        sets = [collection.set_members(i) for i in range(collection.num_sets)]
-        offsets = np.zeros(len(sets) + 1, dtype=np.int64)
-        if sets:
-            np.cumsum([len(s) for s in sets], out=offsets[1:])
-        nodes = (np.concatenate(sets) if sets
-                 else np.empty(0, dtype=np.int64))
-        return cls(collection.num_nodes, offsets, nodes,
-                   collection.weights(), meta=meta)
+        """Freeze a growable :class:`RRCollection` (zero-copy handoff)."""
+        return collection.freeze(meta=meta)
 
     def to_collection(self) -> RRCollection:
         """Thaw back into a growable :class:`RRCollection` (same ordering)."""
-        collection = RRCollection(self._num_nodes)
-        collection.extend(
-            (self.set_members(i), float(self._weights[i]))
-            for i in range(self.num_sets))
-        return collection
+        return RRCollection._from_packed(self._num_nodes, self._offsets,
+                                         self._nodes, self._weights)
 
     # ------------------------------------------------------------------
-    # the coverage-collection protocol consumed by node_selection
+    # the packed-coverage protocol consumed by node_selection
     # ------------------------------------------------------------------
+    def _packed(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._offsets, self._nodes, self._weights
+
+    def _inverted(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._inv_offsets, self._inv_sets
+
     @property
     def num_nodes(self) -> int:
         """Number of graph nodes the index refers to."""
@@ -164,51 +163,6 @@ class FrozenRRIndex:
         """The instance fingerprint this index was built for (if recorded)."""
         value = self._meta.get("fingerprint")
         return str(value) if value is not None else None
-
-    def weights(self) -> np.ndarray:
-        """Weights of all RR sets (the stored array; do not mutate)."""
-        return self._weights
-
-    def set_members(self, set_index: int) -> np.ndarray:
-        """Node ids of the RR set ``set_index`` (in stored order)."""
-        start, stop = self._offsets[set_index], self._offsets[set_index + 1]
-        return self._nodes[start:stop]
-
-    def sets_covered_by(self, node: int) -> np.ndarray:
-        """Indices of the positive-weight RR sets containing ``node``."""
-        node = int(node)
-        if not 0 <= node < self._num_nodes:
-            return np.empty(0, dtype=np.int64)
-        start, stop = self._inv_offsets[node], self._inv_offsets[node + 1]
-        return self._inv_sets[start:stop]
-
-    def initial_gains(self) -> np.ndarray:
-        """Per-node coverage gain of an empty selection (``M_R({v})``).
-
-        Accumulated set-major (for each node, ascending set order), the same
-        float addition order as ``RRCollection.initial_gains`` so greedy
-        selections stay bit-identical.
-        """
-        gains = np.zeros(self._num_nodes, dtype=np.float64)
-        lengths = np.diff(self._offsets)
-        positive = self._weights > 0.0
-        keep = np.repeat(positive, lengths)
-        np.add.at(gains, self._nodes[keep],
-                  np.repeat(self._weights, lengths)[keep])
-        return gains
-
-    def covered_weight(self, seeds) -> float:
-        """Total weight of RR sets hit by ``seeds`` (``M_R(S)``)."""
-        covered: set = set()
-        for node in seeds:
-            covered.update(int(i) for i in self.sets_covered_by(node))
-        return float(sum(float(self._weights[i]) for i in covered))
-
-    def coverage_fraction(self, seeds) -> float:
-        """``F_R(S)``: covered weight divided by the number of RR sets."""
-        if self.num_sets == 0:
-            return 0.0
-        return self.covered_weight(seeds) / self.num_sets
 
     # ------------------------------------------------------------------
     # persistence

@@ -6,7 +6,14 @@ from repro.rrsets.rrset import (
     marginal_rr_set,
     random_rr_set,
 )
-from repro.rrsets.coverage import RRCollection, SelectionResult, node_selection
+from repro.rrsets.coverage import (
+    SELECTION_STRATEGIES,
+    PackedCoverage,
+    RRCollection,
+    SelectionResult,
+    node_selection,
+    resolve_strategy,
+)
 from repro.rrsets.bounds import adjusted_ell, lambda_prime, lambda_star, log_binomial
 from repro.rrsets.imm import IMMOptions, IMMResult, imm, marginal_imm, run_imm_engine
 
@@ -18,6 +25,9 @@ __all__ = [
     "RRCollection",
     "SelectionResult",
     "node_selection",
+    "PackedCoverage",
+    "SELECTION_STRATEGIES",
+    "resolve_strategy",
     "log_binomial",
     "lambda_star",
     "lambda_prime",

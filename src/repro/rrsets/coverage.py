@@ -1,25 +1,224 @@
-"""RR-set collections and greedy (weighted) maximum coverage.
+"""CSR-native RR-set coverage store and the greedy selection engine.
 
 The node-selection phase of IMM, PRIMA+ and SupGRD is a weighted maximum
 coverage problem over the sampled RR sets: pick ``k`` nodes maximizing the
-total weight of the RR sets they hit.  :class:`RRCollection` stores the sets
-together with an inverted node -> set index so the greedy selection
-(:func:`node_selection`, Algorithm 5 in the paper) runs in time linear in
-the total size of the covered sets.
+total weight of the RR sets they hit.  This module keeps the whole phase
+array-native:
+
+* :class:`RRCollection` stores the sets in growable flat buffers — a
+  set-major CSR of member node ids (``offsets``/``members``) plus per-set
+  ``weights``, grown by amortized doubling — and derives the node-major
+  inverted CSR (node → covering sets) lazily with one stable argsort.
+  :meth:`RRCollection.freeze` hands the packed buffers to
+  :class:`~repro.index.frozen.FrozenRRIndex` without copying, so the
+  growable collection, the frozen index and the sharded builder's merge
+  path all share one representation and one accessor protocol
+  (:class:`PackedCoverage`).
+* :func:`node_selection` (Algorithm 5 in the paper) runs over that packed
+  representation with three interchangeable strategies that return
+  bit-identical :class:`SelectionResult` s (see
+  :data:`SELECTION_STRATEGIES`).
+
+Selection strategies
+--------------------
+``"lazy"`` (default)
+    CELF-style lazy greedy: a max-heap of upper-bounded gains, revalidated
+    exactly against the incrementally maintained gains array; committing a
+    pick updates gains with one ``np.subtract.at`` over the concatenated
+    members of the newly covered sets.  Heap order ``(-gain, node)``
+    reproduces the eager tie-breaking (lowest node id on equal gains).
+``"eager"``
+    The classic exact-update greedy, vectorized: ``argmax`` per pick, the
+    same ``np.subtract.at`` commit.
+``"reference"``
+    The retained pure-Python oracle (the pre-packed-store loop) used by the
+    equivalence tests and the selection benchmark baseline.
+
+All three strategies perform the identical sequence of IEEE-754 operations
+on gains and totals (same addition/subtraction order), so their seeds,
+``prefix_weights`` and ``covered_weight`` agree bit for bit — the property
+the persistent-index layer relies on.
+
+Saturation (the stop-or-pad rule)
+---------------------------------
+Once every remaining candidate has zero marginal gain the greedy is
+*saturated*: further picks cannot cover anything.  Saturation is detected
+when the picked candidate covers **no new set** — a criterion that is
+robust to the ~1-ulp residue incremental float updates can leave on the
+gains of fully covered nodes (a ``gain <= 0`` test would miss those).
+``on_saturation="pad"`` (the default) keeps selecting zero-gain nodes
+until ``k`` seeds are returned — PRIMA+ and SeqGRD rely on always
+receiving ``k`` seeds so budgets are exhausted and greedy prefixes keep
+serving every smaller budget.  ``on_saturation="stop"`` truncates the
+selection at the first zero-gain pick instead.  Either way
+:attr:`SelectionResult.saturated_at` records where saturation set in.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import AlgorithmError
 
+#: CELF-style lazy greedy (the default)
+STRATEGY_LAZY = "lazy"
+#: vectorized exact-update greedy
+STRATEGY_EAGER = "eager"
+#: retained pure-Python oracle
+STRATEGY_REFERENCE = "reference"
+SELECTION_STRATEGIES = (STRATEGY_LAZY, STRATEGY_EAGER, STRATEGY_REFERENCE)
 
-class RRCollection:
-    """A growable collection of (possibly weighted) RR sets.
+#: environment variable overriding the default selection strategy
+SELECTION_ENV_VAR = "REPRO_SELECTION"
+
+#: keep padding zero-gain seeds until ``k`` are selected (the default)
+SATURATION_PAD = "pad"
+#: truncate the selection at the first zero-gain pick
+SATURATION_STOP = "stop"
+_SATURATION_MODES = (SATURATION_PAD, SATURATION_STOP)
+
+
+def default_strategy() -> str:
+    """The strategy used when callers pass ``strategy=None``."""
+    value = os.environ.get(SELECTION_ENV_VAR, "").strip().lower()
+    if not value:
+        return STRATEGY_LAZY
+    if value not in SELECTION_STRATEGIES:
+        raise ValueError(
+            f"{SELECTION_ENV_VAR}={value!r} is not a valid selection "
+            f"strategy; expected one of {list(SELECTION_STRATEGIES)}")
+    return value
+
+
+def resolve_strategy(strategy: Optional[str] = None) -> str:
+    """Normalize a ``strategy=`` argument to one of the known strategies."""
+    if strategy is None:
+        return default_strategy()
+    value = str(strategy).strip().lower()
+    if value not in SELECTION_STRATEGIES:
+        raise ValueError(
+            f"unknown selection strategy {strategy!r}; "
+            f"expected one of {list(SELECTION_STRATEGIES)}")
+    return value
+
+
+def build_inverted_csr(offsets: np.ndarray, members: np.ndarray,
+                       weights: np.ndarray, num_nodes: int
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Invert a set-major members CSR into a node-major sets CSR.
+
+    Only positive-weight sets are indexed (zero-weight sets can never
+    contribute coverage), and each node's posting list comes out in
+    ascending set order — exactly the order incremental per-set appends
+    would produce, which is what keeps frozen and growable selections
+    bit-identical.
+    """
+    lengths = np.diff(offsets)
+    keep = np.repeat(weights > 0.0, lengths)
+    member_nodes = members[keep]
+    member_sets = np.repeat(
+        np.arange(len(weights), dtype=np.int64), lengths)[keep]
+    order = np.argsort(member_nodes, kind="stable")
+    sorted_nodes = member_nodes[order]
+    inv_sets = member_sets[order]
+    counts = np.bincount(sorted_nodes, minlength=num_nodes)
+    inv_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=inv_offsets[1:])
+    return inv_offsets, inv_sets
+
+
+class PackedCoverage:
+    """Accessor protocol shared by every packed coverage representation.
+
+    Subclasses (:class:`RRCollection` and
+    :class:`~repro.index.frozen.FrozenRRIndex`) expose ``num_nodes``,
+    ``num_sets``, ``_packed()`` — the ``(offsets, members, weights)``
+    set-major CSR triple — and ``_inverted()`` — the
+    ``(inv_offsets, inv_sets)`` node-major CSR pair.  Everything the greedy
+    selection and the estimators consume is derived here, once, so both
+    representations behave identically down to float addition order.
+    """
+
+    # subclasses provide: num_nodes, num_sets, _packed(), _inverted()
+
+    def weights(self) -> np.ndarray:
+        """Weights of all RR sets (a view of the packed buffer; do not
+        mutate)."""
+        return self._packed()[2]
+
+    def set_members(self, set_index: int) -> np.ndarray:
+        """Node ids of the RR set ``set_index`` (in stored order)."""
+        offsets, members, _ = self._packed()
+        return members[offsets[set_index]:offsets[set_index + 1]]
+
+    def sets_covered_by(self, node: int) -> np.ndarray:
+        """Indices of the positive-weight RR sets containing ``node``."""
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            return np.empty(0, dtype=np.int64)
+        inv_offsets, inv_sets = self._inverted()
+        return inv_sets[inv_offsets[node]:inv_offsets[node + 1]]
+
+    def initial_gains(self) -> np.ndarray:
+        """Per-node coverage gain of an empty selection (``M_R({v})``).
+
+        One weighted ``np.bincount`` over the set-major members, so entry
+        ``v`` accumulates its posting weights in ascending set order — the
+        same sequential left-fold every other implementation of this
+        protocol has used, keeping greedy selections bit-identical.
+
+        The result is cached until the collection changes (it is the
+        dominant cost of a warm selection) and returned as a copy, since
+        the greedy mutates its gains in place.
+        """
+        cached = getattr(self, "_gains0", None)
+        if cached is None:
+            offsets, members, weights = self._packed()
+            lengths = np.diff(offsets)
+            keep = np.repeat(weights > 0.0, lengths)
+            cached = np.bincount(members[keep],
+                                 weights=np.repeat(weights, lengths)[keep],
+                                 minlength=self.num_nodes)
+            cached = cached.astype(np.float64, copy=False)
+            self._gains0 = cached
+        return cached.copy()
+
+    def covered_weight(self, seeds: Iterable[int]) -> float:
+        """Total weight of RR sets hit by ``seeds`` (``M_R(S)``)."""
+        weights = self._packed()[2]
+        covered = np.zeros(self.num_sets, dtype=bool)
+        inv_offsets, inv_sets = self._inverted()
+        for node in seeds:
+            node = int(node)
+            if 0 <= node < self.num_nodes:
+                covered[inv_sets[inv_offsets[node]:inv_offsets[node + 1]]] \
+                    = True
+        return float(weights[covered].sum())
+
+    def coverage_fraction(self, seeds: Iterable[int]) -> float:
+        """``F_R(S)``: covered weight divided by the number of RR sets."""
+        if self.num_sets == 0:
+            return 0.0
+        return self.covered_weight(seeds) / self.num_sets
+
+
+#: initial buffer capacities (sets / member entries) before doubling kicks in
+_INITIAL_SETS = 16
+_INITIAL_MEMBERS = 64
+
+
+class RRCollection(PackedCoverage):
+    """A growable, CSR-packed collection of (possibly weighted) RR sets.
+
+    Members live in flat int64/float64 buffers grown by amortized doubling:
+    ``add`` and ``extend`` are O(amortized size of the appended sets), and
+    the node → sets inverted index is rebuilt lazily (one stable argsort)
+    the first time it is needed after an append.
 
     Empty RR sets (as produced by marginal sampling when the reverse BFS
     hits the fixed seed set) still count towards :attr:`num_sets` — they can
@@ -29,10 +228,14 @@ class RRCollection:
 
     def __init__(self, num_nodes: int) -> None:
         self._num_nodes = int(num_nodes)
-        self._sets: List[np.ndarray] = []
-        self._weights: List[float] = []
-        self._inverted: Dict[int, List[int]] = {}
+        self._num_sets = 0
+        self._num_members = 0
+        self._offsets = np.zeros(_INITIAL_SETS + 1, dtype=np.int64)
+        self._members = np.empty(_INITIAL_MEMBERS, dtype=np.int64)
+        self._weights = np.empty(_INITIAL_SETS, dtype=np.float64)
         self._total_weight = 0.0
+        self._inv: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._gains0: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -43,107 +246,177 @@ class RRCollection:
     @property
     def num_sets(self) -> int:
         """Number of RR sets generated so far (including empty ones)."""
-        return len(self._sets)
+        return self._num_sets
 
     @property
     def total_weight(self) -> float:
         """Sum of the weights of all (non-empty and empty) RR sets."""
         return self._total_weight
 
+    # ------------------------------------------------------------------
+    # the packed-coverage protocol
+    # ------------------------------------------------------------------
+    def _packed(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (self._offsets[:self._num_sets + 1],
+                self._members[:self._num_members],
+                self._weights[:self._num_sets])
+
+    def _inverted(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._inv is None:
+            offsets, members, weights = self._packed()
+            self._inv = build_inverted_csr(offsets, members, weights,
+                                           self._num_nodes)
+        return self._inv
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def _reserve_sets(self, extra: int) -> None:
+        need = self._num_sets + extra
+        capacity = len(self._weights)
+        if need <= capacity:
+            return
+        capacity = max(capacity, 1)  # _from_packed may install empty buffers
+        while capacity < need:
+            capacity *= 2
+        offsets = np.zeros(capacity + 1, dtype=np.int64)
+        offsets[:self._num_sets + 1] = self._offsets[:self._num_sets + 1]
+        self._offsets = offsets
+        weights = np.empty(capacity, dtype=np.float64)
+        weights[:self._num_sets] = self._weights[:self._num_sets]
+        self._weights = weights
+
+    def _reserve_members(self, extra: int) -> None:
+        need = self._num_members + extra
+        capacity = len(self._members)
+        if need <= capacity:
+            return
+        capacity = max(capacity, 1)  # _from_packed may install empty buffers
+        while capacity < need:
+            capacity *= 2
+        members = np.empty(capacity, dtype=np.int64)
+        members[:self._num_members] = self._members[:self._num_members]
+        self._members = members
+
+    def _as_members(self, nodes) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        if len(nodes) and (nodes.min() < 0 or nodes.max() >= self._num_nodes):
+            raise AlgorithmError(
+                f"RR-set members must be node ids in [0, {self._num_nodes})")
+        return nodes
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
     def add(self, nodes: np.ndarray, weight: float = 1.0) -> None:
         """Append one RR set with the given weight."""
-        index = len(self._sets)
-        nodes = np.asarray(nodes, dtype=np.int64)
-        self._sets.append(nodes)
-        self._weights.append(float(weight))
-        self._total_weight += float(weight)
-        if weight > 0.0:
-            for node in nodes:
-                self._inverted.setdefault(int(node), []).append(index)
+        nodes = self._as_members(nodes)
+        weight = float(weight)
+        self._reserve_sets(1)
+        self._reserve_members(len(nodes))
+        start = self._num_members
+        self._members[start:start + len(nodes)] = nodes
+        self._num_members += len(nodes)
+        self._weights[self._num_sets] = weight
+        self._num_sets += 1
+        self._offsets[self._num_sets] = self._num_members
+        self._total_weight += weight
+        if weight > 0.0 and len(nodes):
+            # empty/zero-weight sets are never indexed and never gain
+            self._inv = None
+            self._gains0 = None
 
     def extend(self, sets: Iterable[Tuple[np.ndarray, float]]) -> None:
         """Append many ``(nodes, weight)`` pairs in one batch.
 
-        Equivalent to calling :meth:`add` per pair but the inverted index is
-        updated in bulk (one argsort over the concatenated nodes instead of a
-        Python dict operation per node occurrence) — this is the merge path
-        the sharded parallel builder relies on.
+        Equivalent to calling :meth:`add` per pair but the member buffer is
+        filled with one concatenate — this is the merge path the sharded
+        parallel builder relies on.
         """
-        pairs = [(np.asarray(nodes, dtype=np.int64), float(weight))
+        pairs = [(self._as_members(nodes), float(weight))
                  for nodes, weight in sets]
         if not pairs:
             return
-        base = len(self._sets)
-        for nodes, weight in pairs:
-            self._sets.append(nodes)
-            self._weights.append(weight)
+        lengths = np.array([len(nodes) for nodes, _ in pairs],
+                           dtype=np.int64)
+        width = int(lengths.sum())
+        self._reserve_sets(len(pairs))
+        self._reserve_members(width)
+        start = self._num_members
+        if width:
+            chunks = [nodes for nodes, _ in pairs if len(nodes)]
+            self._members[start:start + width] = np.concatenate(chunks)
+        self._offsets[self._num_sets + 1:self._num_sets + 1 + len(pairs)] \
+            = start + np.cumsum(lengths)
+        new_weights = np.array([weight for _, weight in pairs],
+                               dtype=np.float64)
+        self._weights[self._num_sets:self._num_sets + len(pairs)] \
+            = new_weights
+        self._num_sets += len(pairs)
+        self._num_members += width
+        # sequential accumulation: bit-identical to repeated add() calls
+        # (tolist() keeps the running total a Python float, like add does)
+        for weight in new_weights.tolist():
             self._total_weight += weight
-        # bulk inverted-index update: concatenate the nodes of all
-        # positive-weight sets (set-major, so per-node posting lists stay in
-        # ascending set order, exactly as repeated add() calls would leave
-        # them) and group by node with one stable argsort.
-        chunks = [nodes for nodes, weight in pairs
-                  if weight > 0.0 and len(nodes)]
-        set_ids = [np.full(len(nodes), base + offset, dtype=np.int64)
-                   for offset, (nodes, weight) in enumerate(pairs)
-                   if weight > 0.0 and len(nodes)]
-        if not chunks:
-            return
-        all_nodes = np.concatenate(chunks)
-        all_sets = np.concatenate(set_ids)
-        order = np.argsort(all_nodes, kind="stable")
-        all_nodes = all_nodes[order]
-        all_sets = all_sets[order]
-        boundaries = np.nonzero(np.diff(all_nodes))[0] + 1
-        starts = np.concatenate(([0], boundaries))
-        stops = np.concatenate((boundaries, [len(all_nodes)]))
-        for start, stop in zip(starts, stops):
-            node = int(all_nodes[start])
-            self._inverted.setdefault(node, []).extend(
-                int(s) for s in all_sets[start:stop])
+        if np.any((new_weights > 0.0) & (lengths > 0)):
+            self._inv = None
+            self._gains0 = None
 
-    def weights(self) -> np.ndarray:
-        """Weights of all RR sets as an array."""
-        return np.asarray(self._weights, dtype=np.float64)
-
-    def sets_covered_by(self, node: int) -> Sequence[int]:
-        """Indices of the RR sets containing ``node``."""
-        return self._inverted.get(int(node), ())
-
-    def set_members(self, set_index: int) -> np.ndarray:
-        """Node ids of the RR set ``set_index`` (in stored order)."""
-        return self._sets[set_index]
-
-    def initial_gains(self) -> np.ndarray:
-        """Per-node coverage gain of an empty selection (``M_R({v})``).
-
-        Entry ``v`` is the total weight of the RR sets containing ``v`` —
-        the starting gains of the greedy :func:`node_selection`.
-        """
-        gains = np.zeros(self._num_nodes, dtype=np.float64)
-        weights = self.weights()
-        for node, set_indices in self._inverted.items():
-            gains[node] = float(sum(weights[i] for i in set_indices))
-        return gains
-
-    def covered_weight(self, seeds: Iterable[int]) -> float:
-        """Total weight of RR sets hit by ``seeds`` (``M_R(S)`` in the paper)."""
-        covered: set = set()
-        for node in seeds:
-            covered.update(self._inverted.get(int(node), ()))
-        return float(sum(self._weights[i] for i in covered))
-
-    def coverage_fraction(self, seeds: Iterable[int]) -> float:
-        """``F_R(S)``: covered weight divided by the number of RR sets."""
-        if not self._sets:
-            return 0.0
-        return self.covered_weight(seeds) / len(self._sets)
-
+    # ------------------------------------------------------------------
     def average_set_size(self) -> float:
-        """Mean number of nodes per RR set (empty sets included)."""
-        if not self._sets:
+        """Mean number of nodes per RR set (empty sets included).
+
+        O(1): the member and set counters are maintained by ``add`` and
+        ``extend`` rather than re-scanned per call.
+        """
+        if self._num_sets == 0:
             return 0.0
-        return float(np.mean([len(s) for s in self._sets]))
+        return self._num_members / self._num_sets
+
+    def freeze(self, meta=None, compact: bool = False) -> "FrozenRRIndex":
+        """Freeze into an immutable :class:`FrozenRRIndex`, zero-copy.
+
+        The frozen index receives trimmed *views* of the packed buffers
+        (and the cached inverted CSR, when built), so freezing costs O(1)
+        beyond any pending inverted-index build.  Later appends to this
+        collection never mutate existing entries — doubling reallocates and
+        in-place appends only write past the frozen views — so the handoff
+        is safe.
+
+        The views pin the doubling-grown backing buffers (up to ~2x the
+        live data).  Pass ``compact=True`` to copy-trim instead — the
+        right call when the collection is discarded after freezing and the
+        index is long-lived (the ``build_index`` → ``AllocationService``
+        path).
+        """
+        from repro.index.frozen import FrozenRRIndex
+
+        offsets, members, weights = self._packed()
+        if compact:
+            offsets, members, weights = (offsets.copy(), members.copy(),
+                                         weights.copy())
+        frozen = FrozenRRIndex(self._num_nodes, offsets, members, weights,
+                               meta=meta, inverted=self._inv)
+        if self._gains0 is not None:
+            frozen._gains0 = self._gains0  # read-only cache, safe to share
+        return frozen
+
+    @classmethod
+    def _from_packed(cls, num_nodes: int, offsets: np.ndarray,
+                     members: np.ndarray,
+                     weights: np.ndarray) -> "RRCollection":
+        """Rebuild a growable collection around copies of packed arrays."""
+        collection = cls(int(num_nodes))
+        collection._offsets = np.array(offsets, dtype=np.int64)
+        collection._members = np.array(members, dtype=np.int64)
+        collection._weights = np.array(weights, dtype=np.float64)
+        collection._num_sets = len(collection._weights)
+        collection._num_members = len(collection._members)
+        total = 0.0
+        for weight in collection._weights:
+            total += weight
+        collection._total_weight = float(total)
+        return collection
 
 
 @dataclass
@@ -155,58 +428,216 @@ class SelectionResult:
     preservation relies on.  ``covered_weight`` is ``M_R(S)`` for the full
     seed list, and ``prefix_weights[i]`` the coverage of the first ``i + 1``
     seeds.
+
+    ``saturated_at`` is the number of seeds that had positive marginal
+    gain: ``seeds[saturated_at:]`` (present only under the default
+    ``on_saturation="pad"``) cover nothing, and under
+    ``on_saturation="stop"`` the selection was truncated there
+    (``saturated_at == len(seeds)``).  ``None`` means the selection never
+    saturated within its budget.
     """
 
     seeds: List[int]
     covered_weight: float
     prefix_weights: List[float]
+    saturated_at: Optional[int] = None
 
     def prefix(self, k: int) -> List[int]:
         """First ``k`` selected seeds."""
         return self.seeds[:k]
 
 
-def node_selection(collection, k: int) -> SelectionResult:
+def node_selection(collection, k: int, strategy: Optional[str] = None,
+                   on_saturation: str = SATURATION_PAD) -> SelectionResult:
     """Greedy weighted maximum coverage (Algorithm 5, ``NodeSelection``).
 
-    Selects ``k`` nodes one at a time, each maximizing the additional weight
-    of newly covered RR sets, with exact incremental gain updates.
+    Selects ``k`` nodes one at a time, each maximizing the additional
+    weight of newly covered RR sets, with exact gains throughout.
 
-    ``collection`` may be a growable :class:`RRCollection` or a frozen
-    :class:`~repro.index.frozen.FrozenRRIndex` — anything exposing
-    ``num_nodes``, ``num_sets``, ``weights()``, ``initial_gains()``,
-    ``sets_covered_by(node)`` and ``set_members(set_index)`` with the same
-    posting/member ordering, so selections over a frozen index are
-    bit-identical to selections over the collection it was built from.
+    Parameters
+    ----------
+    collection:
+        A growable :class:`RRCollection` or a frozen
+        :class:`~repro.index.frozen.FrozenRRIndex` — any
+        :class:`PackedCoverage` — so selections over a frozen index are
+        bit-identical to selections over the collection it was built from.
+        Objects implementing only the plain accessor methods
+        (``num_nodes``, ``num_sets``, ``weights()``, ``initial_gains()``,
+        ``sets_covered_by``, ``set_members``) are served by the reference
+        loop regardless of ``strategy``.
+    strategy:
+        One of :data:`SELECTION_STRATEGIES`; ``None`` resolves to the
+        ``REPRO_SELECTION`` environment variable, defaulting to
+        ``"lazy"``.  All strategies return bit-identical results — the
+        knob trades constant factors only.
+    on_saturation:
+        The stop-or-pad rule (see the module docstring): ``"pad"`` (the
+        default, preserving PRIMA+'s always-``k``-seeds prefix semantics)
+        or ``"stop"``.
     """
     if k < 0:
         raise AlgorithmError("k must be >= 0")
+    if on_saturation not in _SATURATION_MODES:
+        raise AlgorithmError(
+            f"unknown on_saturation mode {on_saturation!r}; "
+            f"expected one of {list(_SATURATION_MODES)}")
+    strategy = resolve_strategy(strategy)
+    k = min(int(k), collection.num_nodes)
+    if strategy == STRATEGY_REFERENCE or not hasattr(collection, "_packed"):
+        return _select_reference(collection, k, on_saturation)
+    return _select_packed(collection, k, on_saturation,
+                          lazy=strategy == STRATEGY_LAZY)
+
+
+def _select_reference(collection, k: int,
+                      on_saturation: str) -> SelectionResult:
+    """The retained pure-Python greedy oracle (pre-packed-store loop)."""
     n = collection.num_nodes
-    k = min(k, n)
     gains = collection.initial_gains()
     weights = collection.weights()
     covered = np.zeros(collection.num_sets, dtype=bool)
     selected: List[int] = []
     prefix_weights: List[float] = []
     total = 0.0
+    saturated_at: Optional[int] = None
     chosen = np.zeros(n, dtype=bool)
     for _ in range(k):
         candidate = int(np.argmax(np.where(chosen, -np.inf, gains)))
         if chosen[candidate]:
             break
         chosen[candidate] = True
-        selected.append(candidate)
+        covered_new = 0
         for set_index in collection.sets_covered_by(candidate):
             if covered[set_index]:
                 continue
             covered[set_index] = True
+            covered_new += 1
             weight = weights[set_index]
             total += weight
             for node in collection.set_members(set_index):
                 gains[int(node)] -= weight
+        if covered_new == 0 and saturated_at is None:
+            saturated_at = len(selected)
+            if on_saturation == SATURATION_STOP:
+                break
+        selected.append(candidate)
         prefix_weights.append(total)
     return SelectionResult(seeds=selected, covered_weight=total,
-                           prefix_weights=prefix_weights)
+                           prefix_weights=prefix_weights,
+                           saturated_at=saturated_at)
 
 
-__all__ = ["RRCollection", "SelectionResult", "node_selection"]
+def _select_packed(collection, k: int, on_saturation: str,
+                   lazy: bool) -> SelectionResult:
+    """Vectorized greedy over the packed CSR buffers (eager or lazy).
+
+    Both variants maintain the gains array with the identical sequence of
+    IEEE-754 operations as the reference loop (``np.bincount`` /
+    ``np.subtract.at`` / per-set total accumulation are all sequential in
+    the same set-major order), so seeds, totals and prefix weights agree
+    bit for bit across all three strategies.
+    """
+    n = collection.num_nodes
+    offsets, members, weights = collection._packed()
+    inv_offsets, inv_sets = collection._inverted()
+    gains = collection.initial_gains()
+    covered = np.zeros(collection.num_sets, dtype=bool)
+    selected: List[int] = []
+    prefix_weights: List[float] = []
+    total = 0.0
+    saturated_at: Optional[int] = None
+
+    def commit(candidate: int) -> int:
+        """Cover the candidate's uncovered sets and update gains/total.
+
+        Returns the number of newly covered sets (0 signals saturation).
+        """
+        nonlocal total
+        postings = inv_sets[inv_offsets[candidate]:inv_offsets[candidate + 1]]
+        new = postings[~covered[postings]]
+        if not len(new):
+            return 0
+        if len(new) > 1:
+            # a duplicated member would duplicate its posting; postings are
+            # ascending, so dropping adjacent repeats reproduces the
+            # reference loop's skip-already-covered behaviour exactly
+            keep = np.ones(len(new), dtype=bool)
+            np.not_equal(new[1:], new[:-1], out=keep[1:])
+            new = new[keep]
+        covered[new] = True
+        starts = offsets[new]
+        lengths = offsets[new + 1] - starts
+        width = int(lengths.sum())
+        # gather the concatenated members of the newly covered sets: for
+        # each set a contiguous member range, expanded CSR-style
+        positions = np.arange(width, dtype=np.int64) \
+            + np.repeat(starts - (np.cumsum(lengths) - lengths), lengths)
+        np.subtract.at(gains, members[positions],
+                       np.repeat(weights[new], lengths))
+        # per-set sequential accumulation (np.sum's pairwise reduction
+        # would round differently from the reference oracle)
+        for weight in weights[new]:
+            total += weight
+        return len(new)
+
+    if lazy:
+        # CELF lazy greedy: heap keys are upper bounds (gains only ever
+        # shrink); a popped candidate whose key still equals its exact
+        # maintained gain is the argmax — including the lowest-node-id
+        # tie-break, because stale keys re-enter at their exact value and
+        # the heap orders (-gain, node) lexicographically.  Keys live as
+        # Python floats (bitwise the same doubles, far cheaper to compare
+        # than boxed np.float64 scalars).
+        heap = [(-gain, node) for node, gain in enumerate(gains.tolist())]
+        heapq.heapify(heap)
+        while len(selected) < k and heap:
+            negative_gain, candidate = heapq.heappop(heap)
+            current = gains.item(candidate)
+            if -negative_gain != current:
+                # stale upper bound; but if the exact value still STRICTLY
+                # dominates every remaining upper bound the candidate is
+                # the unique argmax (no tie-break in play) — select it
+                # without bouncing through the heap
+                if heap and -current >= heap[0][0]:
+                    heapq.heappush(heap, (-current, candidate))
+                    continue
+            if commit(candidate) == 0 and saturated_at is None:
+                saturated_at = len(selected)
+                if on_saturation == SATURATION_STOP:
+                    break
+            selected.append(candidate)
+            prefix_weights.append(total)
+    else:
+        chosen = np.zeros(n, dtype=bool)
+        while len(selected) < k:
+            candidate = int(np.argmax(np.where(chosen, -np.inf, gains)))
+            if chosen[candidate]:
+                break
+            chosen[candidate] = True
+            if commit(candidate) == 0 and saturated_at is None:
+                saturated_at = len(selected)
+                if on_saturation == SATURATION_STOP:
+                    break
+            selected.append(candidate)
+            prefix_weights.append(total)
+    return SelectionResult(seeds=selected, covered_weight=total,
+                           prefix_weights=prefix_weights,
+                           saturated_at=saturated_at)
+
+
+__all__ = [
+    "SELECTION_STRATEGIES",
+    "SELECTION_ENV_VAR",
+    "STRATEGY_LAZY",
+    "STRATEGY_EAGER",
+    "STRATEGY_REFERENCE",
+    "SATURATION_PAD",
+    "SATURATION_STOP",
+    "default_strategy",
+    "resolve_strategy",
+    "build_inverted_csr",
+    "PackedCoverage",
+    "RRCollection",
+    "SelectionResult",
+    "node_selection",
+]

@@ -106,7 +106,8 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
                    rng: RngLike = None,
                    batch_sampler: Optional[BatchSampler] = None,
                    parallel_sampler: Optional[ParallelSampler] = None,
-                   keep_collection: bool = False) -> IMMResult:
+                   keep_collection: bool = False,
+                   selection_strategy: Optional[str] = None) -> IMMResult:
     """Run the IMM sampling + node-selection skeleton.
 
     Parameters
@@ -138,6 +139,11 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
         When true, the final RR collection is returned on
         ``IMMResult.collection`` so callers can freeze it into a persistent
         index.
+    selection_strategy:
+        Greedy-selection strategy for the node-selection phases
+        (:data:`repro.rrsets.coverage.SELECTION_STRATEGIES`); all
+        strategies return bit-identical selections, so this only trades
+        selection speed.
     """
     options = options or IMMOptions()
     rng = ensure_rng(rng)
@@ -172,9 +178,7 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
             return
         if batch_sampler is not None:
             while into.num_sets < target:
-                for nodes, weight in batch_sampler(rng,
-                                                   target - into.num_sets):
-                    into.add(nodes, weight)
+                into.extend(batch_sampler(rng, target - into.num_sets))
             return
         while into.num_sets < target:
             nodes, weight = sampler(rng)
@@ -190,7 +194,8 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
         if x <= 0:
             break
         ensure_samples(lam_prime / x, collection)
-        selection = node_selection(collection, k)
+        selection = node_selection(collection, k,
+                                   strategy=selection_strategy)
         estimate = (num_nodes * selection.covered_weight
                     / max(collection.num_sets, 1))
         if estimate >= (1.0 + epsilon_prime) * x:
@@ -213,7 +218,8 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
     else:
         final_collection = collection
     ensure_samples(theta, final_collection)
-    selection = node_selection(final_collection, k)
+    selection = node_selection(final_collection, k,
+                               strategy=selection_strategy)
     scale = num_nodes / max(final_collection.num_sets, 1)
     if cap_hit:
         warnings.warn(
@@ -239,7 +245,8 @@ def imm(graph: DirectedGraph, k: int,
         rng: RngLike = None,
         engine: Optional[str] = None,
         workers: Optional[int] = None,
-        keep_collection: bool = False) -> IMMResult:
+        keep_collection: bool = False,
+        selection_strategy: Optional[str] = None) -> IMMResult:
     """Classic single-item IMM: ``(1 - 1/e - ε)``-approximate IM seeds.
 
     ``workers`` switches sampling to the deterministic sharded builder
@@ -265,7 +272,8 @@ def imm(graph: DirectedGraph, k: int,
                               options=options, rng=rng,
                               batch_sampler=batch_sampler,
                               parallel_sampler=parallel_sampler,
-                              keep_collection=keep_collection)
+                              keep_collection=keep_collection,
+                              selection_strategy=selection_strategy)
 
 
 def marginal_imm(graph: DirectedGraph, k: int, fixed_seeds: Set[int],
@@ -273,7 +281,8 @@ def marginal_imm(graph: DirectedGraph, k: int, fixed_seeds: Set[int],
                  rng: RngLike = None,
                  engine: Optional[str] = None,
                  workers: Optional[int] = None,
-                 keep_collection: bool = False) -> IMMResult:
+                 keep_collection: bool = False,
+                 selection_strategy: Optional[str] = None) -> IMMResult:
     """IMM on *marginal* RR sets: maximizes spread on top of ``fixed_seeds``."""
     blocked = set(int(v) for v in fixed_seeds)
 
@@ -297,7 +306,8 @@ def marginal_imm(graph: DirectedGraph, k: int, fixed_seeds: Set[int],
                               options=options, rng=rng,
                               batch_sampler=batch_sampler,
                               parallel_sampler=parallel_sampler,
-                              keep_collection=keep_collection)
+                              keep_collection=keep_collection,
+                              selection_strategy=selection_strategy)
 
 
 def _parallel_sampler(graph: DirectedGraph, kind: str, engine: Optional[str],

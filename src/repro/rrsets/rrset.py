@@ -247,6 +247,30 @@ class WeightedRRSampler:
         return [WeightedRRSet(nodes=nodes, weight=weight, root=root)
                 for nodes, weight, root in raw]
 
+    def sample_pairs(self, rng: RngLike = None, count: int = 1
+                     ) -> List[Tuple[np.ndarray, float]]:
+        """Sample ``count`` weighted RR sets as bare ``(nodes, weight)``
+        pairs.
+
+        The feed format of :meth:`RRCollection.extend
+        <repro.rrsets.coverage.RRCollection.extend>` and the IMM engine's
+        batch samplers — identical draws to :meth:`sample_batch` without
+        materializing the :class:`WeightedRRSet` wrappers.
+        """
+        rng = ensure_rng(rng)
+        count = int(count)
+        if count <= 0:
+            return []
+        if self._graph.num_nodes == 0:
+            return [(np.empty(0, dtype=np.int64), 0.0)
+                    for _ in range(count)]
+        from repro.engine.reverse import weighted_rr_sets
+
+        return [(nodes, weight)
+                for nodes, weight, _root in weighted_rr_sets(
+                    self._graph, self._node_block_utility,
+                    self._superior_utility, count, rng)]
+
 
 __all__ = [
     "random_rr_set",

@@ -24,10 +24,16 @@ class TestCelfGreedyWM:
                                 n_marginal_samples=10, candidate_pool=pool,
                                 rng=2)
         evaluations = result.details["marginal_evaluations"]
-        # at least the initial pass over all candidates, but far fewer than
-        # exhaustive greedy (#candidates x #selected)
-        assert evaluations >= 2 * len(pool)
-        assert evaluations <= 2 * len(pool) * 4
+        candidates = result.details["candidate_evaluations"]
+        # every candidate is still scored in the initial pass ...
+        assert candidates >= 2 * len(pool)
+        assert candidates <= 2 * len(pool) * 4
+        # ... but as one batched estimator call per item, so far fewer
+        # Monte-Carlo invocations than candidate scores
+        assert result.details["initial_pass_calls"] == 2
+        assert result.details["initial_pass_calls_saved"] == \
+            2 * (len(pool) - 1)
+        assert 2 <= evaluations < candidates
 
     def test_fewer_evaluations_than_exhaustive_greedy(self, small_er_graph):
         model = two_item_config("C1", noise_sigma=0.0)
@@ -37,7 +43,9 @@ class TestCelfGreedyWM:
                               n_marginal_samples=8, candidate_pool=pool,
                               rng=3)
         exhaustive_evaluations = len(pool) * 2 * sum(budgets.values())
-        assert celf.details["marginal_evaluations"] < exhaustive_evaluations
+        assert celf.details["candidate_evaluations"] < exhaustive_evaluations
+        assert celf.details["marginal_evaluations"] < \
+            celf.details["candidate_evaluations"]
 
     def test_quality_matches_greedy_wm_on_small_instance(self, star10):
         model = two_item_config("C1", noise_sigma=0.0)

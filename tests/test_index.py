@@ -367,7 +367,8 @@ class TestRRCollectionExtend:
         bulk.extend(pairs)
         assert bulk.num_sets == one.num_sets
         assert bulk.total_weight == pytest.approx(one.total_weight)
-        assert bulk._inverted == one._inverted
+        for bulk_arr, one_arr in zip(bulk._inverted(), one._inverted()):
+            np.testing.assert_array_equal(bulk_arr, one_arr)
         for k in (1, 5, 10):
             assert node_selection(bulk, k).seeds == \
                 node_selection(one, k).seeds

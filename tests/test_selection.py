@@ -1,0 +1,323 @@
+"""Equivalence suite for the CSR-native selection engine.
+
+The contract under test: the three ``node_selection`` strategies
+(``lazy`` / ``eager`` / ``reference``) return bit-identical
+:class:`SelectionResult` s — same seeds, same ``prefix_weights`` floats,
+same ``saturated_at`` — over any weighted RR collection, and the growable
+:class:`RRCollection`, its zero-copy :meth:`freeze` and the ``.npz``
+round-trip all preserve that identity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AlgorithmError
+from repro.index.frozen import FrozenRRIndex
+from repro.rrsets.coverage import (
+    SELECTION_ENV_VAR,
+    SELECTION_STRATEGIES,
+    RRCollection,
+    default_strategy,
+    node_selection,
+    resolve_strategy,
+)
+from repro.rrsets.imm import imm
+
+
+def random_collection(rng, num_nodes=12, num_sets=30, weighted=True,
+                      empty_fraction=0.15, zero_weight_fraction=0.1):
+    """A random weighted RR collection (with empty and zero-weight sets)."""
+    collection = RRCollection(num_nodes)
+    for _ in range(num_sets):
+        if rng.random() < empty_fraction:
+            nodes = np.empty(0, dtype=np.int64)
+        else:
+            size = int(rng.integers(1, min(6, num_nodes) + 1))
+            nodes = rng.choice(num_nodes, size=size, replace=False)
+        if rng.random() < zero_weight_fraction:
+            weight = 0.0
+        elif weighted:
+            weight = float(rng.random() * 5.0)
+        else:
+            weight = 1.0
+        collection.add(nodes.astype(np.int64), weight)
+    return collection
+
+
+def assert_identical(result_a, result_b):
+    """Bit-for-bit SelectionResult equality (no approx anywhere)."""
+    assert result_a.seeds == result_b.seeds
+    assert len(result_a.prefix_weights) == len(result_b.prefix_weights)
+    for weight_a, weight_b in zip(result_a.prefix_weights,
+                                  result_b.prefix_weights):
+        assert weight_a == weight_b
+    assert result_a.covered_weight == result_b.covered_weight
+    assert result_a.saturated_at == result_b.saturated_at
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_lazy_eager_reference_bit_identical(self, seed, weighted):
+        rng = np.random.default_rng(seed)
+        collection = random_collection(rng, weighted=weighted)
+        for k in (0, 1, 3, 7, 12):
+            results = {strategy: node_selection(collection, k,
+                                                strategy=strategy)
+                       for strategy in SELECTION_STRATEGIES}
+            assert_identical(results["lazy"], results["reference"])
+            assert_identical(results["eager"], results["reference"])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_frozen_matches_growable(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        collection = random_collection(rng, num_nodes=15, num_sets=40)
+        frozen = collection.freeze()
+        for strategy in SELECTION_STRATEGIES:
+            for k in (1, 4, 9):
+                assert_identical(
+                    node_selection(collection, k, strategy=strategy),
+                    node_selection(frozen, k, strategy=strategy))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_extend_matches_add(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        reference = random_collection(rng, num_nodes=10, num_sets=25)
+        pairs = [(reference.set_members(i).copy(),
+                  float(reference.weights()[i]))
+                 for i in range(reference.num_sets)]
+        bulk = RRCollection(10)
+        bulk.extend(pairs)
+        assert bulk.total_weight == reference.total_weight
+        for k in (2, 6):
+            assert_identical(node_selection(bulk, k, strategy="lazy"),
+                             node_selection(reference, k, strategy="lazy"))
+
+    def test_equivalence_on_sampled_rr_sets(self, small_er_graph):
+        results = [imm(small_er_graph, 5, rng=7,
+                       selection_strategy=strategy)
+                   for strategy in SELECTION_STRATEGIES]
+        for other in results[1:]:
+            assert other.seeds == results[0].seeds
+            assert other.estimated_value == results[0].estimated_value
+            assert other.prefix_values == results[0].prefix_values
+
+
+# property-based: the strategies agree on arbitrary weighted instances
+rr_sets_strategy = st.lists(
+    st.tuples(st.lists(st.integers(min_value=0, max_value=9), min_size=0,
+                       max_size=5, unique=True),
+              st.floats(min_value=0.0, max_value=10.0)),
+    min_size=1, max_size=20)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sets=rr_sets_strategy, k=st.integers(min_value=0, max_value=11))
+def test_property_strategies_bit_identical(sets, k):
+    collection = RRCollection(10)
+    for nodes, weight in sets:
+        collection.add(np.array(nodes, dtype=np.int64), weight)
+    frozen = collection.freeze()
+    reference = node_selection(collection, k, strategy="reference")
+    for holder in (collection, frozen):
+        for strategy in ("lazy", "eager"):
+            assert_identical(node_selection(holder, k, strategy=strategy),
+                             reference)
+
+
+class TestSaturation:
+    def make_saturating(self):
+        # only nodes 0 and 1 ever cover anything; nodes 2, 3 are padding
+        collection = RRCollection(4)
+        collection.add(np.array([0]), 2.0)
+        collection.add(np.array([0, 1]), 1.0)
+        collection.add(np.array([1]), 1.0)
+        return collection
+
+    @pytest.mark.parametrize("strategy", SELECTION_STRATEGIES)
+    def test_pad_keeps_k_seeds_and_reports_saturation(self, strategy):
+        result = node_selection(self.make_saturating(), 4,
+                                strategy=strategy)
+        assert result.seeds == [0, 1, 2, 3]  # zero-gain pad: lowest ids
+        assert result.saturated_at == 2
+        assert result.prefix_weights == [3.0, 4.0, 4.0, 4.0]
+
+    @pytest.mark.parametrize("strategy", SELECTION_STRATEGIES)
+    def test_stop_truncates_at_saturation(self, strategy):
+        result = node_selection(self.make_saturating(), 4,
+                                strategy=strategy, on_saturation="stop")
+        assert result.seeds == [0, 1]
+        assert result.saturated_at == 2
+        assert result.prefix_weights == [3.0, 4.0]
+        assert result.covered_weight == 4.0
+
+    @pytest.mark.parametrize("strategy", SELECTION_STRATEGIES)
+    def test_unsaturated_selection_reports_none(self, strategy):
+        collection = RRCollection(3)
+        for node in range(3):
+            collection.add(np.array([node]), 1.0)
+        result = node_selection(collection, 2, strategy=strategy)
+        assert result.saturated_at is None
+
+    @pytest.mark.parametrize("strategy", SELECTION_STRATEGIES)
+    def test_saturation_detected_despite_float_residue(self, strategy):
+        # incremental subtraction can leave ~1-ulp residue on the gains of
+        # fully covered nodes (0.1 + 0.3 summed forward, subtracted in
+        # coverage order); saturation must still be detected because the
+        # pick covers no new set
+        collection = RRCollection(3)
+        collection.add(np.array([0, 2]), 0.1)
+        collection.add(np.array([1, 2]), 0.3)
+        collection.add(np.array([0]), 5.0)
+        collection.add(np.array([1]), 4.0)
+        result = node_selection(collection, 3, strategy=strategy)
+        assert result.seeds == [0, 1, 2]
+        assert result.saturated_at == 2
+        stopped = node_selection(collection, 3, strategy=strategy,
+                                 on_saturation="stop")
+        assert stopped.seeds == [0, 1]
+        assert stopped.saturated_at == 2
+
+    def test_pad_preserves_prefix_semantics(self):
+        # the padded tail still makes every prefix a greedy solution,
+        # which is what PRIMA+/SeqGRD budget exhaustion relies on
+        collection = self.make_saturating()
+        full = node_selection(collection, 4)
+        for k in range(1, 5):
+            assert node_selection(collection, k).seeds == full.prefix(k)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(AlgorithmError):
+            node_selection(RRCollection(2), 1, on_saturation="explode")
+
+
+class TestPackedStore:
+    def test_average_set_size_running_totals(self):
+        collection = RRCollection(6)
+        collection.add(np.array([0, 1]), 1.0)
+        collection.add(np.empty(0, dtype=np.int64), 1.0)
+        collection.extend([(np.array([2, 3, 4]), 1.0),
+                           (np.array([5]), 0.0)])
+        assert collection.average_set_size() == pytest.approx(6 / 4)
+        assert RRCollection(3).average_set_size() == 0.0
+
+    def test_freeze_is_zero_copy(self):
+        rng = np.random.default_rng(5)
+        collection = random_collection(rng, num_nodes=8, num_sets=20)
+        frozen = collection.freeze()
+        assert np.shares_memory(frozen._nodes, collection._members)
+        assert np.shares_memory(frozen._weights, collection._weights)
+        assert np.shares_memory(frozen._offsets, collection._offsets)
+
+    def test_growing_after_freeze_leaves_frozen_intact(self):
+        collection = RRCollection(5)
+        collection.add(np.array([0, 1]), 1.0)
+        frozen = collection.freeze()
+        nodes_before = frozen._nodes.copy()
+        for _ in range(50):  # force several buffer doublings
+            collection.add(np.array([2, 3, 4]), 1.0)
+        np.testing.assert_array_equal(frozen._nodes, nodes_before)
+        assert frozen.num_sets == 1
+        assert collection.num_sets == 51
+
+    def test_npz_round_trip_preserves_packed_buffers(self, tmp_path):
+        rng = np.random.default_rng(11)
+        collection = random_collection(rng, num_nodes=10, num_sets=35)
+        frozen = collection.freeze(meta={"sampler": "standard"})
+        frozen.save(tmp_path / "packed")
+        loaded = FrozenRRIndex.load(tmp_path / "packed")
+        np.testing.assert_array_equal(loaded._offsets, frozen._offsets)
+        np.testing.assert_array_equal(loaded._nodes, frozen._nodes)
+        np.testing.assert_array_equal(loaded._weights, frozen._weights)
+        np.testing.assert_array_equal(loaded._inv_offsets,
+                                      frozen._inv_offsets)
+        np.testing.assert_array_equal(loaded._inv_sets, frozen._inv_sets)
+        for strategy in SELECTION_STRATEGIES:
+            assert_identical(node_selection(loaded, 6, strategy=strategy),
+                             node_selection(collection, 6,
+                                            strategy=strategy))
+
+    def test_compact_freeze_copies_buffers(self):
+        rng = np.random.default_rng(19)
+        collection = random_collection(rng, num_nodes=8, num_sets=20)
+        frozen = collection.freeze(compact=True)
+        assert not np.shares_memory(frozen._nodes, collection._members)
+        assert_identical(node_selection(frozen, 4),
+                         node_selection(collection, 4))
+
+    def test_thawed_empty_index_can_grow(self):
+        # regression: _from_packed installs exactly-sized (possibly empty)
+        # buffers, and growth from zero capacity must still terminate
+        empty = RRCollection(5).freeze().to_collection()
+        empty.add(np.array([0, 1]), 1.0)
+        assert empty.num_sets == 1
+        all_empty = RRCollection(5)
+        all_empty.add(np.empty(0, dtype=np.int64), 1.0)
+        thawed = all_empty.freeze().to_collection()
+        thawed.add(np.array([2, 3]), 1.0)
+        assert thawed.num_sets == 2
+        assert list(thawed.set_members(1)) == [2, 3]
+
+    def test_thaw_round_trip(self):
+        rng = np.random.default_rng(13)
+        collection = random_collection(rng, num_nodes=9, num_sets=25)
+        thawed = collection.freeze().to_collection()
+        assert thawed.num_sets == collection.num_sets
+        assert thawed.average_set_size() == collection.average_set_size()
+        assert_identical(node_selection(thawed, 5),
+                         node_selection(collection, 5))
+
+    def test_duplicate_members_stay_equivalent(self):
+        # duplicated members duplicate postings; all strategies must still
+        # count each covered set's weight exactly once
+        collection = RRCollection(4)
+        collection.add(np.array([1, 1, 2]), 3.0)
+        collection.add(np.array([2, 3]), 1.0)
+        reference = node_selection(collection, 3, strategy="reference")
+        for strategy in ("lazy", "eager"):
+            assert_identical(node_selection(collection, 3,
+                                            strategy=strategy), reference)
+        assert reference.covered_weight == 4.0
+
+    def test_member_validation(self):
+        collection = RRCollection(4)
+        with pytest.raises(AlgorithmError):
+            collection.add(np.array([4]), 1.0)
+        with pytest.raises(AlgorithmError):
+            collection.extend([(np.array([-1]), 1.0)])
+
+    def test_initial_gains_matches_posting_sums(self):
+        rng = np.random.default_rng(17)
+        collection = random_collection(rng, num_nodes=8, num_sets=30)
+        gains = collection.initial_gains()
+        weights = collection.weights()
+        for node in range(8):
+            expected = sum(weights[i]
+                           for i in collection.sets_covered_by(node))
+            assert gains[node] == pytest.approx(expected)
+
+
+class TestStrategyResolution:
+    def test_default_is_lazy(self, monkeypatch):
+        monkeypatch.delenv(SELECTION_ENV_VAR, raising=False)
+        assert default_strategy() == "lazy"
+        assert resolve_strategy(None) == "lazy"
+
+    def test_env_var_override(self, monkeypatch):
+        monkeypatch.setenv(SELECTION_ENV_VAR, "eager")
+        assert resolve_strategy(None) == "eager"
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(SELECTION_ENV_VAR, "psychic")
+        with pytest.raises(ValueError):
+            default_strategy()
+
+    def test_invalid_argument_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_strategy("psychic")
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SELECTION_ENV_VAR, "reference")
+        assert resolve_strategy("eager") == "eager"
