@@ -79,7 +79,15 @@ from repro.exceptions import (
     GraphError,
     IndexStoreError,
     ReproError,
+    SpecError,
     UtilityModelError,
+)
+from repro.api import (
+    EngineConfig,
+    RunRecord,
+    RunSpec,
+    WorkloadSpec,
+    run as run_spec,
 )
 
 __version__ = "1.0.0"
@@ -132,6 +140,12 @@ __all__ = [
     "AllocationService",
     "build_index",
     "index_fingerprint",
+    # typed run specs (public API layer)
+    "WorkloadSpec",
+    "EngineConfig",
+    "RunSpec",
+    "RunRecord",
+    "run_spec",
     # utility models
     "ItemCatalog",
     "UtilityModel",
@@ -153,4 +167,5 @@ __all__ = [
     "AllocationError",
     "AlgorithmError",
     "IndexStoreError",
+    "SpecError",
 ]

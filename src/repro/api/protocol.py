@@ -1,0 +1,223 @@
+"""Versioned request/response protocol for ``repro serve``.
+
+A v1 request wraps a :class:`~repro.api.specs.RunSpec` dictionary::
+
+    {"v": 1, "id": 7, "spec": {"algorithm": "SeqGRD-NM",
+                               "workload": {...}, "engine": {...}}}
+
+and the response round-trips the spec (``RunSpec.from_dict(response["spec"])
+== RunSpec.from_dict(request["spec"])``) alongside the result::
+
+    {"v": 1, "id": 7, "ok": true, "spec": {...}, "fingerprint": "...",
+     "algorithm": "SeqGRD-NM", "budgets": {...}, "allocation": {...},
+     "welfare": 123.4, "cached": false,
+     "timings": {"latency_ms": 0.8}}
+
+Errors never kill the serving loop; they come back as an envelope::
+
+    {"v": 1, "ok": false,
+     "error": {"code": "unsupported-version" | "malformed-request" |
+               "invalid-spec" | "incompatible-spec" |
+               "unsupported-algorithm",
+               "message": "..."}}
+
+The served allocation is **bit-identical** to a direct ``repro run`` of the
+same spec, provided the loaded index was built for that spec — which is
+exactly what the compatibility check enforces: the spec's workload and
+engine knobs must match the index manifest (the legacy un-versioned dialect
+of :meth:`AllocationService.handle_request` remains available for raw
+budget queries).  Responses are LRU-cached on
+:meth:`RunSpec.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.api.specs import RunSpec
+from repro.exceptions import ReproError, SpecError
+
+#: the protocol version this build speaks
+PROTOCOL_VERSION = 1
+
+#: algorithms servable from a prebuilt index through the v1 protocol
+SERVABLE_ALGORITHMS = ("SeqGRD-NM", "SupGRD")
+
+
+def make_request(spec: RunSpec,
+                 request_id: Optional[Any] = None) -> Dict[str, Any]:
+    """Build a v1 serve request for ``spec``."""
+    request: Dict[str, Any] = {"v": PROTOCOL_VERSION, "spec": spec.to_dict()}
+    if request_id is not None:
+        request["id"] = request_id
+    return request
+
+
+def error_response(code: str, message: str,
+                   request_id: Optional[Any] = None) -> Dict[str, Any]:
+    """Build a v1 error envelope."""
+    response: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def _mismatch(label: str, requested: Any, built: Any) -> str:
+    return (f"spec {label} is {requested!r} but the loaded index was "
+            f"built with {built!r}; rebuild the index or adjust the spec")
+
+
+def index_mismatch(spec: RunSpec, meta: Mapping[str, Any]) -> Optional[str]:
+    """Why ``spec`` cannot be served from an index with manifest ``meta``.
+
+    Returns ``None`` when compatible.  The checks mirror what makes served
+    allocations bit-identical to a direct run: same network, scale,
+    configuration, seed, IMM accuracy knobs, engine, fixed-IMM workload
+    and sampling mode (serial vs. sharded — RR-set *contents* are
+    worker-count-invariant, but the serial and sharded streams differ).
+    """
+    resolved = spec.resolve()
+    workload, engine = resolved.workload, resolved.engine
+    options = meta.get("options") or {}
+    checks = (
+        ("network", workload.network, meta.get("network")),
+        ("configuration", workload.configuration, meta.get("configuration")),
+        ("scale", workload.scale, meta.get("scale")),
+        ("seed", engine.seed, meta.get("seed")),
+        ("epsilon", engine.epsilon, options.get("epsilon")),
+        ("ell", engine.ell, options.get("ell")),
+        ("max_rr_sets", engine.max_rr_sets, options.get("max_rr_sets")),
+        ("engine", engine.engine, meta.get("engine")),
+        ("fixed_imm_item", workload.fixed_imm_item,
+         meta.get("fixed_imm_item")),
+        ("sharded sampling", engine.workers is not None,
+         meta.get("workers") is not None),
+    )
+    for label, requested, built in checks:
+        if built is None and label in ("scale", "fixed_imm_item"):
+            if requested is None:
+                continue
+            return _mismatch(label, requested, built)
+        if requested != built:
+            return _mismatch(label, requested, built)
+    if workload.fixed_imm_item is not None:
+        built_budget = meta.get("fixed_imm_budget")
+        if workload.fixed_imm_budget != built_budget:
+            return _mismatch("fixed_imm_budget", workload.fixed_imm_budget,
+                             built_budget)
+    else:
+        # an explicit fixed allocation must match the one the index was
+        # sampled against (when fixed_imm_item is set, the manifest's
+        # fixed seeds are that item's IMM seeds and the checks above
+        # already pin them via item + budget + seed)
+        spec_fixed = {item: [int(v) for v in nodes] for item, nodes
+                      in (workload.fixed_allocation or {}).items()}
+        built_fixed = {item: [int(v) for v in nodes] for item, nodes
+                       in ((meta.get("fingerprint_extra") or {})
+                           .get("fixed") or {}).items()}
+        if spec_fixed != built_fixed:
+            return _mismatch("fixed_allocation", spec_fixed, built_fixed)
+    return None
+
+
+def handle_versioned_request(service, request: Mapping[str, Any]
+                             ) -> Dict[str, Any]:
+    """Answer one versioned (``"v" in request``) serve request.
+
+    ``service`` is the :class:`~repro.index.service.AllocationService` the
+    loop runs against.  Never raises: every failure becomes an error
+    envelope so one bad request cannot kill the serving loop.
+    """
+    request_id = request.get("id")
+    version = request.get("v")
+    if version != PROTOCOL_VERSION:
+        return error_response(
+            "unsupported-version",
+            f"protocol version {version!r} is not supported; "
+            f"supported versions: [{PROTOCOL_VERSION}]", request_id)
+    spec_dict = request.get("spec")
+    if not isinstance(spec_dict, Mapping):
+        return error_response(
+            "malformed-request",
+            "a v1 request needs a 'spec' object: "
+            '{"v": 1, "spec": {"algorithm": ..., "workload": ..., '
+            '"engine": ...}}', request_id)
+    try:
+        spec = RunSpec.from_dict(spec_dict)
+    except SpecError as error:
+        return error_response("invalid-spec", str(error), request_id)
+    if spec.algorithm not in SERVABLE_ALGORITHMS:
+        return error_response(
+            "unsupported-algorithm",
+            f"{spec.algorithm} cannot be served from a prebuilt index; "
+            f"servable algorithms: {list(SERVABLE_ALGORITHMS)}", request_id)
+    if service.model is None:
+        return error_response(
+            "invalid-spec",
+            f"{spec.algorithm} requests need the service to hold the "
+            f"graph and utility model (repro serve rebuilds them from the "
+            f"index manifest)", request_id)
+    try:
+        # the manifest comparison pins the configuration, so item names
+        # validate against the service's already-loaded model instead of
+        # rebuilding a catalog model on every request
+        mismatch = index_mismatch(spec, service.index.meta)
+        if mismatch is not None:
+            return error_response("incompatible-spec", mismatch, request_id)
+        spec.validate(items=tuple(service.model.items), catalog=False)
+    except ReproError as error:
+        return error_response("invalid-spec", str(error), request_id)
+
+    started = time.perf_counter()
+    fingerprint = spec.fingerprint()
+    cached = service.cached_spec_response(fingerprint)
+    if cached is not None:
+        payload = dict(cached, cached=True)
+    else:
+        from repro.api.registry import get_algorithm
+        from repro.api.runner import narrow_single_item_budgets
+
+        budgets = spec.workload.resolved_budgets(service.model.items)
+        if get_algorithm(spec.algorithm).single_item:
+            budgets = narrow_single_item_budgets(
+                budgets, spec.workload.superior_item)
+        try:
+            payload = service.query(spec.algorithm, budgets=budgets)
+        except ReproError as error:
+            return error_response("invalid-spec", str(error), request_id)
+        payload.pop("cached", None)
+        service.store_spec_response(fingerprint, payload)
+        payload = dict(payload, cached=False)
+
+    response: Dict[str, Any] = {"v": PROTOCOL_VERSION, "ok": True}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(
+        spec=spec.to_dict(),
+        fingerprint=fingerprint,
+        algorithm=payload["algorithm"],
+        budgets=payload["budgets"],
+        allocation=payload["allocation"],
+        welfare=payload["estimated_value"],
+        cached=payload["cached"],
+        timings={
+            "latency_ms": round((time.perf_counter() - started) * 1e3, 3),
+            "num_rr_sets": payload.get("num_rr_sets"),
+        },
+    )
+    return response
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SERVABLE_ALGORITHMS",
+    "make_request",
+    "error_response",
+    "index_mismatch",
+    "handle_versioned_request",
+]

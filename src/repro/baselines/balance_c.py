@@ -145,4 +145,14 @@ def balance_c(graph: DirectedGraph, model: UtilityModel,
     )
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("Balance-C", order=6, needs_candidate_pool=True)
+def _run_balance_c(ctx: RunContext):
+    return balance_c(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                     n_objective_samples=max(10, ctx.marginal_samples // 3),
+                     candidate_pool=ctx.candidate_pool, rng=ctx.rng)
+
+
 __all__ = ["balance_c", "balanced_exposure"]

@@ -115,4 +115,15 @@ def greedy_wm(graph: DirectedGraph, model: UtilityModel,
     )
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("greedyWM", order=4, needs_candidate_pool=True)
+def _run_greedy_wm(ctx: RunContext):
+    return greedy_wm(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                     n_marginal_samples=ctx.marginal_samples,
+                     candidate_pool=ctx.candidate_pool, rng=ctx.rng,
+                     engine=ctx.engine)
+
+
 __all__ = ["greedy_wm"]

@@ -185,4 +185,20 @@ def random_allocation(graph: DirectedGraph, model: UtilityModel,
                             runtime_seconds=time.perf_counter() - start)
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("Round-robin", order=7)
+def _run_round_robin(ctx: RunContext):
+    return round_robin(ctx.graph, ctx.model, ctx.budgets,
+                       ctx.fixed_allocation, options=ctx.options,
+                       rng=ctx.rng, engine=ctx.engine)
+
+
+@register_algorithm("Snake", order=8)
+def _run_snake(ctx: RunContext):
+    return snake(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                 options=ctx.options, rng=ctx.rng, engine=ctx.engine)
+
+
 __all__ = ["round_robin", "snake", "degree_allocation", "random_allocation"]

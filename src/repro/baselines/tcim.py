@@ -101,4 +101,14 @@ def tcim(graph: DirectedGraph, model: UtilityModel,
     )
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("TCIM", order=5)
+def _run_tcim(ctx: RunContext):
+    return tcim(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                n_evaluation_samples=max(20, ctx.marginal_samples),
+                options=ctx.options, rng=ctx.rng)
+
+
 __all__ = ["tcim"]

@@ -15,25 +15,41 @@ or a job scheduler without writing Python:
   collection of a run as an on-disk index, then answer allocation queries
   against it without resampling (stale indexes are fingerprint-rejected).
 * ``repro serve`` — long-lived JSON-lines allocation service over a loaded
-  index (one request per stdin line, one response per stdout line).
+  index; speaks both the versioned :mod:`repro.api.protocol` dialect
+  (``{"v": 1, "spec": {...}}``) and the legacy ``{"op": "query", ...}``
+  dialect.
 
-Invoke with ``python -m repro.cli <command> --help`` for per-command options.
+The ``run``/``index build``/``index query``/``serve`` subcommands share
+argument groups generated from the :class:`~repro.api.WorkloadSpec` and
+:class:`~repro.api.EngineConfig` dataclass fields (see
+:mod:`repro.api.cliargs`), so every workload/engine knob is declared once.
+
+Invoke with ``python -m repro <command> --help`` (or ``python -m
+repro.cli``) for per-command options.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.allocation import Allocation
-from repro.baselines import greedy_wm, round_robin, snake, tcim
-from repro.core import best_of, maxgrd, seqgrd, seqgrd_nm, supgrd
+from repro.api.cliargs import (
+    add_algorithm_argument,
+    add_engine_arguments,
+    add_spec_arguments,
+    add_workload_arguments,
+    budgets_argument,
+    engine_from_args,
+    runspec_from_args,
+    workload_from_args,
+)
+from repro.api.runner import load_graph, resolve_workload, run as run_spec
+from repro.api.specs import EngineConfig, WorkloadSpec
 from repro.diffusion.estimators import estimate_welfare
-from repro.engine.config import ENGINE_ENV_VAR
 from repro.exceptions import IndexStoreError, ReproError
 from repro.experiments import (
     figure3,
@@ -50,7 +66,7 @@ from repro.experiments import (
     table6,
 )
 from repro.graphs.datasets import NETWORKS, load_network, network_statistics
-from repro.graphs.loaders import read_edge_list, write_edge_list
+from repro.graphs.loaders import write_edge_list
 from repro.index import (
     SAMPLER_KINDS,
     AllocationService,
@@ -58,30 +74,8 @@ from repro.index import (
     build_index,
     expected_index_fingerprint,
 )
-from repro.rrsets.imm import IMMOptions, imm
-from repro.utility.configs import (
-    blocking_config,
-    lastfm_config,
-    multi_item_config,
-    single_item_config,
-    two_item_config,
-)
-from repro.utility.learning import learn_utilities, utility_model_from_logs
-
-#: configuration name -> factory used by ``repro run``
-CONFIGURATIONS = {
-    "C1": lambda: two_item_config("C1"),
-    "C2": lambda: two_item_config("C2"),
-    "C3": lambda: two_item_config("C3"),
-    "C4": lambda: two_item_config("C4"),
-    "C5": lambda: two_item_config("C5"),
-    "C6": lambda: two_item_config("C6"),
-    "blocking": blocking_config,
-    "lastfm": lastfm_config,
-    "single": single_item_config,
-    "multi3": lambda: multi_item_config(3),
-    "multi5": lambda: multi_item_config(5),
-}
+from repro.utility.configs import CONFIGURATIONS, configuration_model
+from repro.utility.learning import learn_utilities
 
 #: experiment name -> callable used by ``repro experiment``
 EXPERIMENTS = {
@@ -127,45 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     # run ----------------------------------------------------------------
     run = sub.add_parser("run", help="run one seed-selection algorithm")
-    run.add_argument("--algorithm", default="SeqGRD-NM",
-                     choices=["SeqGRD", "SeqGRD-NM", "MaxGRD", "SupGRD",
-                              "BestOf", "greedyWM", "TCIM", "Round-robin",
-                              "Snake"])
-    run.add_argument("--network", default="nethept",
-                     help="benchmark network name or path to an edge list")
-    run.add_argument("--scale", type=float, default=None)
-    run.add_argument("--configuration", default="C1",
-                     choices=sorted(CONFIGURATIONS))
-    run.add_argument("--budget", type=int, default=10,
-                     help="seed budget per item")
-    run.add_argument("--budgets", type=str, default=None,
-                     help='per-item budgets as JSON, e.g. \'{"i": 10, "j": 5}\'')
-    run.add_argument("--fixed-imm-item", type=str, default=None,
-                     help="item whose seeds are pre-fixed to the top IMM nodes")
-    run.add_argument("--fixed-imm-budget", type=int, default=50)
-    run.add_argument("--samples", type=int, default=300,
-                     help="Monte-Carlo samples for the final welfare estimate")
-    run.add_argument("--marginal-samples", type=int, default=100)
-    run.add_argument("--max-rr-sets", type=int, default=100_000)
-    run.add_argument("--epsilon", type=float, default=0.5)
-    run.add_argument("--ell", type=float, default=1.0)
-    run.add_argument("--seed", type=int, default=2020)
-    run.add_argument("--engine", choices=["python", "vectorized"],
-                     default=None,
-                     help="Monte-Carlo engine: the scalar reference "
-                          "('python') or the batched vectorized engine "
-                          "(the default)")
-    run.add_argument("--selection-strategy",
-                     choices=["lazy", "eager", "reference"], default=None,
-                     help="greedy node-selection strategy (SeqGRD/"
-                          "SeqGRD-NM/MaxGRD/SupGRD): CELF-style lazy "
-                          "greedy (the default), the vectorized eager "
-                          "greedy, or the pure-Python reference loop — "
-                          "all three return bit-identical allocations")
-    run.add_argument("--workers", type=int, default=None,
-                     help="sample RR sets with this many worker processes "
-                          "(SeqGRD/SeqGRD-NM/SupGRD; results are identical "
-                          "for any worker count at a fixed seed)")
+    add_algorithm_argument(run)
+    add_workload_arguments(run)
+    add_engine_arguments(run)
     run.add_argument("--json", action="store_true",
                      help="print machine-readable JSON instead of text")
 
@@ -179,37 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--out", type=Path, required=True,
                        help="index path stem (writes <out>.npz + "
                             "<out>.manifest.json)")
-    build.add_argument("--network", default="nethept")
-    build.add_argument("--scale", type=float, default=None)
-    build.add_argument("--configuration", default="C1",
-                       choices=sorted(CONFIGURATIONS))
     build.add_argument("--sampler", default="marginal",
                        choices=sorted(SAMPLER_KINDS),
                        help="RR-set kind: 'marginal' serves SeqGRD-NM, "
                             "'weighted' serves SupGRD, 'standard' serves "
                             "plain top-k selection")
-    build.add_argument("--budget", type=int, default=10)
-    build.add_argument("--budgets", type=str, default=None,
-                       help='per-item budgets as JSON, e.g. '
-                            '\'{"i": 10, "j": 5}\'')
-    build.add_argument("--fixed-imm-item", type=str, default=None)
-    build.add_argument("--fixed-imm-budget", type=int, default=50)
-    build.add_argument("--max-rr-sets", type=int, default=100_000)
-    build.add_argument("--epsilon", type=float, default=0.5)
-    build.add_argument("--ell", type=float, default=1.0)
-    build.add_argument("--seed", type=int, default=2020)
-    build.add_argument("--workers", type=int, default=None,
-                       help="worker processes for sampling (the index is "
-                            "identical for any worker count; omit for the "
-                            "serial stream, matching `repro run` without "
-                            "--workers)")
-    build.add_argument("--engine", choices=["python", "vectorized"],
-                       default=None)
-    build.add_argument("--selection-strategy",
-                       choices=["lazy", "eager", "reference"], default=None,
-                       help="greedy strategy for the build's selection "
-                            "phases (the stored index is identical either "
-                            "way)")
+    add_workload_arguments(build)
+    add_engine_arguments(build, exclude=("samples", "marginal_samples",
+                                         "pool_size"))
     build.add_argument("--json", action="store_true")
 
     query = index_sub.add_parser(
@@ -221,30 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="defaults to the algorithm the index was "
                             "built for")
     query.add_argument("--budget", type=int, default=None)
-    query.add_argument("--budgets", type=str, default=None)
+    query.add_argument("--budgets", type=budgets_argument, default=None,
+                       help="per-item budgets as JSON "
+                            "('{\"i\": 10, \"j\": 5}') or pairs "
+                            "('i=10,j=5')")
     query.add_argument("--samples", type=int, default=0,
                        help="Monte-Carlo samples for an optional welfare "
                             "estimate of the served allocation (0 = skip)")
     query.add_argument("--no-verify", action="store_true",
                        help="skip the fingerprint check against the "
                             "freshly rebuilt graph/configuration")
-    query.add_argument("--selection-strategy",
-                       choices=["lazy", "eager", "reference"], default=None,
-                       help="greedy strategy answering the query "
-                            "(bit-identical allocations either way)")
+    add_spec_arguments(query, EngineConfig, include=("selection_strategy",))
     query.add_argument("--json", action="store_true")
 
     # serve --------------------------------------------------------------
     serve = sub.add_parser(
-        "serve", help="JSON-lines allocation service over a persisted index")
+        "serve", help="JSON-lines allocation service over a persisted "
+                      "index (versioned {'v': 1, 'spec': ...} protocol "
+                      "plus the legacy {'op': ...} dialect)")
     serve.add_argument("--index", type=Path, required=True)
     serve.add_argument("--cache-size", type=int, default=128,
                        help="LRU capacity for distinct query results")
     serve.add_argument("--no-verify", action="store_true")
-    serve.add_argument("--selection-strategy",
-                       choices=["lazy", "eager", "reference"], default=None,
-                       help="greedy strategy answering queries "
-                            "(bit-identical allocations either way)")
+    add_spec_arguments(serve, EngineConfig, include=("selection_strategy",))
 
     # experiment ---------------------------------------------------------
     experiment = sub.add_parser("experiment",
@@ -302,112 +236,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_graph(name_or_path: str, scale: Optional[float], seed: int):
-    path = Path(name_or_path)
-    if path.exists():
-        return read_edge_list(path)
-    return load_network(name_or_path, scale=scale, rng=seed)
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.engine:
-        # flip the default engine of every estimator/sampler for the
-        # duration of this run only (restored on exit so in-process
-        # embedders are not affected)
-        previous = os.environ.get(ENGINE_ENV_VAR)
-        os.environ[ENGINE_ENV_VAR] = args.engine
-        try:
-            return _cmd_run_inner(args)
-        finally:
-            if previous is None:
-                os.environ.pop(ENGINE_ENV_VAR, None)
-            else:
-                os.environ[ENGINE_ENV_VAR] = previous
-    return _cmd_run_inner(args)
+    spec = runspec_from_args(args)
+    model = configuration_model(spec.workload.configuration)
+    spec.validate(items=tuple(model.items))
+    graph = load_graph(spec.workload, spec.engine.seed)
+    record = run_spec(spec, graph=graph, model=model)
+    result = record.result
 
-
-def _resolve_workload(args: argparse.Namespace, graph, model,
-                      options: IMMOptions):
-    """Shared ``repro run`` / ``repro index build`` workload resolution.
-
-    Returns the per-item budget vector and the fixed allocation (the top
-    IMM seeds of ``--fixed-imm-item``, removed from the budgets).  Both
-    commands must resolve these identically so a built index reproduces the
-    direct run bit for bit.
-    """
-    if args.budgets:
-        budgets: Dict[str, int] = {str(k): int(v)
-                                   for k, v in json.loads(args.budgets).items()}
-    else:
-        budgets = {item: args.budget for item in model.items}
-
-    fixed = Allocation.empty()
-    if args.fixed_imm_item:
-        fixed_item = args.fixed_imm_item
-        seeds = imm(graph, args.fixed_imm_budget, options=options,
-                    rng=args.seed, engine=args.engine).seeds
-        fixed = Allocation({fixed_item: seeds})
-        budgets.pop(fixed_item, None)
-    return budgets, fixed
-
-
-def _cmd_run_inner(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.network, args.scale, args.seed)
-    model = CONFIGURATIONS[args.configuration]()
-    options = IMMOptions(epsilon=args.epsilon, ell=args.ell,
-                         max_rr_sets=args.max_rr_sets)
-    budgets, fixed = _resolve_workload(args, graph, model, options)
-
-    algorithm = args.algorithm
-    common = dict(options=options, rng=args.seed)
-    workers = dict(workers=args.workers)
-    selection = dict(selection_strategy=args.selection_strategy)
-    if algorithm == "SeqGRD":
-        result = seqgrd(graph, model, budgets, fixed,
-                        n_marginal_samples=args.marginal_samples,
-                        **common, **workers, **selection)
-    elif algorithm == "SeqGRD-NM":
-        result = seqgrd_nm(graph, model, budgets, fixed, **common, **workers,
-                           **selection)
-    elif algorithm == "MaxGRD":
-        result = maxgrd(graph, model, budgets, fixed,
-                        n_marginal_samples=args.marginal_samples, **common,
-                        **selection)
-    elif algorithm == "SupGRD":
-        ((item, budget),) = budgets.items() if len(budgets) == 1 else \
-            (max(budgets.items(), key=lambda kv: kv[1]),)
-        result = supgrd(graph, model, budget, fixed, superior_item=item,
-                        enforce_preconditions=False, **common, **workers,
-                        **selection)
-    elif algorithm == "BestOf":
-        result = best_of(graph, model, budgets, fixed,
-                         n_marginal_samples=args.marginal_samples,
-                         n_evaluation_samples=args.samples, **common)
-    elif algorithm == "greedyWM":
-        result = greedy_wm(graph, model, budgets, fixed,
-                           n_marginal_samples=args.marginal_samples,
-                           rng=args.seed)
-    elif algorithm == "TCIM":
-        result = tcim(graph, model, budgets, fixed, **common)
-    elif algorithm == "Round-robin":
-        result = round_robin(graph, model, budgets, fixed, **common)
-    else:  # Snake
-        result = snake(graph, model, budgets, fixed, **common)
-
-    welfare = estimate_welfare(graph, model, result.combined_allocation(),
-                               n_samples=args.samples, rng=args.seed)
     payload = {
         "algorithm": result.algorithm,
         "network": graph.name,
-        "configuration": args.configuration,
-        "budgets": budgets,
+        "configuration": spec.workload.configuration,
+        "budgets": record.budgets,
         "runtime_seconds": round(result.runtime_seconds, 4),
-        "expected_welfare": round(welfare.mean, 3),
-        "welfare_std_error": round(welfare.std_error, 3),
+        "expected_welfare": round(record.welfare, 3),
+        "welfare_std_error": round(record.welfare_std_error, 3),
         "adoption_counts": {k: round(v, 2)
-                            for k, v in welfare.adoption_counts.items()},
+                            for k, v in record.adoption_counts.items()},
         "allocation": {item: list(nodes)
                        for item, nodes in result.allocation.as_dict().items()},
+        "spec_fingerprint": spec.fingerprint(),
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -418,7 +267,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         print(f"configuration    : {payload['configuration']}")
         print(f"runtime          : {payload['runtime_seconds']} s")
         print(f"expected welfare : {payload['expected_welfare']} "
-              f"(± {1.96 * welfare.std_error:.2f})")
+              f"(± {1.96 * record.welfare_std_error:.2f})")
         for item, count in payload["adoption_counts"].items():
             print(f"  adopters of {item!r}: {count}")
         for item, nodes in payload["allocation"].items():
@@ -458,11 +307,15 @@ def _cmd_learn(args: argparse.Namespace) -> int:
 
 
 def _cmd_index_build(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.network, args.scale, args.seed)
-    model = CONFIGURATIONS[args.configuration]()
-    options = IMMOptions(epsilon=args.epsilon, ell=args.ell,
-                         max_rr_sets=args.max_rr_sets)
-    budgets, fixed = _resolve_workload(args, graph, model, options)
+    workload = workload_from_args(args)
+    engine = engine_from_args(args).resolve()
+    model = configuration_model(workload.configuration)
+    workload.validate(items=tuple(model.items))
+    graph = load_graph(workload, engine.seed)
+    options = engine.imm_options()
+    budgets, fixed = resolve_workload(workload, graph, model,
+                                      options=options, seed=engine.seed,
+                                      engine=engine.engine)
 
     superior_item = None
     if args.sampler == "weighted":
@@ -476,22 +329,22 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     index = build_index(
         graph, model, sampler=args.sampler, budgets=budgets,
         fixed_allocation=fixed, superior_item=superior_item,
-        options=options, seed=args.seed, workers=args.workers,
-        engine=args.engine, selection_strategy=args.selection_strategy,
+        options=options, seed=engine.seed, workers=engine.workers,
+        engine=engine.engine, selection_strategy=engine.selection_strategy,
         meta_extra={
-            "network": args.network,
-            "scale": args.scale,
-            "configuration": args.configuration,
-            "graph_seed": args.seed,
-            "fixed_imm_item": args.fixed_imm_item,
-            "fixed_imm_budget": args.fixed_imm_budget,
+            "network": workload.network,
+            "scale": workload.scale,
+            "configuration": workload.configuration,
+            "graph_seed": engine.seed,
+            "fixed_imm_item": workload.fixed_imm_item,
+            "fixed_imm_budget": workload.fixed_imm_budget,
         })
     npz_path, manifest_path = index.save(args.out)
     payload = {
         "index": str(npz_path),
         "manifest": str(manifest_path),
-        "network": args.network,
-        "configuration": args.configuration,
+        "network": workload.network,
+        "configuration": workload.configuration,
         "sampler": args.sampler,
         "algorithm": index.meta.get("algorithm"),
         "budgets": budgets,
@@ -534,9 +387,10 @@ def _load_service(index_path: Path, verify: bool,
             f"this CLI can rebuild (network={network!r}, "
             f"configuration={configuration!r}); query it in-process via "
             f"repro.index.AllocationService instead")
-    graph = _load_graph(str(network), meta.get("scale"),
-                        int(meta.get("graph_seed", meta.get("seed", 0))))
-    model = CONFIGURATIONS[configuration]()
+    graph = load_graph(
+        WorkloadSpec(network=str(network), scale=meta.get("scale")),
+        seed=int(meta.get("graph_seed", meta.get("seed", 0))))
+    model = configuration_model(str(configuration))
     if verify:
         expected = expected_index_fingerprint(graph, model, meta)
         if expected != index.fingerprint:
@@ -567,11 +421,7 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
     meta = service.index.meta
     algorithm = args.algorithm or _SERVE_ALGORITHMS.get(
         str(meta.get("algorithm")), "select")
-    budgets = None
-    if args.budgets:
-        budgets = {str(k): int(v)
-                   for k, v in json.loads(args.budgets).items()}
-    payload = service.query(algorithm, budgets=budgets, k=args.budget)
+    payload = service.query(algorithm, budgets=args.budgets, k=args.budget)
     payload.update(network=graph.name,
                    configuration=meta.get("configuration"))
     if args.samples > 0:
@@ -609,7 +459,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     meta = service.index.meta
     print(f"serving {meta.get('sampler')} index "
           f"({service.index.num_sets} RR sets, {graph.name}) — one JSON "
-          f"request per line on stdin, e.g. "
+          f"request per line on stdin: versioned "
+          f'{{"v": 1, "spec": {{...}}}} (see repro.api.protocol) or legacy '
           f'{{"op": "query", "budgets": {{"i": 5}}}}',
           file=sys.stderr, flush=True)
     for line in sys.stdin:

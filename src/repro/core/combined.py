@@ -72,4 +72,15 @@ def best_of(graph: DirectedGraph, model: UtilityModel,
     )
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("BestOf", order=9, in_experiments=False)
+def _run_best_of(ctx: RunContext):
+    return best_of(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                   n_marginal_samples=ctx.marginal_samples,
+                   n_evaluation_samples=ctx.samples,
+                   options=ctx.options, rng=ctx.rng)
+
+
 __all__ = ["best_of"]

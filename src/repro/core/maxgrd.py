@@ -109,4 +109,15 @@ def maxgrd(graph: DirectedGraph, model: UtilityModel,
     )
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("MaxGRD", order=2, supports_selection_strategy=True)
+def _run_maxgrd(ctx: RunContext):
+    return maxgrd(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                  n_marginal_samples=ctx.marginal_samples,
+                  options=ctx.options, rng=ctx.rng, engine=ctx.engine,
+                  selection_strategy=ctx.selection_strategy)
+
+
 __all__ = ["maxgrd"]

@@ -242,4 +242,27 @@ def _check_item_split(budgets: Mapping[str, int],
             f"in the fixed allocation; I1 and I2 must be disjoint")
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("SeqGRD", order=0, supports_index=True,
+                    supports_selection_strategy=True, supports_workers=True)
+def _run_seqgrd(ctx: RunContext):
+    return seqgrd(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                  marginal_check=True,
+                  n_marginal_samples=ctx.marginal_samples,
+                  options=ctx.options, rng=ctx.rng, engine=ctx.engine,
+                  workers=ctx.workers, index=ctx.index,
+                  selection_strategy=ctx.selection_strategy)
+
+
+@register_algorithm("SeqGRD-NM", order=1, supports_index=True,
+                    supports_selection_strategy=True, supports_workers=True)
+def _run_seqgrd_nm(ctx: RunContext):
+    return seqgrd_nm(ctx.graph, ctx.model, ctx.budgets, ctx.fixed_allocation,
+                     options=ctx.options, rng=ctx.rng, engine=ctx.engine,
+                     workers=ctx.workers, index=ctx.index,
+                     selection_strategy=ctx.selection_strategy)
+
+
 __all__ = ["seqgrd", "seqgrd_nm"]

@@ -272,4 +272,22 @@ def _check_preconditions(model: UtilityModel, superior_item: str,
             "(every multi-item bundle must have negative utility)")
 
 
+from repro.api.registry import RunContext, register_algorithm  # noqa: E402
+
+
+@register_algorithm("SupGRD", order=3, supports_index=True,
+                    supports_selection_strategy=True, supports_workers=True,
+                    single_item=True)
+def _run_supgrd(ctx: RunContext):
+    if len(ctx.budgets) != 1:
+        raise AlgorithmError("SupGRD allocates exactly one item")
+    ((item, budget),) = ctx.budgets.items()
+    return supgrd(ctx.graph, ctx.model, budget, ctx.fixed_allocation,
+                  superior_item=ctx.superior_item or item,
+                  enforce_preconditions=False,
+                  options=ctx.options, rng=ctx.rng, engine=ctx.engine,
+                  workers=ctx.workers, index=ctx.index,
+                  selection_strategy=ctx.selection_strategy)
+
+
 __all__ = ["supgrd"]

@@ -33,6 +33,13 @@ class AlgorithmError(ReproError):
     without a superior item or Balance-C with more than two items."""
 
 
+class SpecError(ReproError):
+    """Raised for invalid run specifications (:mod:`repro.api`): unknown
+    configurations, malformed budget vectors, unsupported capability
+    combinations such as ``--workers`` on an algorithm without sharded
+    sampling, or unparsable spec dictionaries."""
+
+
 class ConvergenceError(ReproError):
     """Raised when an iterative procedure fails to converge within its
     configured iteration limit."""

@@ -11,16 +11,14 @@ finishes quickly (see DESIGN.md for the substitution rationale).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.allocation import Allocation
-from repro.core import seqgrd, seqgrd_nm, supgrd
-from repro.diffusion.estimators import estimate_welfare
+from repro.api.runner import run as run_spec
+from repro.core import seqgrd_nm
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.networks import benchmark_network
-from repro.experiments.runners import RunRecord, run_algorithm
+from repro.experiments.runners import RunRecord, spec_for
 from repro.graphs.sampling import bfs_sample
 from repro.graphs.weighting import uniform as uniform_weighting
 from repro.rrsets.imm import imm
@@ -38,6 +36,24 @@ TWO_ITEM_ALGORITHMS = ("greedyWM", "Balance-C", "TCIM", "MaxGRD",
                        "SeqGRD", "SeqGRD-NM")
 #: algorithm line-up of Figures 6(a)/(b) and 7 (more than two items)
 MULTI_ITEM_ALGORITHMS = ("greedyWM", "TCIM", "MaxGRD", "SeqGRD", "SeqGRD-NM")
+
+
+def _measure(algorithm: str, graph, model, scale, *, configuration: str,
+             budgets: Mapping[str, int], rng,
+             fixed_allocation: Optional[Allocation] = None,
+             superior_item: Optional[str] = None,
+             index=None) -> RunRecord:
+    """Build the point's :class:`~repro.api.RunSpec` and execute it.
+
+    One figure point == one spec; the engine knobs come from the
+    :class:`ExperimentScale` preset and ``rng`` sweeps the per-point seed.
+    """
+    spec = spec_for(algorithm, scale, network=graph.name,
+                    configuration=configuration, budgets=budgets,
+                    fixed_allocation=fixed_allocation,
+                    superior_item=superior_item)
+    return run_spec(spec, graph=graph, model=model, rng=rng, index=index,
+                    options=scale.imm_options)
 
 
 # ----------------------------------------------------------------------
@@ -64,11 +80,10 @@ def figure3(scale=None,
         graph = benchmark_network(network, scale)
         for budget in budgets:
             for algorithm in algorithms:
-                record = run_algorithm(
-                    algorithm, graph, model,
+                record = _measure(
+                    algorithm, graph, model, scale,
                     budgets={"i": budget, "j": budget},
-                    scale=scale, configuration="C1",
-                    rng=scale.seed + budget)
+                    configuration="C1", rng=scale.seed + budget)
                 rows.append(record.as_row())
     return rows
 
@@ -98,10 +113,9 @@ def figure4(scale=None, network: str = "douban-movie",
             else:
                 budget_map = {"i": budget, "j": budget}
             for algorithm in algorithms:
-                record = run_algorithm(
-                    algorithm, graph, model, budgets=budget_map,
-                    scale=scale, configuration=configuration,
-                    rng=scale.seed + budget)
+                record = _measure(
+                    algorithm, graph, model, scale, budgets=budget_map,
+                    configuration=configuration, rng=scale.seed + budget)
                 rows.append(record.as_row())
     return rows
 
@@ -155,9 +169,10 @@ def figure5(scale=None,
                 }
             for budget in budgets:
                 for algorithm in ("SupGRD", "SeqGRD-NM"):
-                    record = run_algorithm(
-                        algorithm, graph, model, budgets={"i": budget},
-                        fixed_allocation=fixed, scale=scale,
+                    record = _measure(
+                        algorithm, graph, model, scale,
+                        budgets={"i": budget},
+                        fixed_allocation=fixed,
                         configuration=configuration,
                         superior_item="i",
                         rng=scale.seed + budget,
@@ -186,8 +201,8 @@ def figure6_items(scale=None, network: str = "nethept",
         model = multi_item_config(num_items)
         budget_map = {name: budget for name in model.items}
         for algorithm in algorithms:
-            record = run_algorithm(
-                algorithm, graph, model, budgets=budget_map, scale=scale,
+            record = _measure(
+                algorithm, graph, model, scale, budgets=budget_map,
                 configuration=f"{num_items}-items",
                 rng=scale.seed + num_items)
             row = record.as_row()
@@ -222,8 +237,8 @@ def figure6_blocking(scale=None, network: str = "nethept",
         budget_map = {"i": superior_budget, "j": inferior_budget,
                       "k": inferior_budget}
         for algorithm in ("SeqGRD", "SeqGRD-NM"):
-            record = run_algorithm(
-                algorithm, graph, model, budgets=budget_map, scale=scale,
+            record = _measure(
+                algorithm, graph, model, scale, budgets=budget_map,
                 configuration="Table4", rng=scale.seed + inferior_budget)
             row = record.as_row()
             row["inferior_budget"] = inferior_budget
@@ -298,8 +313,8 @@ def figure7(scale=None,
         for budget in budgets:
             budget_map = {name: budget for name in model.items}
             for algorithm in algorithms:
-                record = run_algorithm(
-                    algorithm, graph, model, budgets=budget_map, scale=scale,
+                record = _measure(
+                    algorithm, graph, model, scale, budgets=budget_map,
                     configuration="lastfm", rng=scale.seed + budget)
                 rows.append(record.as_row())
     return rows

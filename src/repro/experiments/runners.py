@@ -2,78 +2,61 @@
 welfare.
 
 Every figure in §6 compares the same set of algorithms under different
-utility configurations / budgets / networks.  :func:`run_algorithm` is the
-single dispatch point the figure builders use, so all algorithms are timed
-and evaluated identically (same welfare estimator, same sample counts, same
-seeds).
+utility configurations / budgets / networks.  Since the API redesign the
+single dispatch point is :func:`repro.api.run` over a typed
+:class:`~repro.api.RunSpec`; :func:`run_algorithm` remains as a thin
+deprecation shim that builds the spec from its keyword arguments, so all
+algorithms are still timed and evaluated identically (same welfare
+estimator, same sample counts, same seeds) and existing call sites keep
+working.  :data:`ALGORITHMS` is derived from the algorithm registry rather
+than hand-maintained.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
-
-import numpy as np
+from typing import Mapping, Optional
 
 from repro.allocation import Allocation
-from repro.baselines import balance_c, greedy_wm, round_robin, snake, tcim
-from repro.core import maxgrd, seqgrd, seqgrd_nm, supgrd
-from repro.core.results import AllocationResult
-from repro.diffusion.estimators import estimate_welfare
-from repro.exceptions import AlgorithmError
+from repro.api.registry import experiment_algorithms
+from repro.api.runner import RunRecord, run as run_spec
+from repro.api.specs import EngineConfig, RunSpec, WorkloadSpec
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.graphs.graph import DirectedGraph
 from repro.utility.model import UtilityModel
-from repro.utils.rng import ensure_rng
 
-#: algorithms available to the experiment harness
-ALGORITHMS = (
-    "SeqGRD",
-    "SeqGRD-NM",
-    "MaxGRD",
-    "SupGRD",
-    "greedyWM",
-    "TCIM",
-    "Balance-C",
-    "Round-robin",
-    "Snake",
-)
+#: algorithms available to the experiment harness (registry-derived)
+ALGORITHMS = experiment_algorithms()
 
 
-@dataclass
-class RunRecord:
-    """One (algorithm, workload) measurement."""
+def spec_for(algorithm: str, scale: Optional[ExperimentScale] = None,
+             network: str = "", configuration: str = "",
+             budgets: Optional[Mapping[str, int]] = None,
+             fixed_allocation: Optional[Allocation] = None,
+             superior_item: Optional[str] = None,
+             selection_strategy: Optional[str] = None,
+             seed: Optional[int] = None) -> RunSpec:
+    """Build the :class:`RunSpec` matching a harness-style invocation.
 
-    algorithm: str
-    network: str
-    configuration: str
-    budgets: Dict[str, int]
-    welfare: float
-    runtime_seconds: float
-    adoption_counts: Dict[str, float]
-    num_adopters: float
-    result: AllocationResult
-
-    def as_row(self) -> Dict[str, object]:
-        """Flat dictionary row for reporting."""
-        row: Dict[str, object] = {
-            "algorithm": self.algorithm,
-            "network": self.network,
-            "configuration": self.configuration,
-            "budget": max(self.budgets.values()) if self.budgets else 0,
-            "welfare": round(self.welfare, 2),
-            "runtime_s": round(self.runtime_seconds, 3),
-        }
-        for item, count in self.adoption_counts.items():
-            row[f"adopt[{item}]"] = round(count, 1)
-        return row
-
-
-def _candidate_pool(graph: DirectedGraph, size: int) -> Sequence[int]:
-    """Top out-degree nodes, used to keep simulation-heavy baselines feasible."""
-    order = np.argsort(-graph.out_degrees(), kind="stable")
-    return [int(v) for v in order[:size]]
+    The engine knobs mirror the :class:`ExperimentScale` preset exactly
+    (sample counts, IMM options, candidate-pool size, seed), which is what
+    makes spec-driven runs bit-identical to the historical
+    ``run_algorithm`` keyword path.
+    """
+    scale = get_scale(scale)
+    fixed = None
+    if fixed_allocation is not None and not fixed_allocation.is_empty():
+        fixed = {item: tuple(nodes)
+                 for item, nodes in fixed_allocation.as_dict().items()}
+    return RunSpec(
+        algorithm=algorithm,
+        workload=WorkloadSpec(
+            network=network, configuration=configuration,
+            budgets=dict(budgets or {}), fixed_allocation=fixed,
+            superior_item=superior_item),
+        engine=EngineConfig.from_scale(scale,
+                                       selection_strategy=selection_strategy,
+                                       seed=seed),
+    )
 
 
 def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
@@ -87,6 +70,12 @@ def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
                   selection_strategy: Optional[str] = None) -> RunRecord:
     """Run ``algorithm`` on the given workload and measure time and welfare.
 
+    .. deprecated::
+        This is a compatibility shim over :func:`repro.api.run`; new code
+        should build a :class:`repro.api.RunSpec` (see :func:`spec_for`)
+        and call :func:`repro.api.run` directly.  Allocations are
+        bit-identical between the two paths.
+
     ``index`` is an optional prebuilt
     :class:`~repro.index.frozen.FrozenRRIndex` for the coverage-greedy
     algorithms (SeqGRD/SeqGRD-NM/SupGRD): sampling is skipped and seeds are
@@ -97,80 +86,13 @@ def run_algorithm(algorithm: str, graph: DirectedGraph, model: UtilityModel,
     bit-identical across strategies).
     """
     scale = get_scale(scale)
-    rng = ensure_rng(rng if rng is not None else scale.seed)
-    fixed_allocation = fixed_allocation or Allocation.empty()
-    budgets = dict(budgets)
-    options = scale.imm_options
-    if index is not None and algorithm not in ("SeqGRD", "SeqGRD-NM",
-                                               "SupGRD"):
-        raise AlgorithmError(
-            f"{algorithm} cannot be served from a prebuilt RR-set index")
-
-    start = time.perf_counter()
-    if algorithm == "SeqGRD":
-        result = seqgrd(graph, model, budgets, fixed_allocation,
-                        marginal_check=True,
-                        n_marginal_samples=scale.marginal_samples,
-                        options=options, rng=rng, index=index,
-                        selection_strategy=selection_strategy)
-    elif algorithm == "SeqGRD-NM":
-        result = seqgrd_nm(graph, model, budgets, fixed_allocation,
-                           options=options, rng=rng, index=index,
-                           selection_strategy=selection_strategy)
-    elif algorithm == "MaxGRD":
-        result = maxgrd(graph, model, budgets, fixed_allocation,
-                        n_marginal_samples=scale.marginal_samples,
-                        options=options, rng=rng,
-                        selection_strategy=selection_strategy)
-    elif algorithm == "SupGRD":
-        if len(budgets) != 1:
-            raise AlgorithmError("SupGRD allocates exactly one item")
-        ((item, budget),) = budgets.items()
-        result = supgrd(graph, model, budget, fixed_allocation,
-                        superior_item=superior_item or item,
-                        enforce_preconditions=False,
-                        options=options, rng=rng, index=index,
-                        selection_strategy=selection_strategy)
-    elif algorithm == "greedyWM":
-        result = greedy_wm(graph, model, budgets, fixed_allocation,
-                           n_marginal_samples=scale.marginal_samples,
-                           candidate_pool=_candidate_pool(
-                               graph, scale.baseline_pool_size),
-                           rng=rng)
-    elif algorithm == "TCIM":
-        result = tcim(graph, model, budgets, fixed_allocation,
-                      n_evaluation_samples=max(20, scale.marginal_samples),
-                      options=options, rng=rng)
-    elif algorithm == "Balance-C":
-        result = balance_c(graph, model, budgets, fixed_allocation,
-                           n_objective_samples=max(10, scale.marginal_samples // 3),
-                           candidate_pool=_candidate_pool(
-                               graph, scale.baseline_pool_size),
-                           rng=rng)
-    elif algorithm == "Round-robin":
-        result = round_robin(graph, model, budgets, fixed_allocation,
-                             options=options, rng=rng)
-    elif algorithm == "Snake":
-        result = snake(graph, model, budgets, fixed_allocation,
-                       options=options, rng=rng)
-    else:
-        raise AlgorithmError(f"unknown algorithm {algorithm!r}; "
-                             f"choose from {ALGORITHMS}")
-    runtime = time.perf_counter() - start
-
-    welfare = estimate_welfare(graph, model, result.combined_allocation(),
-                               n_samples=scale.evaluation_samples, rng=rng)
-    return RunRecord(
-        algorithm=algorithm,
-        network=graph.name,
-        configuration=configuration,
-        budgets=budgets,
-        welfare=welfare.mean,
-        runtime_seconds=runtime,
-        adoption_counts=welfare.adoption_counts,
-        num_adopters=welfare.mean_adopters,
-        result=result,
-    )
+    spec = spec_for(algorithm, scale, network=graph.name,
+                    configuration=configuration, budgets=budgets,
+                    fixed_allocation=fixed_allocation,
+                    superior_item=superior_item,
+                    selection_strategy=selection_strategy)
+    return run_spec(spec, graph=graph, model=model, rng=rng, index=index,
+                    options=scale.imm_options)
 
 
-__all__ = ["ALGORITHMS", "RunRecord", "run_algorithm"]
+__all__ = ["ALGORITHMS", "RunRecord", "run_algorithm", "spec_for"]

@@ -82,6 +82,8 @@ class AllocationService:
         self._model = model
         self._fixed = fixed_allocation or Allocation.empty()
         self._cache: "OrderedDict[QueryKey, Dict[str, Any]]" = OrderedDict()
+        #: versioned-protocol responses, keyed by RunSpec.fingerprint()
+        self._spec_cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._cache_size = max(0, int(cache_size))
         self._selection_strategy = selection_strategy
         self._hits = 0
@@ -96,10 +98,41 @@ class AllocationService:
         return self._index
 
     @property
+    def graph(self) -> Optional[DirectedGraph]:
+        """The live graph (None for index-only services)."""
+        return self._graph
+
+    @property
+    def model(self) -> Optional[UtilityModel]:
+        """The live utility model (None for index-only services)."""
+        return self._model
+
+    @property
     def cache_stats(self) -> Dict[str, int]:
         """LRU statistics: hits, misses and current size."""
         return {"hits": self._hits, "misses": self._misses,
                 "size": len(self._cache), "capacity": self._cache_size}
+
+    # ------------------------------------------------------------------
+    # RunSpec-fingerprint cache (the versioned serve protocol's key)
+    # ------------------------------------------------------------------
+    def cached_spec_response(self, fingerprint: str
+                             ) -> Optional[Dict[str, Any]]:
+        """LRU lookup of a v1 response by :meth:`RunSpec.fingerprint`."""
+        cached = self._spec_cache.get(fingerprint)
+        if cached is not None:
+            self._hits += 1
+            self._spec_cache.move_to_end(fingerprint)
+        return cached
+
+    def store_spec_response(self, fingerprint: str,
+                            payload: Dict[str, Any]) -> None:
+        """Cache a v1 response under its spec fingerprint."""
+        if not self._cache_size:
+            return
+        self._spec_cache[fingerprint] = payload
+        while len(self._spec_cache) > self._cache_size:
+            self._spec_cache.popitem(last=False)
 
     def _ordered_selection(self, k: int) -> SelectionResult:
         """Greedy selection of ``k`` seeds, reusing the longest order so far.
@@ -247,12 +280,19 @@ class AllocationService:
     def handle_request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
         """Answer one JSON request from the serve loop.
 
+        Requests carrying a ``"v"`` key speak the versioned
+        :mod:`repro.api.protocol` dialect (``{"v": 1, "spec": {...}}``)
+        and are delegated to it.  Otherwise the legacy dialect applies:
         ``{"op": "query", "algorithm": ..., "budgets": {...}}`` (the
         default op) answers an allocation query; ``"stats"`` reports cache
         statistics; ``"ping"`` checks liveness.  Errors are returned as
         ``{"ok": false, "error": ...}`` rather than raised, so one bad
         request does not kill the serving loop.
         """
+        if "v" in request:
+            from repro.api.protocol import handle_versioned_request
+
+            return handle_versioned_request(self, request)
         response: Dict[str, Any] = {}
         if "id" in request:
             response["id"] = request["id"]

@@ -57,7 +57,6 @@ selection at the first zero-gain pick instead.  Either way
 from __future__ import annotations
 
 import heapq
-import os
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -73,8 +72,9 @@ STRATEGY_EAGER = "eager"
 STRATEGY_REFERENCE = "reference"
 SELECTION_STRATEGIES = (STRATEGY_LAZY, STRATEGY_EAGER, STRATEGY_REFERENCE)
 
-#: environment variable overriding the default selection strategy
-SELECTION_ENV_VAR = "REPRO_SELECTION"
+#: environment variable overriding the default selection strategy (housed
+#: with the other env-var knobs in :mod:`repro.engine.config`)
+from repro.engine.config import SELECTION_ENV_VAR, env_choice  # noqa: E402
 
 #: keep padding zero-gain seeds until ``k`` are selected (the default)
 SATURATION_PAD = "pad"
@@ -85,14 +85,8 @@ _SATURATION_MODES = (SATURATION_PAD, SATURATION_STOP)
 
 def default_strategy() -> str:
     """The strategy used when callers pass ``strategy=None``."""
-    value = os.environ.get(SELECTION_ENV_VAR, "").strip().lower()
-    if not value:
-        return STRATEGY_LAZY
-    if value not in SELECTION_STRATEGIES:
-        raise ValueError(
-            f"{SELECTION_ENV_VAR}={value!r} is not a valid selection "
-            f"strategy; expected one of {list(SELECTION_STRATEGIES)}")
-    return value
+    return env_choice(SELECTION_ENV_VAR, SELECTION_STRATEGIES, STRATEGY_LAZY,
+                      what="selection strategy")
 
 
 def resolve_strategy(strategy: Optional[str] = None) -> str:

@@ -257,6 +257,35 @@ def single_item_config(utility: float = 1.0,
     return UtilityModel(valuation, {name: 0.0}, ZeroNoise())
 
 
+#: named configuration catalog: name -> zero-argument factory.  This is the
+#: single source the CLI, :class:`repro.api.WorkloadSpec` validation and the
+#: serve protocol resolve configuration names against.
+CONFIGURATIONS = {
+    "C1": lambda: two_item_config("C1"),
+    "C2": lambda: two_item_config("C2"),
+    "C3": lambda: two_item_config("C3"),
+    "C4": lambda: two_item_config("C4"),
+    "C5": lambda: two_item_config("C5"),
+    "C6": lambda: two_item_config("C6"),
+    "blocking": blocking_config,
+    "lastfm": lastfm_config,
+    "single": single_item_config,
+    "multi3": lambda: multi_item_config(3),
+    "multi5": lambda: multi_item_config(5),
+}
+
+
+def configuration_model(name: str) -> UtilityModel:
+    """Build the utility model for a named catalog configuration."""
+    try:
+        factory = CONFIGURATIONS[name]
+    except KeyError:
+        raise UtilityModelError(
+            f"unknown configuration {name!r}; "
+            f"choose from {sorted(CONFIGURATIONS)}") from None
+    return factory()
+
+
 __all__ = [
     "two_item_config",
     "blocking_config",
@@ -265,6 +294,8 @@ __all__ = [
     "hardness_config",
     "theorem1_config",
     "single_item_config",
+    "CONFIGURATIONS",
+    "configuration_model",
     "LASTFM_UTILITIES",
     "LASTFM_PROBABILITIES",
     "HARDNESS_UTILITIES",

@@ -202,6 +202,42 @@ class TestIndexCommands:
         assert lines[4]["stats"]["hits"] == 1
 
 
+class TestBudgetsArgument:
+    RUN = ["run", "--network", "nethept", "--scale", "0.01", "--samples",
+           "20", "--max-rr-sets", "2000", "--seed", "1"]
+
+    def test_item_count_pairs_accepted(self, capsys):
+        code = main(self.RUN + ["--budgets", "i=3,j=1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["allocation"]["i"]) == 3
+        assert len(payload["allocation"]["j"]) == 1
+
+    def test_malformed_pair_is_a_clean_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.RUN + ["--budgets", "i:3"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "malformed budget pair" in err
+        assert "Traceback" not in err
+
+    def test_non_integer_count_is_a_clean_parse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.RUN + ["--budgets", '{"i": "lots"}'])
+        assert excinfo.value.code == 2
+        assert "must be an integer" in capsys.readouterr().err
+
+    def test_unknown_item_rejected_at_spec_validation(self, capsys):
+        assert main(self.RUN + ["--budgets", "zebra=3"]) == 2
+        err = capsys.readouterr().err
+        assert "zebra" in err and "C1" in err
+
+    def test_unsupported_knob_combination_fails_fast(self, capsys):
+        assert main(self.RUN + ["--algorithm", "TCIM",
+                    "--selection-strategy", "eager"]) == 2
+        assert "selection_strategy" in capsys.readouterr().err
+
+
 class TestErrorHandling:
     def test_library_errors_become_exit_code_2(self, tmp_path, capsys):
         logfile = tmp_path / "empty.txt"
