@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Minimal TCP client for the concurrent ``repro serve`` endpoint.
+
+Start a server over a built index, then run this client against it::
+
+    python -m repro index build --out /tmp/smoke-idx --network nethept \\
+        --scale 0.01 --budget 2 --max-rr-sets 2000 --seed 4
+    python -m repro serve --index /tmp/smoke-idx --tcp 127.0.0.1:7411 &
+    python examples/serve_tcp_client.py 127.0.0.1:7411
+
+The client waits for the endpoint to come up, sends one legacy query, one
+versioned spec request and a ``stats`` op over a single connection, and
+asserts all three answers — exactly the round trip the CI serve-smoke
+step performs.  Exit code 0 means the server accepted, answered and the
+responses were well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import time
+
+
+def main(argv) -> int:
+    address = argv[1] if len(argv) > 1 else "127.0.0.1:7411"
+    host, _, port_text = address.rpartition(":")
+    host, port = host or "127.0.0.1", int(port_text)
+
+    deadline = time.time() + 30
+    while True:
+        try:
+            connection = socket.create_connection((host, port), timeout=5)
+            break
+        except OSError:
+            if time.time() > deadline:
+                print(f"server at {host}:{port} never came up",
+                      file=sys.stderr)
+                return 1
+            time.sleep(0.5)
+
+    stream = connection.makefile("rw", encoding="utf-8", newline="\n")
+
+    def round_trip(request):
+        stream.write(json.dumps(request) + "\n")
+        stream.flush()
+        return json.loads(stream.readline())
+
+    query = round_trip({"op": "query", "budgets": {"i": 2, "j": 2},
+                        "id": 1})
+    assert query["ok"], query
+    assert query["allocation"], query
+    print(f"legacy query ok: allocation={query['allocation']}")
+
+    versioned = round_trip({
+        "v": 1, "id": 2,
+        "spec": {"algorithm": "SeqGRD-NM",
+                 "workload": {"network": "nethept", "scale": 0.01,
+                              "configuration": "C1", "budget": 2},
+                 "engine": {"seed": 4, "samples": 10,
+                            "max_rr_sets": 2000}}})
+    assert versioned["ok"], versioned
+    assert versioned["server"]["index"], versioned
+    print(f"versioned query ok: fingerprint={versioned['fingerprint'][:16]}…"
+          f" served by {versioned['server']['index']}")
+
+    stats = round_trip({"op": "stats", "id": 3})
+    assert stats["ok"], stats
+    assert stats["registry"]["entries"] >= 1, stats
+    print(f"stats ok: {stats['server']['requests']} requests served, "
+          f"{stats['registry']['entries']} index(es) hosted")
+
+    connection.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

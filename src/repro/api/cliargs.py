@@ -27,6 +27,29 @@ def budgets_argument(text: str):
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def tcp_address_argument(text: str):
+    """``--tcp`` argparse type: ``HOST:PORT`` (or just ``:PORT``/``PORT``).
+
+    Returns a ``(host, port)`` pair; the host defaults to ``127.0.0.1``
+    and port ``0`` asks the OS for a free one.
+    """
+    text = str(text).strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    host = host.strip() or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"malformed TCP address {text!r}; expected HOST:PORT "
+            f"(e.g. 127.0.0.1:7411)") from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"TCP port must be in [0, 65535], got {port}")
+    return host, port
+
+
 def _add_field_argument(target, f) -> None:
     meta = dict(f.metadata["cli"])
     flag = meta.pop("flag")
@@ -116,6 +139,7 @@ __all__ = [
     "add_engine_arguments",
     "add_algorithm_argument",
     "budgets_argument",
+    "tcp_address_argument",
     "workload_from_args",
     "engine_from_args",
     "runspec_from_args",

@@ -17,7 +17,7 @@ Errors never kill the serving loop; they come back as an envelope::
 
     {"v": 1, "ok": false,
      "error": {"code": "unsupported-version" | "malformed-request" |
-               "invalid-spec" | "incompatible-spec" |
+               "oversized-request" | "invalid-spec" | "incompatible-spec" |
                "unsupported-algorithm",
                "message": "..."}}
 
@@ -28,12 +28,32 @@ engine knobs must match the index manifest (the legacy un-versioned dialect
 of :meth:`AllocationService.handle_request` remains available for raw
 budget queries).  Responses are LRU-cached on
 :meth:`RunSpec.fingerprint`.
+
+Handling is split into three stages so the concurrent server in
+:mod:`repro.serve` can coalesce and batch between them:
+
+* :func:`prepare_request` — pure validation: version, spec shape,
+  servable algorithm, index compatibility, budget resolution; returns a
+  :class:`PreparedRequest` (or an error envelope) without touching any
+  cache, so it is safe off the execution thread;
+* :func:`execute_prepared` / :func:`execute_prepared_batch` — the cache
+  lookup + greedy selection; batches funnel through
+  :meth:`AllocationService.query_batch` so compatible queries share one
+  greedy order and one executor hop;
+* :func:`build_response` — assembles the wire response.
+
+:func:`handle_versioned_request` chains the three stages inline and is the
+single-threaded path (stdio loop, direct calls).  Responses produced by
+the concurrent server additionally carry a ``"server"`` object
+(queue depth, coalescing provenance, the serving index) — see
+:class:`repro.serve.AllocationServer`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.api.specs import RunSpec
 from repro.exceptions import ReproError, SpecError
@@ -43,6 +63,16 @@ PROTOCOL_VERSION = 1
 
 #: algorithms servable from a prebuilt index through the v1 protocol
 SERVABLE_ALGORITHMS = ("SeqGRD-NM", "SupGRD")
+
+#: error-envelope codes a v1 client may receive
+ERROR_CODES = (
+    "unsupported-version",
+    "malformed-request",
+    "oversized-request",
+    "invalid-spec",
+    "incompatible-spec",
+    "unsupported-algorithm",
+)
 
 
 def make_request(spec: RunSpec,
@@ -125,37 +155,56 @@ def index_mismatch(spec: RunSpec, meta: Mapping[str, Any]) -> Optional[str]:
     return None
 
 
-def handle_versioned_request(service, request: Mapping[str, Any]
-                             ) -> Dict[str, Any]:
-    """Answer one versioned (``"v" in request``) serve request.
+@dataclass(frozen=True)
+class PreparedRequest:
+    """A validated v1 request, ready for (possibly batched) execution."""
 
-    ``service`` is the :class:`~repro.index.service.AllocationService` the
-    loop runs against.  Never raises: every failure becomes an error
-    envelope so one bad request cannot kill the serving loop.
+    request_id: Optional[Any]
+    spec: RunSpec
+    fingerprint: str
+    algorithm: str
+    budgets: Dict[str, int]
+
+
+def prepare_request(service, request: Mapping[str, Any],
+                    spec: Optional[RunSpec] = None
+                    ) -> Union[PreparedRequest, Dict[str, Any]]:
+    """Validate one versioned request against ``service``.
+
+    Pure stage: checks the version, parses the spec, enforces the
+    servable-algorithm set and the index-manifest compatibility, resolves
+    the effective budgets and computes the spec fingerprint — without
+    touching any cache, so it is safe to run outside the execution thread.
+    Returns a :class:`PreparedRequest`, or an error envelope ``dict``.
+
+    ``spec`` short-circuits the version/parse/servable checks when the
+    caller (the concurrent server's router) already performed them.
     """
     request_id = request.get("id")
-    version = request.get("v")
-    if version != PROTOCOL_VERSION:
-        return error_response(
-            "unsupported-version",
-            f"protocol version {version!r} is not supported; "
-            f"supported versions: [{PROTOCOL_VERSION}]", request_id)
-    spec_dict = request.get("spec")
-    if not isinstance(spec_dict, Mapping):
-        return error_response(
-            "malformed-request",
-            "a v1 request needs a 'spec' object: "
-            '{"v": 1, "spec": {"algorithm": ..., "workload": ..., '
-            '"engine": ...}}', request_id)
-    try:
-        spec = RunSpec.from_dict(spec_dict)
-    except SpecError as error:
-        return error_response("invalid-spec", str(error), request_id)
-    if spec.algorithm not in SERVABLE_ALGORITHMS:
-        return error_response(
-            "unsupported-algorithm",
-            f"{spec.algorithm} cannot be served from a prebuilt index; "
-            f"servable algorithms: {list(SERVABLE_ALGORITHMS)}", request_id)
+    if spec is None:
+        version = request.get("v")
+        if version != PROTOCOL_VERSION:
+            return error_response(
+                "unsupported-version",
+                f"protocol version {version!r} is not supported; "
+                f"supported versions: [{PROTOCOL_VERSION}]", request_id)
+        spec_dict = request.get("spec")
+        if not isinstance(spec_dict, Mapping):
+            return error_response(
+                "malformed-request",
+                "a v1 request needs a 'spec' object: "
+                '{"v": 1, "spec": {"algorithm": ..., "workload": ..., '
+                '"engine": ...}}', request_id)
+        try:
+            spec = RunSpec.from_dict(spec_dict)
+        except SpecError as error:
+            return error_response("invalid-spec", str(error), request_id)
+        if spec.algorithm not in SERVABLE_ALGORITHMS:
+            return error_response(
+                "unsupported-algorithm",
+                f"{spec.algorithm} cannot be served from a prebuilt "
+                f"index; servable algorithms: "
+                f"{list(SERVABLE_ALGORITHMS)}", request_id)
     if service.model is None:
         return error_response(
             "invalid-spec",
@@ -173,33 +222,84 @@ def handle_versioned_request(service, request: Mapping[str, Any]
     except ReproError as error:
         return error_response("invalid-spec", str(error), request_id)
 
-    started = time.perf_counter()
-    fingerprint = spec.fingerprint()
-    cached = service.cached_spec_response(fingerprint)
+    from repro.api.registry import get_algorithm
+    from repro.api.runner import narrow_single_item_budgets
+
+    budgets = spec.workload.resolved_budgets(service.model.items)
+    if get_algorithm(spec.algorithm).single_item:
+        budgets = narrow_single_item_budgets(
+            budgets, spec.workload.superior_item)
+    return PreparedRequest(request_id=request_id, spec=spec,
+                           fingerprint=spec.fingerprint(),
+                           algorithm=spec.algorithm, budgets=budgets)
+
+
+def execute_prepared(service, prepared: PreparedRequest) -> Dict[str, Any]:
+    """Execute one prepared request: spec-cache lookup, query, store.
+
+    Must run on the service's execution thread (the caches and the greedy
+    order are not thread-safe).  Raises :class:`ReproError` on degenerate
+    queries; the caller maps it to an ``invalid-spec`` envelope.
+    """
+    cached = service.cached_spec_response(prepared.fingerprint)
     if cached is not None:
-        payload = dict(cached, cached=True)
-    else:
-        from repro.api.registry import get_algorithm
-        from repro.api.runner import narrow_single_item_budgets
+        return dict(cached, cached=True)
+    payload = service.query(prepared.algorithm, budgets=prepared.budgets)
+    payload.pop("cached", None)
+    service.store_spec_response(prepared.fingerprint, payload)
+    return dict(payload, cached=False)
 
-        budgets = spec.workload.resolved_budgets(service.model.items)
-        if get_algorithm(spec.algorithm).single_item:
-            budgets = narrow_single_item_budgets(
-                budgets, spec.workload.superior_item)
+
+def execute_prepared_batch(service, batch: Sequence[PreparedRequest]
+                           ) -> List[Union[Dict[str, Any], ReproError]]:
+    """Execute many prepared requests against one service in one pass.
+
+    Spec-cache hits are answered first; the remaining distinct queries go
+    through :meth:`AllocationService.query_batch` so they share the LRU
+    and the incrementally-extended greedy order.  Failures are isolated
+    per request: a degenerate query yields its :class:`ReproError` in the
+    result slot instead of poisoning the whole batch.
+    """
+    results: List[Union[Dict[str, Any], None, ReproError]] = [None] * len(batch)
+    pending: List[int] = []
+    for i, prepared in enumerate(batch):
+        cached = service.cached_spec_response(prepared.fingerprint)
+        if cached is not None:
+            results[i] = dict(cached, cached=True)
+        else:
+            pending.append(i)
+    if pending:
         try:
-            payload = service.query(spec.algorithm, budgets=budgets)
-        except ReproError as error:
-            return error_response("invalid-spec", str(error), request_id)
-        payload.pop("cached", None)
-        service.store_spec_response(fingerprint, payload)
-        payload = dict(payload, cached=False)
+            payloads = service.query_batch(
+                [{"algorithm": batch[i].algorithm, "budgets": batch[i].budgets}
+                 for i in pending])
+        except ReproError:
+            # isolate the failing request(s): re-run individually so the
+            # healthy ones still get answers
+            payloads = None
+        if payloads is not None:
+            for i, payload in zip(pending, payloads):
+                payload.pop("cached", None)
+                service.store_spec_response(batch[i].fingerprint, payload)
+                results[i] = dict(payload, cached=False)
+        else:
+            for i in pending:
+                try:
+                    results[i] = execute_prepared(service, batch[i])
+                except ReproError as error:
+                    results[i] = error
+    return results  # type: ignore[return-value]
 
+
+def build_response(prepared: PreparedRequest, payload: Dict[str, Any],
+                   started: float) -> Dict[str, Any]:
+    """Assemble the v1 wire response for an executed request."""
     response: Dict[str, Any] = {"v": PROTOCOL_VERSION, "ok": True}
-    if request_id is not None:
-        response["id"] = request_id
+    if prepared.request_id is not None:
+        response["id"] = prepared.request_id
     response.update(
-        spec=spec.to_dict(),
-        fingerprint=fingerprint,
+        spec=prepared.spec.to_dict(),
+        fingerprint=prepared.fingerprint,
         algorithm=payload["algorithm"],
         budgets=payload["budgets"],
         allocation=payload["allocation"],
@@ -213,11 +313,37 @@ def handle_versioned_request(service, request: Mapping[str, Any]
     return response
 
 
+def handle_versioned_request(service, request: Mapping[str, Any]
+                             ) -> Dict[str, Any]:
+    """Answer one versioned (``"v" in request``) serve request.
+
+    ``service`` is the :class:`~repro.index.service.AllocationService` the
+    loop runs against.  Never raises: every failure becomes an error
+    envelope so one bad request cannot kill the serving loop.
+    """
+    started = time.perf_counter()
+    prepared = prepare_request(service, request)
+    if isinstance(prepared, dict):
+        return prepared
+    try:
+        payload = execute_prepared(service, prepared)
+    except ReproError as error:
+        return error_response("invalid-spec", str(error),
+                              prepared.request_id)
+    return build_response(prepared, payload, started)
+
+
 __all__ = [
     "PROTOCOL_VERSION",
     "SERVABLE_ALGORITHMS",
+    "ERROR_CODES",
+    "PreparedRequest",
     "make_request",
     "error_response",
     "index_mismatch",
+    "prepare_request",
+    "execute_prepared",
+    "execute_prepared_batch",
+    "build_response",
     "handle_versioned_request",
 ]

@@ -14,10 +14,14 @@ or a job scheduler without writing Python:
 * ``repro index build`` / ``repro index query`` — persist the RR-set
   collection of a run as an on-disk index, then answer allocation queries
   against it without resampling (stale indexes are fingerprint-rejected).
-* ``repro serve`` — long-lived JSON-lines allocation service over a loaded
-  index; speaks both the versioned :mod:`repro.api.protocol` dialect
-  (``{"v": 1, "spec": {...}}``) and the legacy ``{"op": "query", ...}``
-  dialect.
+* ``repro serve`` — long-lived JSON-lines allocation service over one or
+  more loaded indexes; speaks both the versioned
+  :mod:`repro.api.protocol` dialect (``{"v": 1, "spec": {...}}``) and the
+  legacy ``{"op": "query", ...}`` dialect, over ``--stdio`` (default),
+  ``--tcp HOST:PORT`` and/or ``--unix PATH``.  Concurrent endpoints
+  coalesce identical in-flight requests and batch compatible queries
+  (see :mod:`repro.serve`); ``SIGHUP`` or the ``reload`` op hot-reloads
+  the index registry.
 
 The ``run``/``index build``/``index query``/``serve`` subcommands share
 argument groups generated from the :class:`~repro.api.WorkloadSpec` and
@@ -45,12 +49,13 @@ from repro.api.cliargs import (
     budgets_argument,
     engine_from_args,
     runspec_from_args,
+    tcp_address_argument,
     workload_from_args,
 )
 from repro.api.runner import load_graph, resolve_workload, run as run_spec
-from repro.api.specs import EngineConfig, WorkloadSpec
+from repro.api.specs import EngineConfig
 from repro.diffusion.estimators import estimate_welfare
-from repro.exceptions import IndexStoreError, ReproError
+from repro.exceptions import ReproError
 from repro.experiments import (
     figure3,
     figure4,
@@ -67,14 +72,8 @@ from repro.experiments import (
 )
 from repro.graphs.datasets import NETWORKS, load_network, network_statistics
 from repro.graphs.loaders import write_edge_list
-from repro.index import (
-    SAMPLER_KINDS,
-    AllocationService,
-    FrozenRRIndex,
-    build_index,
-    expected_index_fingerprint,
-)
-from repro.utility.configs import CONFIGURATIONS, configuration_model
+from repro.index import SAMPLER_KINDS, build_index
+from repro.utility.configs import CONFIGURATIONS, configuration_model  # noqa: F401 (CONFIGURATIONS re-exported for callers)
 from repro.utility.learning import learn_utilities
 
 #: experiment name -> callable used by ``repro experiment``
@@ -171,12 +170,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     # serve --------------------------------------------------------------
     serve = sub.add_parser(
-        "serve", help="JSON-lines allocation service over a persisted "
-                      "index (versioned {'v': 1, 'spec': ...} protocol "
-                      "plus the legacy {'op': ...} dialect)")
-    serve.add_argument("--index", type=Path, required=True)
+        "serve", help="JSON-lines allocation service over persisted "
+                      "indexes (versioned {'v': 1, 'spec': ...} protocol "
+                      "plus the legacy {'op': ...} dialect) — stdio by "
+                      "default, concurrent over --tcp/--unix")
+    serve.add_argument("--index", type=Path, action="append", default=[],
+                       help="index path stem to host (repeatable)")
+    serve.add_argument("--index-dir", type=Path, default=None,
+                       help="directory scanned for *.manifest.json "
+                            "indexes (lazily loaded, hot-reloaded on "
+                            "SIGHUP or the 'reload' op)")
+    serve.add_argument("--tcp", type=tcp_address_argument, default=None,
+                       metavar="HOST:PORT",
+                       help="serve concurrent clients over TCP "
+                            "(port 0 picks a free port)")
+    serve.add_argument("--unix", type=Path, default=None, metavar="PATH",
+                       help="serve concurrent clients over a unix socket")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve the blocking stdin/stdout loop "
+                            "(default when neither --tcp nor --unix is "
+                            "given)")
     serve.add_argument("--cache-size", type=int, default=128,
-                       help="LRU capacity for distinct query results")
+                       help="per-index LRU entry cap for distinct query "
+                            "results")
+    serve.add_argument("--max-indexes", type=int, default=4,
+                       help="LRU capacity for concurrently loaded indexes")
+    serve.add_argument("--max-line-bytes", type=int, default=None,
+                       help="frame cap; longer request lines get an "
+                            "oversized-request envelope (default 1 MiB)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="disable in-flight request coalescing and "
+                            "batching on the concurrent endpoints")
     serve.add_argument("--no-verify", action="store_true")
     add_spec_arguments(serve, EngineConfig, include=("selection_strategy",))
 
@@ -372,41 +396,15 @@ def _load_service(index_path: Path, verify: bool,
                   selection_strategy: Optional[str] = None):
     """Load an index + rebuild its instance, returning an AllocationService.
 
-    The graph and utility model are reconstructed from the manifest and the
-    index fingerprint is re-verified against them (unless ``verify`` is
-    false), so a stale index — the network file or configuration changed
-    since the build — is rejected instead of silently served.
+    Thin wrapper over :func:`repro.serve.load_service` (shared with the
+    multi-index registry behind ``repro serve``), preserving this module's
+    historical ``(service, graph, model, fixed)`` return shape.
     """
-    index = FrozenRRIndex.load(index_path)
-    meta = index.meta
-    network = meta.get("network")
-    configuration = meta.get("configuration")
-    if network is None or configuration not in CONFIGURATIONS:
-        raise IndexStoreError(
-            f"the index manifest does not name a network/configuration "
-            f"this CLI can rebuild (network={network!r}, "
-            f"configuration={configuration!r}); query it in-process via "
-            f"repro.index.AllocationService instead")
-    graph = load_graph(
-        WorkloadSpec(network=str(network), scale=meta.get("scale")),
-        seed=int(meta.get("graph_seed", meta.get("seed", 0))))
-    model = configuration_model(str(configuration))
-    if verify:
-        expected = expected_index_fingerprint(graph, model, meta)
-        if expected != index.fingerprint:
-            raise IndexStoreError(
-                f"stale index {index_path}: the rebuilt graph/configuration "
-                f"fingerprints to {expected[:12]}… but the index was built "
-                f"for {str(index.fingerprint)[:12]}…; rebuild it with "
-                f"`repro index build`")
-    fixed = Allocation(
-        {item: [int(v) for v in nodes] for item, nodes
-         in (meta.get("fingerprint_extra", {}).get("fixed") or {}).items()})
-    service = AllocationService(index, graph=graph, model=model,
-                                fixed_allocation=fixed,
-                                cache_size=cache_size,
-                                selection_strategy=selection_strategy)
-    return service, graph, model, fixed
+    from repro.serve import load_service
+
+    loaded = load_service(index_path, verify=verify, cache_size=cache_size,
+                          selection_strategy=selection_strategy)
+    return loaded.service, loaded.graph, loaded.model, loaded.fixed
 
 
 #: manifest algorithm name -> service algorithm name
@@ -453,33 +451,52 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    service, graph, _model, _fixed = _load_service(
-        args.index, verify=not args.no_verify, cache_size=args.cache_size,
-        selection_strategy=args.selection_strategy)
-    meta = service.index.meta
-    print(f"serving {meta.get('sampler')} index "
-          f"({service.index.num_sets} RR sets, {graph.name}) — one JSON "
-          f"request per line on stdin: versioned "
-          f'{{"v": 1, "spec": {{...}}}} (see repro.api.protocol) or legacy '
-          f'{{"op": "query", "budgets": {{"i": 5}}}}',
-          file=sys.stderr, flush=True)
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as error:
-            print(json.dumps({"ok": False, "error": f"bad JSON: {error}"}),
-                  flush=True)
-            continue
-        if not isinstance(request, dict):
-            print(json.dumps({"ok": False,
-                              "error": "requests must be JSON objects"}),
-                  flush=True)
-            continue
-        response = service.handle_request(request)
-        print(json.dumps(response, default=str), flush=True)
+    import asyncio
+
+    from repro.serve import (
+        DEFAULT_MAX_LINE_BYTES,
+        AllocationServer,
+        IndexRegistry,
+        run_stdio,
+    )
+
+    if not args.index and args.index_dir is None:
+        print("error: repro serve needs --index and/or --index-dir",
+              file=sys.stderr)
+        return 2
+    if args.stdio and (args.tcp is not None or args.unix is not None):
+        print("error: --stdio is the blocking single-client loop and "
+              "cannot be combined with --tcp/--unix; run separate "
+              "processes to serve both", file=sys.stderr)
+        return 2
+    registry = IndexRegistry(
+        paths=args.index, directory=args.index_dir,
+        capacity=args.max_indexes, cache_size=args.cache_size,
+        selection_strategy=args.selection_strategy,
+        verify=not args.no_verify)
+    server = AllocationServer(
+        registry,
+        max_line_bytes=(args.max_line_bytes if args.max_line_bytes
+                        else DEFAULT_MAX_LINE_BYTES),
+        coalesce=not args.no_coalesce)
+    hosted = ", ".join(registry.keys()) or "(empty registry)"
+    if args.tcp is None and args.unix is None:
+        print(f"serving indexes [{hosted}] — one JSON request per line on "
+              f"stdin: versioned "
+              f'{{"v": 1, "spec": {{...}}}} (see repro.api.protocol) or '
+              f'legacy {{"op": "query", "budgets": {{"i": 5}}}}',
+              file=sys.stderr, flush=True)
+        return run_stdio(server)
+
+    def _ready(endpoints):
+        print(f"serving indexes [{hosted}] on "
+              f"{' + '.join(endpoints)} — JSON lines, versioned "
+              f'{{"v": 1, "spec": {{...}}}} or legacy {{"op": ...}}; '
+              f"SIGHUP reloads the registry, SIGTERM drains and exits",
+              file=sys.stderr, flush=True)
+
+    asyncio.run(server.serve_forever(tcp=args.tcp, unix=args.unix,
+                                     ready=_ready))
     return 0
 
 

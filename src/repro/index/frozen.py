@@ -186,6 +186,47 @@ class FrozenRRIndex(PackedCoverage):
         return npz_path, manifest_path
 
     @classmethod
+    def peek_manifest(cls, path: Union[str, Path]) -> Dict[str, Any]:
+        """Read and validate an index manifest without loading the arrays.
+
+        The multi-index registry (:class:`repro.serve.IndexRegistry`) scans
+        directories of manifests and lazily loads the ``.npz`` arrays only
+        when a compatible request arrives; this is the cheap scan step.
+        Returns the parsed manifest dictionary (``manifest["meta"]`` holds
+        the build metadata).
+
+        Raises
+        ------
+        IndexStoreError
+            If the manifest is missing, unreadable, or a different format
+            version.
+        """
+        npz_path, manifest_path = index_paths(path)
+        if not manifest_path.exists():
+            raise IndexStoreError(
+                f"no index manifest at {manifest_path}; "
+                f"build one with `repro index build`")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise IndexStoreError(
+                f"unreadable index manifest {manifest_path}: {error}"
+            ) from error
+        if not isinstance(manifest, dict):
+            raise IndexStoreError(
+                f"index manifest {manifest_path} is not a JSON object")
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise IndexStoreError(
+                f"index format version {version!r} is not supported "
+                f"(expected {FORMAT_VERSION}); rebuild the index")
+        if not npz_path.exists():
+            raise IndexStoreError(
+                f"index manifest {manifest_path} has no arrays file "
+                f"({npz_path.name} is missing); rebuild the index")
+        return manifest
+
+    @classmethod
     def load(cls, path: Union[str, Path],
              expected_fingerprint: Optional[str] = None) -> "FrozenRRIndex":
         """Load an index, optionally verifying its fingerprint.

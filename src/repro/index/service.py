@@ -88,6 +88,10 @@ class AllocationService:
         self._selection_strategy = selection_strategy
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._spec_hits = 0
+        self._spec_misses = 0
+        self._spec_evictions = 0
         # incrementally extended greedy order for plain selections
         self._selection: Optional[SelectionResult] = None
 
@@ -108,10 +112,22 @@ class AllocationService:
         return self._model
 
     @property
-    def cache_stats(self) -> Dict[str, int]:
-        """LRU statistics: hits, misses and current size."""
+    def cache_stats(self) -> Dict[str, Any]:
+        """LRU statistics for both caches.
+
+        Both the query cache and the spec-fingerprint cache are bounded by
+        ``cache_size`` *entries* (the eviction counters below are the
+        regression surface for that cap); the spec cache reports its own
+        hit/miss/eviction counters under ``"spec_cache"``.
+        """
         return {"hits": self._hits, "misses": self._misses,
-                "size": len(self._cache), "capacity": self._cache_size}
+                "size": len(self._cache), "capacity": self._cache_size,
+                "evictions": self._evictions,
+                "spec_cache": {"hits": self._spec_hits,
+                               "misses": self._spec_misses,
+                               "size": len(self._spec_cache),
+                               "capacity": self._cache_size,
+                               "evictions": self._spec_evictions}}
 
     # ------------------------------------------------------------------
     # RunSpec-fingerprint cache (the versioned serve protocol's key)
@@ -121,18 +137,21 @@ class AllocationService:
         """LRU lookup of a v1 response by :meth:`RunSpec.fingerprint`."""
         cached = self._spec_cache.get(fingerprint)
         if cached is not None:
-            self._hits += 1
+            self._spec_hits += 1
             self._spec_cache.move_to_end(fingerprint)
+        else:
+            self._spec_misses += 1
         return cached
 
     def store_spec_response(self, fingerprint: str,
                             payload: Dict[str, Any]) -> None:
-        """Cache a v1 response under its spec fingerprint."""
+        """Cache a v1 response under its spec fingerprint (entry-capped)."""
         if not self._cache_size:
             return
         self._spec_cache[fingerprint] = payload
         while len(self._spec_cache) > self._cache_size:
             self._spec_cache.popitem(last=False)
+            self._spec_evictions += 1
 
     def _ordered_selection(self, k: int) -> SelectionResult:
         """Greedy selection of ``k`` seeds, reusing the longest order so far.
@@ -174,6 +193,7 @@ class AllocationService:
             self._cache[key] = payload
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
+                self._evictions += 1
         return dict(payload, cached=False)
 
     def query_batch(self, requests: Sequence[Mapping[str, Any]]

@@ -1,0 +1,51 @@
+"""Concurrent allocation serving: async multi-client JSON-lines service.
+
+``repro serve`` grew from a blocking, single-client, single-index stdin
+loop into a serving subsystem:
+
+* :mod:`repro.serve.registry` — :class:`IndexRegistry`, hosting many
+  :class:`~repro.index.frozen.FrozenRRIndex`\\ es keyed by their workload
+  manifests, with manifest-checked lazy loading from an index directory,
+  LRU eviction of loaded services, and hot reload (``SIGHUP`` / the
+  ``reload`` op); :func:`load_service` is the single
+  index-file → :class:`~repro.index.service.AllocationService` loader.
+* :mod:`repro.serve.coalescer` — :class:`RequestCoalescer`, deduplicating
+  in-flight identical-fingerprint specs and batching compatible queries
+  through :meth:`AllocationService.query_batch`, so N concurrent clients
+  asking about the same workload cost one selection run.
+* :mod:`repro.serve.server` — :class:`AllocationServer`, the asyncio
+  JSON-lines server (TCP and unix socket) speaking the versioned
+  :mod:`repro.api.protocol` plus the legacy ``{"op": ...}`` dialect, with
+  typed error envelopes for malformed/oversized frames, ``server``
+  response metadata, a ``stats`` op and graceful drain on shutdown;
+  :func:`run_stdio` is the synchronous stdin loop over the same core.
+
+Serving stays **bit-identical** to ``repro run``: the registry only
+routes a spec to an index whose manifest passes
+:func:`repro.api.protocol.index_mismatch`, and all selection work runs
+with the same RNG discipline as the direct executor.
+"""
+
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.registry import (
+    IndexRegistry,
+    LoadedService,
+    RegistryEntry,
+    load_service,
+)
+from repro.serve.server import (
+    DEFAULT_MAX_LINE_BYTES,
+    AllocationServer,
+    run_stdio,
+)
+
+__all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
+    "AllocationServer",
+    "IndexRegistry",
+    "LoadedService",
+    "RegistryEntry",
+    "RequestCoalescer",
+    "load_service",
+    "run_stdio",
+]

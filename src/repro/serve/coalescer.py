@@ -1,0 +1,170 @@
+"""In-flight request coalescing and per-index query batching.
+
+Specs are fingerprint-keyed (:meth:`RunSpec.fingerprint` hashes the fully
+resolved spec), which makes cross-request sharing *safe*: two requests
+with equal fingerprints are guaranteed to produce bit-identical
+responses, so N concurrent clients asking about the same workload can —
+and should — cost one selection run.  The coalescer exploits that at two
+levels:
+
+* **in-flight dedup** — the first request for a fingerprint registers a
+  future; every identical request arriving before it completes awaits the
+  same future (counted as ``coalesced``) instead of queueing its own
+  execution;
+* **per-index batching** — distinct fingerprints destined for the same
+  index that are pending in the same event-loop tick drain as one batch
+  through :func:`repro.api.protocol.execute_prepared_batch` (built on
+  :meth:`AllocationService.query_batch`), sharing the LRU and the
+  incrementally-extended greedy order in a single executor hop.
+
+Execution happens on a single worker thread (the services' caches and
+greedy orders are not thread-safe); the event loop only parses, validates
+and routes.  Every counter is exposed per index key via
+:meth:`RequestCoalescer.counters` and surfaced by the ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.protocol import PreparedRequest, execute_prepared_batch
+from repro.exceptions import ReproError
+
+
+def _new_counters() -> Dict[str, int]:
+    return {"coalesced": 0, "batches": 0, "batched_requests": 0,
+            "executed": 0, "max_batch_size": 0}
+
+
+class RequestCoalescer:
+    """Deduplicate in-flight identical specs and batch per-index queries.
+
+    Parameters
+    ----------
+    executor:
+        The single-thread executor queries run on (owned by the server).
+    max_batch:
+        Drain a pending batch early once it reaches this many requests.
+    """
+
+    def __init__(self, executor: ThreadPoolExecutor,
+                 max_batch: int = 64) -> None:
+        self._executor = executor
+        self._max_batch = max(1, int(max_batch))
+        #: fingerprint -> future resolving to (payload-or-ReproError, batch)
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        #: index key -> pending (service, prepared, future) triples
+        self._pending: Dict[str, List[Tuple[Any, PreparedRequest,
+                                            "asyncio.Future"]]] = {}
+        self._drain_handles: Dict[str, "asyncio.Handle"] = {}
+        self._counters: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Distinct specs admitted but not yet answered."""
+        return len(self._inflight)
+
+    def counters(self, key: Optional[str] = None) -> Dict[str, Any]:
+        """Coalescing counters, per index key (or all keys).
+
+        Readable from any thread (the ``stats`` op runs on the worker
+        thread while the event loop inserts keys): iteration works over
+        atomic snapshots, never live dict views.
+        """
+        if key is not None:
+            return dict(self._counters.setdefault(key, _new_counters()))
+        return {k: dict(v) for k, v in sorted(list(self._counters.items()))}
+
+    def _counters_for(self, key: str) -> Dict[str, int]:
+        return self._counters.setdefault(key, _new_counters())
+
+    # ------------------------------------------------------------------
+    async def submit(self, key: str, service,
+                     prepared: PreparedRequest
+                     ) -> Tuple[Any, bool, int, int]:
+        """Admit one prepared request; returns its execution outcome.
+
+        Returns ``(payload_or_error, coalesced, batch_size, queue_depth)``
+        where ``payload_or_error`` is the service payload dict or the
+        :class:`ReproError` the query raised, ``coalesced`` says whether
+        this request piggybacked on an identical in-flight one, and
+        ``queue_depth`` is the number of distinct in-flight specs at
+        admission time.
+        """
+        depth = len(self._inflight)
+        existing = self._inflight.get(prepared.fingerprint)
+        if existing is not None:
+            self._counters_for(key)["coalesced"] += 1
+            payload, batch_size = await asyncio.shield(existing)
+            return payload, True, batch_size, depth
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[prepared.fingerprint] = future
+        pending = self._pending.setdefault(key, [])
+        pending.append((service, prepared, future))
+        if len(pending) >= self._max_batch:
+            handle = self._drain_handles.pop(key, None)
+            if handle is not None:
+                handle.cancel()
+            self._drain(key)
+        elif key not in self._drain_handles:
+            # drain on the next loop tick: everything submitted in this
+            # tick (e.g. 32 clients whose reads completed together) forms
+            # one batch
+            self._drain_handles[key] = loop.call_soon(self._drain, key)
+        payload, batch_size = await asyncio.shield(future)
+        return payload, False, batch_size, depth
+
+    # ------------------------------------------------------------------
+    def _drain(self, key: str) -> None:
+        self._drain_handles.pop(key, None)
+        pending = self._pending.pop(key, [])
+        if not pending:
+            return
+        # a hot reload can swap the loaded service for a key between two
+        # submissions in the same tick; requests must execute against the
+        # exact service they validated on, so batch per service identity
+        by_service: Dict[int, List[Tuple[Any, PreparedRequest,
+                                         "asyncio.Future"]]] = {}
+        for triple in pending:
+            by_service.setdefault(id(triple[0]), []).append(triple)
+        for batch in by_service.values():
+            self._execute_batch(key, batch)
+
+    def _execute_batch(self, key: str,
+                       batch: List[Tuple[Any, PreparedRequest,
+                                         "asyncio.Future"]]) -> None:
+        counters = self._counters_for(key)
+        counters["batches"] += 1
+        counters["batched_requests"] += len(batch)
+        counters["max_batch_size"] = max(counters["max_batch_size"],
+                                         len(batch))
+        service = batch[0][0]
+        prepared_list = [prepared for _, prepared, _ in batch]
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(self._executor, execute_prepared_batch,
+                                    service, prepared_list)
+
+        def _finish(done: "asyncio.Future") -> None:
+            for _, prepared, _future in batch:
+                self._inflight.pop(prepared.fingerprint, None)
+            try:
+                results = done.result()
+            except BaseException as error:  # executor died / shutdown race
+                for _, _prepared, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+                return
+            counters["executed"] += sum(
+                1 for r in results if not isinstance(r, ReproError))
+            for (_, _prepared, future), result in zip(batch, results):
+                if not future.done():
+                    future.set_result((result, len(batch)))
+
+        task.add_done_callback(_finish)
+
+
+__all__ = ["RequestCoalescer"]

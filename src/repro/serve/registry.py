@@ -1,0 +1,362 @@
+"""Multi-index hosting: lazy loading, LRU eviction, hot reload.
+
+A serving process rarely answers one workload: the registry hosts many
+:class:`~repro.index.frozen.FrozenRRIndex`\\ es — discovered from explicit
+paths and/or a directory of ``*.manifest.json`` files — and routes each
+versioned request to the index whose manifest is compatible with the
+request's spec (the same field-by-field check
+:func:`repro.api.protocol.index_mismatch` that guarantees served
+allocations stay bit-identical to direct runs).
+
+Memory discipline:
+
+* **manifests are cheap, arrays are not** — :meth:`IndexRegistry.scan`
+  reads only manifests (:meth:`FrozenRRIndex.peek_manifest`); the ``.npz``
+  arrays and the rebuilt graph/model are loaded lazily on the first
+  compatible request;
+* **LRU over loaded services** — at most ``capacity`` indexes are resident
+  at once; the least-recently-used loaded service is dropped (its manifest
+  entry stays, so it can be reloaded on demand) and the eviction order is
+  recorded for :meth:`IndexRegistry.stats`;
+* **hot reload** — :meth:`IndexRegistry.reload` re-scans: new manifests
+  appear, deleted ones disappear, and entries whose manifest changed on
+  disk drop their loaded service so the next request loads the new build.
+  ``repro serve`` wires this to ``SIGHUP`` and the ``{"op": "reload"}``
+  protocol op.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.allocation import Allocation
+from repro.api.specs import RunSpec, WorkloadSpec
+from repro.exceptions import IndexStoreError
+from repro.index.frozen import FrozenRRIndex, index_paths
+from repro.index.service import AllocationService
+from repro.utility.configs import CONFIGURATIONS, configuration_model
+
+
+@dataclass
+class LoadedService:
+    """One resident index: the service plus its rebuilt live instance."""
+
+    service: AllocationService
+    graph: Any
+    model: Any
+    fixed: Allocation
+
+
+def load_service(index_path: Union[str, Path], *, verify: bool = True,
+                 cache_size: int = 128,
+                 selection_strategy: Optional[str] = None) -> LoadedService:
+    """Load an index + rebuild its instance into an :class:`AllocationService`.
+
+    The graph and utility model are reconstructed from the manifest and the
+    index fingerprint is re-verified against them (unless ``verify`` is
+    false), so a stale index — the network file or configuration changed
+    since the build — is rejected instead of silently served.
+    """
+    from repro.api.runner import load_graph
+    from repro.index.builder import expected_index_fingerprint
+
+    index = FrozenRRIndex.load(index_path)
+    meta = index.meta
+    network = meta.get("network")
+    configuration = meta.get("configuration")
+    if network is None or configuration not in CONFIGURATIONS:
+        raise IndexStoreError(
+            f"the index manifest does not name a network/configuration "
+            f"this CLI can rebuild (network={network!r}, "
+            f"configuration={configuration!r}); query it in-process via "
+            f"repro.index.AllocationService instead")
+    graph = load_graph(
+        WorkloadSpec(network=str(network), scale=meta.get("scale")),
+        seed=int(meta.get("graph_seed", meta.get("seed", 0))))
+    model = configuration_model(str(configuration))
+    if verify:
+        expected = expected_index_fingerprint(graph, model, meta)
+        if expected != index.fingerprint:
+            raise IndexStoreError(
+                f"stale index {index_path}: the rebuilt graph/configuration "
+                f"fingerprints to {expected[:12]}… but the index was built "
+                f"for {str(index.fingerprint)[:12]}…; rebuild it with "
+                f"`repro index build`")
+    fixed = Allocation(
+        {item: [int(v) for v in nodes] for item, nodes
+         in (meta.get("fingerprint_extra", {}).get("fixed") or {}).items()})
+    service = AllocationService(index, graph=graph, model=model,
+                                fixed_allocation=fixed,
+                                cache_size=cache_size,
+                                selection_strategy=selection_strategy)
+    return LoadedService(service=service, graph=graph, model=model,
+                         fixed=fixed)
+
+
+@dataclass
+class RegistryEntry:
+    """One discovered index: manifest metadata plus load state."""
+
+    key: str
+    stem: Path
+    meta: Dict[str, Any]
+    mtime: float
+    num_sets: int = 0
+    num_nodes: int = 0
+    loads: int = 0
+    requests: int = 0
+    loaded: Optional[LoadedService] = field(default=None, repr=False)
+
+
+class IndexRegistry:
+    """Host many frozen RR-set indexes behind one serving process.
+
+    Parameters
+    ----------
+    paths:
+        Explicit index stems (or their ``.npz``/``.manifest.json`` files).
+    directory:
+        A directory scanned (non-recursively) for ``*.manifest.json``
+        files; rescanned on :meth:`reload`.
+    capacity:
+        Maximum number of *loaded* indexes resident at once (LRU-evicted
+        beyond that; manifests always stay registered).
+    cache_size, selection_strategy, verify:
+        Forwarded to :func:`load_service` for every lazy load.
+    """
+
+    def __init__(self, paths: Sequence[Union[str, Path]] = (),
+                 directory: Optional[Union[str, Path]] = None,
+                 capacity: int = 4,
+                 cache_size: int = 128,
+                 selection_strategy: Optional[str] = None,
+                 verify: bool = True) -> None:
+        self._paths = [Path(p) for p in paths]
+        self._directory = Path(directory) if directory is not None else None
+        self._capacity = max(1, int(capacity))
+        self._cache_size = int(cache_size)
+        self._selection_strategy = selection_strategy
+        self._verify = bool(verify)
+        self._entries: Dict[str, RegistryEntry] = {}
+        #: keys of loaded entries, least-recently-used first
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._loads = 0
+        self._evictions = 0
+        self._eviction_log: List[str] = []
+        self._reloads = 0
+        self._skipped: List[str] = []
+        self.scan()
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def _discover(self) -> Dict[str, Tuple[Path, Dict[str, Any], float]]:
+        found: Dict[str, Tuple[Path, Dict[str, Any], float]] = {}
+        skipped: List[str] = []
+        candidates: List[Tuple[Path, bool]] = [(p, True) for p in self._paths]
+        if self._directory is not None and self._directory.is_dir():
+            candidates.extend(
+                (p, False)
+                for p in sorted(self._directory.glob("*.manifest.json")))
+        for candidate, explicit in candidates:
+            _npz_path, manifest_path = index_paths(candidate)
+            stem = manifest_path.with_name(
+                manifest_path.name[:-len(".manifest.json")])
+            key = stem.name
+            if key in found:
+                continue
+            try:
+                manifest = FrozenRRIndex.peek_manifest(stem)
+            except IndexStoreError:
+                # a broken manifest dropped into the directory must not
+                # kill a hot reload; explicitly named indexes fail fast
+                if explicit:
+                    raise
+                skipped.append(key)
+                continue
+            found[key] = (stem, manifest, manifest_path.stat().st_mtime)
+        self._skipped = skipped
+        return found
+
+    def scan(self) -> Dict[str, List[str]]:
+        """(Re)discover indexes; returns ``{added, removed, changed}`` keys.
+
+        Entries whose manifest changed on disk (mtime or fingerprint) drop
+        their loaded service so the next request loads the fresh build.
+        """
+        found = self._discover()
+        with self._lock:
+            added, removed, changed = [], [], []
+            for key in list(self._entries):
+                if key not in found:
+                    removed.append(key)
+                    self._lru.pop(key, None)
+                    del self._entries[key]
+            for key, (stem, manifest, mtime) in found.items():
+                meta = dict(manifest.get("meta") or {})
+                entry = self._entries.get(key)
+                if entry is None:
+                    self._entries[key] = RegistryEntry(
+                        key=key, stem=stem, meta=meta, mtime=mtime,
+                        num_sets=int(manifest.get("num_sets", 0)),
+                        num_nodes=int(manifest.get("num_nodes", 0)))
+                    added.append(key)
+                elif (entry.mtime != mtime
+                      or entry.meta.get("fingerprint")
+                      != meta.get("fingerprint")):
+                    entry.meta = meta
+                    entry.mtime = mtime
+                    entry.num_sets = int(manifest.get("num_sets", 0))
+                    entry.num_nodes = int(manifest.get("num_nodes", 0))
+                    entry.loaded = None
+                    self._lru.pop(key, None)
+                    changed.append(key)
+            return {"added": added, "removed": removed, "changed": changed}
+
+    def reload(self) -> Dict[str, Any]:
+        """Hot reload: rescan the paths/directory (``SIGHUP`` / ``reload``
+        op).  Returns a summary of what changed."""
+        summary: Dict[str, Any] = dict(self.scan())
+        with self._lock:
+            self._reloads += 1
+            summary["indexes"] = sorted(self._entries)
+            summary["reloads"] = self._reloads
+        return summary
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def keys(self) -> Tuple[str, ...]:
+        """Registered index keys, sorted."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    @property
+    def default_key(self) -> Optional[str]:
+        """The single registered key, when exactly one index is hosted
+        (the target of legacy un-versioned queries)."""
+        with self._lock:
+            if len(self._entries) == 1:
+                return next(iter(self._entries))
+            return None
+
+    def entry(self, key: str) -> RegistryEntry:
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None:
+            raise IndexStoreError(
+                f"no index {key!r} in the registry; "
+                f"hosted: {sorted(self._entries)}")
+        return entry
+
+    def get(self, key: str) -> LoadedService:
+        """The loaded service for ``key``; lazily loads and LRU-evicts."""
+        for _attempt in range(3):
+            entry = self.entry(key)
+            with self._lock:
+                if entry.loaded is not None:
+                    self._lru.move_to_end(key)
+                    return entry.loaded
+                expected = entry.meta.get("fingerprint")
+            # load outside the lock (slow: npz + graph rebuild); worst
+            # case two threads both load and one result wins — loads are
+            # idempotent for an unchanged manifest
+            loaded = load_service(
+                entry.stem, verify=self._verify,
+                cache_size=self._cache_size,
+                selection_strategy=self._selection_strategy)
+            with self._lock:
+                current = self._entries.get(key)
+                if current is None:  # removed by a concurrent reload
+                    return loaded
+                fresh = current.meta.get("fingerprint")
+                if fresh == expected \
+                        and loaded.service.index.meta.get("fingerprint") \
+                        == fresh:
+                    if current.loaded is None:
+                        current.loaded = loaded
+                        current.loads += 1
+                        self._loads += 1
+                    self._lru[key] = None
+                    self._lru.move_to_end(key)
+                    while len(self._lru) > self._capacity:
+                        victim, _ = self._lru.popitem(last=False)
+                        victim_entry = self._entries.get(victim)
+                        if victim_entry is not None:
+                            victim_entry.loaded = None
+                        self._evictions += 1
+                        self._eviction_log.append(victim)
+                    return current.loaded
+            # the manifest changed while we were loading: what we loaded
+            # is a stale build — rescan so the entry reflects the disk
+            # state, then retry rather than installing old arrays under
+            # new metadata
+            self.scan()
+        raise IndexStoreError(
+            f"index {key!r} kept changing on disk while loading; "
+            f"retry once the rebuild settles")
+
+    def resolve_spec(self, spec: RunSpec) -> Tuple[str, LoadedService]:
+        """Route a spec to a compatible index (loading it if needed).
+
+        Raises
+        ------
+        IndexStoreError
+            When no registered manifest is compatible; the message carries
+            the per-index mismatch reasons.
+        """
+        from repro.api.protocol import index_mismatch
+
+        with self._lock:
+            candidates = sorted(self._entries.items())
+        if not candidates:
+            raise IndexStoreError("the registry hosts no indexes; "
+                                  "build one with `repro index build`")
+        mismatches: List[str] = []
+        for key, entry in candidates:
+            reason = index_mismatch(spec, entry.meta)
+            if reason is None:
+                entry.requests += 1
+                return key, self.get(key)
+            mismatches.append(f"[{key}] {reason}")
+        raise IndexStoreError("; ".join(mismatches))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Registry statistics for the ``stats`` op."""
+        with self._lock:
+            per_index = {}
+            for key, entry in sorted(self._entries.items()):
+                row: Dict[str, Any] = {
+                    "loaded": entry.loaded is not None,
+                    "loads": entry.loads,
+                    "requests": entry.requests,
+                    "num_rr_sets": entry.num_sets,
+                    "num_nodes": entry.num_nodes,
+                    "sampler": entry.meta.get("sampler"),
+                    "network": entry.meta.get("network"),
+                }
+                if entry.loaded is not None:
+                    row["cache"] = entry.loaded.service.cache_stats
+                per_index[key] = row
+            return {
+                "indexes": per_index,
+                "entries": len(self._entries),
+                "loaded": [k for k in self._lru],
+                "capacity": self._capacity,
+                "loads": self._loads,
+                "evictions": self._evictions,
+                "eviction_order": list(self._eviction_log),
+                "reloads": self._reloads,
+                "skipped": list(self._skipped),
+            }
+
+
+__all__ = ["LoadedService", "RegistryEntry", "IndexRegistry", "load_service"]

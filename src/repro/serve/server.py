@@ -1,0 +1,652 @@
+"""Concurrent JSON-lines allocation serving (TCP, unix socket, stdio).
+
+:class:`AllocationServer` is the serving layer on top of an
+:class:`~repro.serve.registry.IndexRegistry`:
+
+* one JSON request per line, one JSON response per line — the framing of
+  the original ``repro serve`` stdin loop, now multi-client;
+* the versioned :mod:`repro.api.protocol` dialect is routed to the
+  compatible index, deduplicated and batched through the
+  :class:`~repro.serve.coalescer.RequestCoalescer`, and executed on a
+  single worker thread, so responses stay **bit-identical** to a direct
+  ``repro run`` of the same spec;
+* the legacy ``{"op": ...}`` dialect is preserved (``ping``, ``query``,
+  ``stats``) and extended with ``reload`` (hot reload, also on
+  ``SIGHUP``);
+* malformed input — bad JSON, invalid UTF-8, oversized (> 1 MiB by
+  default) or truncated frames — is answered with a typed error envelope
+  and never crashes or hangs the loop;
+* successful responses carry a ``"server"`` object::
+
+      {"...": "...", "server": {"index": "nethept-c1", "queue_depth": 3,
+                                "coalesced": true, "batch_size": 8,
+                                "in_flight": 12}}
+
+* :meth:`AllocationServer.shutdown` drains: accepting stops, in-flight
+  requests finish and flush their responses, then connections close.
+
+The same dispatch core backs the synchronous stdio loop
+(:func:`run_stdio`), so ``repro serve --stdio`` and the concurrent
+endpoints answer identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import (
+    Any,
+    AsyncIterator,
+    Dict,
+    Mapping,
+    Optional,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    SERVABLE_ALGORITHMS,
+    build_response,
+    error_response,
+    execute_prepared,
+    prepare_request,
+)
+from repro.api.specs import RunSpec
+from repro.exceptions import ReproError, SpecError
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.registry import IndexRegistry, LoadedService
+
+#: default cap on one JSON-lines frame (1 MiB)
+DEFAULT_MAX_LINE_BYTES = 1_048_576
+
+#: chunk size for the connection read loop
+_READ_CHUNK = 65536
+
+
+class AllocationServer:
+    """Serve the v1 + legacy dialects for many concurrent clients.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`IndexRegistry` hosting the servable indexes.
+    max_line_bytes:
+        Frames longer than this are answered with an
+        ``oversized-request`` envelope (the oversized input is discarded
+        up to its newline, so the connection resynchronizes).
+    coalesce:
+        Disable to execute every request individually (the benchmark's
+        "coalesced vs not" axis); dedup/batching is on by default.
+    max_batch:
+        Forwarded to :class:`RequestCoalescer`.
+    """
+
+    def __init__(self, registry: IndexRegistry, *,
+                 max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+                 coalesce: bool = True,
+                 max_batch: int = 64) -> None:
+        self._registry = registry
+        self._max_line_bytes = int(max_line_bytes)
+        self._coalesce = bool(coalesce)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve")
+        self._coalescer = RequestCoalescer(self._executor,
+                                           max_batch=max_batch)
+        self._servers: list = []
+        self._unix_paths: list = []
+        self._conn_tasks: set = set()
+        self._draining = False
+        self._busy = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._started = time.time()
+        self._requests = 0
+        self._errors = 0
+        self._connections = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> IndexRegistry:
+        return self._registry
+
+    @property
+    def coalescer(self) -> RequestCoalescer:
+        return self._coalescer
+
+    @property
+    def max_line_bytes(self) -> int:
+        return self._max_line_bytes
+
+    # ------------------------------------------------------------------
+    # framing / parsing (shared by stdio and the async endpoints)
+    # ------------------------------------------------------------------
+    def parse_line(self, raw: Union[str, bytes]
+                   ) -> Tuple[Optional[Dict[str, Any]],
+                              Optional[Dict[str, Any]]]:
+        """Parse one frame into ``(request, error_envelope)``.
+
+        At most one of the two is non-``None``; both are ``None`` for
+        blank lines (skip).  Never raises.
+        """
+        if isinstance(raw, bytes):
+            if len(raw) > self._max_line_bytes:
+                return None, self._oversized_envelope(len(raw))
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                return None, error_response(
+                    "malformed-request",
+                    f"request line is not valid UTF-8: {error}")
+        else:
+            text = raw
+            # cheap pre-check first: a str frame can only exceed the byte
+            # cap if it has at least max/4 characters (UTF-8 is <= 4B/char)
+            if len(text) * 4 > self._max_line_bytes:
+                encoded_size = len(text.encode("utf-8", errors="replace"))
+                if encoded_size > self._max_line_bytes:
+                    return None, self._oversized_envelope(encoded_size)
+        text = text.strip()
+        if not text:
+            return None, None
+        try:
+            request = json.loads(text)
+        except json.JSONDecodeError as error:
+            return None, error_response("malformed-request",
+                                        f"bad JSON: {error}")
+        if not isinstance(request, dict):
+            return None, error_response(
+                "malformed-request",
+                f"requests must be JSON objects, got "
+                f"{type(request).__name__}")
+        return request, None
+
+    def _oversized_envelope(self, size: Optional[int] = None
+                            ) -> Dict[str, Any]:
+        detail = f"request line is {size} bytes; " if size else \
+            "request line "
+        return error_response(
+            "oversized-request",
+            f"{detail}the server caps frames at "
+            f"{self._max_line_bytes} bytes")
+
+    # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+    def _resolve_versioned(self, request: Mapping[str, Any]
+                           ) -> Union[Tuple[str, LoadedService, RunSpec],
+                                      Dict[str, Any]]:
+        """Route a versioned request to its index, or an error envelope.
+
+        Returns ``(key, loaded, spec)`` so downstream stages can skip
+        re-parsing the spec."""
+        request_id = request.get("id")
+        version = request.get("v")
+        if version != PROTOCOL_VERSION:
+            return error_response(
+                "unsupported-version",
+                f"protocol version {version!r} is not supported; "
+                f"supported versions: [{PROTOCOL_VERSION}]", request_id)
+        spec_dict = request.get("spec")
+        if not isinstance(spec_dict, Mapping):
+            return error_response(
+                "malformed-request",
+                "a v1 request needs a 'spec' object: "
+                '{"v": 1, "spec": {"algorithm": ..., "workload": ..., '
+                '"engine": ...}}', request_id)
+        try:
+            spec = RunSpec.from_dict(spec_dict)
+        except SpecError as error:
+            return error_response("invalid-spec", str(error), request_id)
+        if spec.algorithm not in SERVABLE_ALGORITHMS:
+            return error_response(
+                "unsupported-algorithm",
+                f"{spec.algorithm} cannot be served from a prebuilt index; "
+                f"servable algorithms: {list(SERVABLE_ALGORITHMS)}",
+                request_id)
+        try:
+            key, loaded = self._registry.resolve_spec(spec)
+        except ReproError as error:
+            return error_response(
+                "incompatible-spec",
+                f"no hosted index is compatible with the spec: {error}",
+                request_id)
+        return key, loaded, spec
+
+    def _resolve_and_prepare(self, request: Mapping[str, Any]):
+        """Resolve + validate one versioned request (worker thread).
+
+        Returns ``(key, loaded, prepared)`` or an error envelope.  Lives
+        on the worker thread so lazy index loads never block the event
+        loop.
+        """
+        resolved = self._resolve_versioned(request)
+        if isinstance(resolved, dict):
+            return resolved
+        key, loaded, spec = resolved
+        prepared = prepare_request(loaded.service, request, spec=spec)
+        if isinstance(prepared, dict):
+            return prepared
+        return key, loaded, prepared
+
+    def _legacy_target(self, request: Mapping[str, Any]
+                       ) -> Union[Tuple[str, LoadedService],
+                                  Dict[str, Any]]:
+        """The service a legacy (un-versioned) op runs against.
+
+        A multi-index registry needs the request to name its index
+        (``{"op": "query", "index": "nethept-c1", ...}``); with a single
+        hosted index the request routes there implicitly, preserving the
+        original one-index dialect.
+        """
+        response: Dict[str, Any] = {}
+        if "id" in request:
+            response["id"] = request["id"]
+        named = request.get("index")
+        if named is not None:
+            try:
+                return str(named), self._registry.get(str(named))
+            except ReproError as error:
+                response.update(ok=False, error=str(error))
+                return response
+        key = self._registry.default_key
+        if key is None:
+            response.update(
+                ok=False,
+                error=f"the registry hosts "
+                      f"{len(self._registry.keys())} indexes; name one "
+                      f'with {{"index": ...}} '
+                      f"(hosted: {list(self._registry.keys())})")
+            return response
+        try:
+            return key, self._registry.get(key)
+        except ReproError as error:
+            response.update(ok=False, error=str(error))
+            return response
+
+    # ------------------------------------------------------------------
+    # stats / reload ops
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> Dict[str, Any]:
+        """Server + registry + coalescer statistics (the ``stats`` op)."""
+        return {
+            "server": {
+                "uptime_s": round(time.time() - self._started, 3),
+                "requests": self._requests,
+                "errors": self._errors,
+                "connections": self._connections,
+                "active_connections": len(self._conn_tasks),
+                "in_flight": self._busy,
+                "queue_depth": self._coalescer.queue_depth,
+                "max_line_bytes": self._max_line_bytes,
+                "coalescing": self._coalesce,
+                "draining": self._draining,
+            },
+            "coalescer": self._coalescer.counters(),
+            "registry": self._registry.stats(),
+        }
+
+    def _handle_stats_op(self, request: Mapping[str, Any]
+                         ) -> Dict[str, Any]:
+        response: Dict[str, Any] = {}
+        if "id" in request:
+            response["id"] = request["id"]
+        response.update(ok=True, **self.stats_payload())
+        # one-index compatibility: surface the flat single-service shape
+        # the original `stats` op answered with (without forcing a load)
+        key = self._registry.default_key
+        if key is not None:
+            loaded = self._registry.entry(key).loaded
+            if loaded is not None:
+                response.setdefault("stats", loaded.service.cache_stats)
+                response.setdefault("num_rr_sets",
+                                    loaded.service.index.num_sets)
+                response.setdefault("num_nodes",
+                                    loaded.service.index.num_nodes)
+        return response
+
+    def _handle_reload_op(self, request: Mapping[str, Any]
+                          ) -> Dict[str, Any]:
+        response: Dict[str, Any] = {}
+        if "id" in request:
+            response["id"] = request["id"]
+        try:
+            response.update(ok=True, reload=self._registry.reload())
+        except ReproError as error:
+            response.update(ok=False, error=str(error))
+        return response
+
+    def _server_meta(self, key: Optional[str] = None,
+                     coalesced: bool = False, batch_size: int = 1,
+                     queue_depth: int = 0) -> Dict[str, Any]:
+        return {"index": key, "queue_depth": queue_depth,
+                "coalesced": coalesced, "batch_size": batch_size,
+                "in_flight": self._busy}
+
+    # ------------------------------------------------------------------
+    # synchronous dispatch (stdio loop)
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Answer one parsed request synchronously (no coalescing)."""
+        self._requests += 1
+        if "v" in request:
+            started = time.perf_counter()
+            resolved = self._resolve_versioned(request)
+            if isinstance(resolved, dict):
+                self._errors += 1
+                return resolved
+            key, loaded, spec = resolved
+            prepared = prepare_request(loaded.service, request, spec=spec)
+            if isinstance(prepared, dict):
+                self._errors += 1
+                return prepared
+            try:
+                payload = execute_prepared(loaded.service, prepared)
+            except ReproError as error:
+                self._errors += 1
+                return error_response("invalid-spec", str(error),
+                                      prepared.request_id)
+            response = build_response(prepared, payload, started)
+            response["server"] = self._server_meta(key)
+            return response
+        op = str(request.get("op", "query")).strip().lower()
+        if op == "ping":
+            response = {}
+            if "id" in request:
+                response["id"] = request["id"]
+            response.update(ok=True, pong=True, latency_ms=0.0)
+            return response
+        if op == "stats":
+            return self._handle_stats_op(request)
+        if op == "reload":
+            return self._handle_reload_op(request)
+        target = self._legacy_target(request)
+        if isinstance(target, dict):
+            self._errors += 1
+            return target
+        key, loaded = target
+        response = loaded.service.handle_request(request)
+        if response.get("ok"):
+            response["server"] = self._server_meta(key)
+        else:
+            self._errors += 1
+        return response
+
+    def dispatch_line(self, raw: Union[str, bytes]
+                      ) -> Optional[Dict[str, Any]]:
+        """Parse + dispatch one frame; ``None`` for blank lines."""
+        request, envelope = self.parse_line(raw)
+        if envelope is not None:
+            self._requests += 1
+            self._errors += 1
+            return envelope
+        if request is None:
+            return None
+        return self.dispatch(request)
+
+    # ------------------------------------------------------------------
+    # async dispatch (TCP / unix endpoints)
+    # ------------------------------------------------------------------
+    async def handle_async(self, request: Mapping[str, Any]
+                           ) -> Dict[str, Any]:
+        """Answer one parsed request with coalescing and batching."""
+        loop = asyncio.get_running_loop()
+        if "v" not in request:
+            # legacy ops run whole on the worker thread (they may load an
+            # index or run a query; either would block the loop)
+            return await loop.run_in_executor(self._executor,
+                                              self.dispatch, request)
+        self._requests += 1
+        started = time.perf_counter()
+        outcome = await loop.run_in_executor(
+            self._executor, self._resolve_and_prepare, request)
+        if isinstance(outcome, dict):
+            self._errors += 1
+            return outcome
+        key, loaded, prepared = outcome
+        if not self._coalesce:
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor, execute_prepared, loaded.service,
+                    prepared)
+            except ReproError as error:
+                self._errors += 1
+                return error_response("invalid-spec", str(error),
+                                      prepared.request_id)
+            response = build_response(prepared, payload, started)
+            response["server"] = self._server_meta(key)
+            return response
+        payload, coalesced, batch_size, depth = await self._coalescer.submit(
+            key, loaded.service, prepared)
+        if isinstance(payload, ReproError):
+            self._errors += 1
+            return error_response("invalid-spec", str(payload),
+                                  prepared.request_id)
+        response = build_response(prepared, payload, started)
+        response["server"] = self._server_meta(
+            key, coalesced=coalesced, batch_size=batch_size,
+            queue_depth=depth)
+        return response
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _frames(self, reader: asyncio.StreamReader
+                      ) -> AsyncIterator[Tuple[bytes, bool]]:
+        """Yield ``(frame, oversized)`` pairs from a byte stream.
+
+        Frames are newline-delimited.  An oversized frame is discarded as
+        it streams in (bounded memory) and reported once, when its
+        terminating newline arrives; a truncated trailing frame (EOF
+        without newline) is still yielded.
+        """
+        buffer = bytearray()
+        discarding = False
+        while True:
+            chunk = await reader.read(_READ_CHUNK)
+            if not chunk:
+                if buffer and not discarding:
+                    yield bytes(buffer), False
+                return
+            buffer.extend(chunk)
+            while True:
+                newline = buffer.find(b"\n")
+                if newline == -1:
+                    if not discarding \
+                            and len(buffer) > self._max_line_bytes:
+                        discarding = True
+                    if discarding:
+                        buffer.clear()
+                    break
+                frame = bytes(buffer[:newline])
+                del buffer[:newline + 1]
+                if discarding:
+                    # this newline terminates the oversized frame
+                    discarding = False
+                    yield b"", True
+                elif len(frame) > self._max_line_bytes:
+                    yield b"", True
+                else:
+                    yield frame, False
+
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self._connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            async for frame, oversized in self._frames(reader):
+                if self._draining:
+                    break
+                if oversized:
+                    self._requests += 1
+                    self._errors += 1
+                    response: Optional[Dict[str, Any]] = \
+                        self._oversized_envelope()
+                    writer.write((json.dumps(response) + "\n")
+                                 .encode("utf-8"))
+                    await writer.drain()
+                    continue
+                request, envelope = self.parse_line(frame)
+                if envelope is not None:
+                    self._requests += 1
+                    self._errors += 1
+                    response = envelope
+                elif request is None:
+                    continue
+                else:
+                    # busy covers handling AND the response write, so a
+                    # draining shutdown never drops a computed response
+                    self._busy += 1
+                    if self._idle is not None:
+                        self._idle.clear()
+                    try:
+                        response = await self.handle_async(request)
+                        writer.write((json.dumps(response, default=str)
+                                      + "\n").encode("utf-8"))
+                        await writer.drain()
+                    finally:
+                        self._busy -= 1
+                        if self._busy == 0 and self._idle is not None:
+                            self._idle.set()
+                    continue
+                writer.write((json.dumps(response, default=str)
+                              + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    # ------------------------------------------------------------------
+    # endpoints / lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_idle_event(self) -> None:
+        if self._idle is None:
+            self._idle = asyncio.Event()
+            self._idle.set()
+
+    async def start_tcp(self, host: str, port: int) -> Tuple[str, int]:
+        """Start the TCP endpoint; returns the bound ``(host, port)``."""
+        self._ensure_idle_event()
+        server = await asyncio.start_server(
+            self._client_connected, host, port, limit=_READ_CHUNK)
+        self._servers.append(server)
+        bound = server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def start_unix(self, path: Union[str, Path]) -> Path:
+        """Start the unix-socket endpoint; returns the socket path."""
+        self._ensure_idle_event()
+        path = Path(path)
+        server = await asyncio.start_unix_server(
+            self._client_connected, str(path), limit=_READ_CHUNK)
+        self._servers.append(server)
+        self._unix_paths.append(path)
+        return path
+
+    async def shutdown(self, drain: bool = True,
+                       timeout: float = 10.0) -> None:
+        """Stop accepting, optionally drain in-flight requests, close.
+
+        With ``drain=True`` every request already being processed finishes
+        and flushes its response before its connection closes; idle
+        connections are then closed.  ``timeout`` bounds the drain.
+        """
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        if drain and self._busy and self._idle is not None:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+            # one tick so drained responses reach their transports
+            await asyncio.sleep(0)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - close race
+                pass
+        self._servers.clear()
+        for path in self._unix_paths:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._unix_paths.clear()
+        self._executor.shutdown(wait=True)
+
+    async def serve_forever(self, *, tcp: Optional[Tuple[str, int]] = None,
+                            unix: Optional[Union[str, Path]] = None,
+                            ready=None) -> None:
+        """Run until SIGINT/SIGTERM; SIGHUP hot-reloads the registry.
+
+        ``ready`` (optional callable) receives the bound endpoint
+        descriptions once listening — the CLI prints them to stderr.
+        """
+        import signal
+
+        endpoints = []
+        if tcp is not None:
+            host, port = await self.start_tcp(*tcp)
+            endpoints.append(f"tcp://{host}:{port}")
+        if unix is not None:
+            path = await self.start_unix(unix)
+            endpoints.append(f"unix://{path}")
+        if ready is not None:
+            ready(endpoints)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            loop.add_signal_handler(signal.SIGHUP,
+                                    lambda: self._registry.reload())
+        except (NotImplementedError, RuntimeError,
+                AttributeError):  # pragma: no cover - non-unix
+            pass
+        await stop.wait()
+        await self.shutdown(drain=True)
+
+
+def run_stdio(server: AllocationServer,
+              stdin: Optional[TextIO] = None,
+              stdout: Optional[TextIO] = None) -> int:
+    """The synchronous stdio loop: one request per line on stdin.
+
+    Delegates every frame to the same dispatch core as the concurrent
+    endpoints, so the stdio dialect (legacy and versioned) answers
+    identically to TCP/unix serving.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        response = server.dispatch_line(line)
+        if response is None:
+            continue
+        print(json.dumps(response, default=str), file=stdout, flush=True)
+    return 0
+
+
+__all__ = ["DEFAULT_MAX_LINE_BYTES", "AllocationServer", "run_stdio"]

@@ -202,6 +202,29 @@ class TestIndexCommands:
         assert lines[4]["stats"]["hits"] == 1
 
 
+class TestTcpAddressArgument:
+    def test_host_port_forms(self):
+        from repro.api.cliargs import tcp_address_argument
+
+        assert tcp_address_argument("127.0.0.1:7411") == ("127.0.0.1", 7411)
+        assert tcp_address_argument(":8080") == ("127.0.0.1", 8080)
+        assert tcp_address_argument("0") == ("127.0.0.1", 0)
+        assert tcp_address_argument("0.0.0.0:0") == ("0.0.0.0", 0)
+
+    def test_malformed_addresses_rejected(self):
+        import argparse
+
+        from repro.api.cliargs import tcp_address_argument
+
+        for bad in ("host:port", "1.2.3.4:", "1.2.3.4:99999", "x"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                tcp_address_argument(bad)
+
+    def test_serve_requires_an_index_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--index" in capsys.readouterr().err
+
+
 class TestBudgetsArgument:
     RUN = ["run", "--network", "nethept", "--scale", "0.01", "--samples",
            "20", "--max-rr-sets", "2000", "--seed", "1"]

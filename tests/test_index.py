@@ -305,6 +305,57 @@ class TestAllocationService:
             service.query("select", k=k)
         assert service.cache_stats["size"] <= 4
 
+    def test_query_cache_entry_cap_and_eviction_counter(self, graph, model):
+        index = build_index(graph, model, sampler="marginal",
+                            budgets={"i": 2, "j": 2}, options=OPTIONS,
+                            seed=5)
+        service = AllocationService(index, graph=graph, model=model,
+                                    cache_size=3)
+        for k in range(1, 9):
+            service.query("select", k=k)
+        stats = service.cache_stats
+        assert stats["capacity"] == 3
+        assert stats["size"] == 3
+        assert stats["evictions"] == 5
+        # the three newest keys survive; the oldest were evicted
+        cached = service.query("select", k=8)
+        assert cached["cached"] is True
+        evicted = service.query("select", k=1)
+        assert evicted["cached"] is False
+
+    def test_spec_cache_entry_cap_and_eviction_counter(self, graph, model):
+        index = build_index(graph, model, sampler="marginal",
+                            budgets={"i": 2, "j": 2}, options=OPTIONS,
+                            seed=5)
+        service = AllocationService(index, graph=graph, model=model,
+                                    cache_size=2)
+        for n in range(5):
+            service.store_spec_response(f"fp-{n}", {"payload": n})
+        spec_stats = service.cache_stats["spec_cache"]
+        assert spec_stats["capacity"] == 2
+        assert spec_stats["size"] == 2
+        assert spec_stats["evictions"] == 3
+        # LRU order: the two newest fingerprints survive
+        assert service.cached_spec_response("fp-4") == {"payload": 4}
+        assert service.cached_spec_response("fp-0") is None
+        stats = service.cache_stats["spec_cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_zero_capacity_disables_both_caches(self, graph, model):
+        index = build_index(graph, model, sampler="marginal",
+                            budgets={"i": 2, "j": 2}, options=OPTIONS,
+                            seed=5)
+        service = AllocationService(index, graph=graph, model=model,
+                                    cache_size=0)
+        service.store_spec_response("fp", {"payload": 1})
+        assert service.cached_spec_response("fp") is None
+        first = service.query("SeqGRD-NM", budgets={"i": 1, "j": 1})
+        second = service.query("SeqGRD-NM", budgets={"i": 1, "j": 1})
+        assert first["cached"] is False and second["cached"] is False
+        assert first["allocation"] == second["allocation"]
+        assert service.cache_stats["size"] == 0
+        assert service.cache_stats["spec_cache"]["size"] == 0
+
     def test_select_budgets_are_greedy_prefixes(self, service):
         big = service.query("select", k=6)["allocation"]["seeds"]
         small = service.query("select", k=2)["allocation"]["seeds"]

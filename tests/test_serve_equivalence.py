@@ -1,0 +1,213 @@
+"""Property-based serve ⇔ run equivalence on randomized RunSpecs.
+
+A seeded generator (plain ``random.Random`` — no hypothesis dependency)
+draws RunSpecs across algorithms, budgets and seeds; each spec is served
+through the full serving stack (registry → server dispatch → protocol →
+AllocationService over a freshly built index) and compared against a
+direct :func:`repro.api.run` of the same spec:
+
+* allocations must be **bit-identical**,
+* the response fingerprint must equal :meth:`RunSpec.fingerprint` and
+  survive a ``to_dict`` → JSON → ``from_dict`` round trip,
+* serving the same spec twice (fresh service vs. cached) must agree.
+
+One spec additionally round-trips through a real TCP connection, so the
+wire path (framing, coalescer, worker thread) is covered by the same
+bit-identity property.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.api import (
+    EngineConfig,
+    RunSpec,
+    WorkloadSpec,
+    make_request,
+    run as run_spec,
+)
+from repro.index import AllocationService, build_index
+from repro.serve import AllocationServer, IndexRegistry
+from repro.utility.configs import configuration_model
+
+NETWORK, SCALE, CONFIGURATION = "nethept", 0.01, "C1"
+
+
+def generate_specs(seed: int, count: int) -> List[RunSpec]:
+    """Seeded random RunSpecs servable from a matching index."""
+    rng = random.Random(seed)
+    specs = []
+    for _ in range(count):
+        algorithm = rng.choice(["SeqGRD-NM", "SeqGRD-NM", "SupGRD"])
+        engine = EngineConfig(seed=rng.choice([3, 4]),
+                              samples=rng.choice([5, 10]),
+                              max_rr_sets=rng.choice([1500, 2000]),
+                              epsilon=rng.choice([0.5, 0.6]))
+        if algorithm == "SupGRD":
+            workload = WorkloadSpec(
+                network=NETWORK, scale=SCALE, configuration=CONFIGURATION,
+                budgets={"i": rng.randint(1, 3)}, superior_item="i")
+        else:
+            workload = WorkloadSpec(
+                network=NETWORK, scale=SCALE, configuration=CONFIGURATION,
+                budgets={"i": rng.randint(1, 3), "j": rng.randint(1, 3)})
+        specs.append(RunSpec(algorithm=algorithm, workload=workload,
+                             engine=engine))
+    return specs
+
+
+def build_matching_index(graph, model, spec: RunSpec):
+    """Build the index a direct run of ``spec`` would have sampled."""
+    sampler = "weighted" if spec.algorithm == "SupGRD" else "marginal"
+    return build_index(
+        graph, model, sampler=sampler,
+        budgets=dict(spec.workload.budgets),
+        superior_item=spec.workload.superior_item,
+        options=spec.engine.imm_options(), seed=spec.engine.seed,
+        meta_extra={"network": NETWORK, "scale": SCALE,
+                    "configuration": CONFIGURATION,
+                    "graph_seed": spec.engine.seed,
+                    "fixed_imm_item": None, "fixed_imm_budget": 50})
+
+
+@pytest.fixture(scope="module")
+def instances():
+    from repro.graphs.datasets import load_network
+
+    model = configuration_model(CONFIGURATION)
+    return {seed: load_network(NETWORK, scale=SCALE, rng=seed)
+            for seed in (3, 4)}, model
+
+
+@pytest.fixture(scope="module")
+def served_and_direct(instances) -> List[Tuple[RunSpec, dict, dict]]:
+    """Each random spec served through the stack + run directly."""
+    graphs, model = instances
+    rows = []
+    for spec in generate_specs(seed=2020, count=6):
+        graph = graphs[spec.engine.seed]
+        index = build_matching_index(graph, model, spec)
+        service = AllocationService(index, graph=graph, model=model)
+        response = service.handle_request(make_request(spec, request_id=1))
+        record = run_spec(spec, graph=graph, model=model)
+        direct = {item: list(nodes) for item, nodes
+                  in record.result.allocation.as_dict().items()}
+        rows.append((spec, response, direct))
+    return rows
+
+
+class TestServeMatchesRun:
+    def test_all_specs_served_ok(self, served_and_direct):
+        for spec, response, _direct in served_and_direct:
+            assert response["ok"] is True, (spec.algorithm, response)
+
+    def test_allocations_bit_identical(self, served_and_direct):
+        for spec, response, direct in served_and_direct:
+            assert response["allocation"] == direct, spec.algorithm
+
+    def test_fingerprints_match_spec(self, served_and_direct):
+        for spec, response, _direct in served_and_direct:
+            assert response["fingerprint"] == spec.fingerprint()
+
+    def test_fingerprints_survive_json_round_trip(self, served_and_direct):
+        for spec, _response, _direct in served_and_direct:
+            round_tripped = RunSpec.from_dict(
+                json.loads(json.dumps(spec.to_dict())))
+            assert round_tripped.fingerprint() == spec.fingerprint()
+            assert round_tripped == spec
+
+    def test_generator_is_deterministic(self):
+        first = [s.fingerprint() for s in generate_specs(seed=99, count=8)]
+        second = [s.fingerprint() for s in generate_specs(seed=99, count=8)]
+        assert first == second
+        # different seeds explore different specs
+        other = [s.fingerprint() for s in generate_specs(seed=100, count=8)]
+        assert first != other
+
+    def test_fresh_service_reserves_identically(self, instances,
+                                                served_and_direct):
+        graphs, model = instances
+        spec, response, _direct = served_and_direct[0]
+        graph = graphs[spec.engine.seed]
+        index = build_matching_index(graph, model, spec)
+        fresh = AllocationService(index, graph=graph, model=model)
+        again = fresh.handle_request(make_request(spec))
+        assert again["allocation"] == response["allocation"]
+        assert again["fingerprint"] == response["fingerprint"]
+
+
+class TestWirePathEquivalence:
+    def test_tcp_round_trip_bit_identical(self, tmp_path, instances,
+                                          served_and_direct):
+        graphs, model = instances
+        spec, _response, direct = served_and_direct[0]
+        graph = graphs[spec.engine.seed]
+        index = build_matching_index(graph, model, spec)
+        index.save(tmp_path / "wire-idx")
+        registry = IndexRegistry(directory=tmp_path)
+        server = AllocationServer(registry)
+
+        async def scenario():
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps(make_request(spec, request_id=7))
+                         .encode() + b"\n")
+            await writer.drain()
+            response = json.loads(await asyncio.wait_for(
+                reader.readline(), 60))
+            writer.close()
+            await server.shutdown(drain=True)
+            return response
+
+        response = asyncio.run(asyncio.wait_for(scenario(), 120))
+        assert response["ok"] is True, response
+        assert response["allocation"] == direct
+        assert response["fingerprint"] == spec.fingerprint()
+        assert response["server"]["index"] == "wire-idx"
+
+    def test_stdio_dispatch_matches_direct_service(self, tmp_path,
+                                                   instances,
+                                                   served_and_direct):
+        graphs, model = instances
+        spec, response, _direct = served_and_direct[1]
+        graph = graphs[spec.engine.seed]
+        index = build_matching_index(graph, model, spec)
+        index.save(tmp_path / "stdio-idx")
+        registry = IndexRegistry(paths=[tmp_path / "stdio-idx"])
+        server = AllocationServer(registry)
+        via_core = server.dispatch_line(json.dumps(make_request(spec)))
+        assert via_core["ok"] is True
+        assert via_core["allocation"] == response["allocation"]
+
+
+class TestIncompatibleSpecsRejected:
+    def test_randomized_incompatible_specs_get_envelopes(self, tmp_path,
+                                                         instances):
+        graphs, model = instances
+        base = generate_specs(seed=5, count=1)[0]
+        graph = graphs[base.engine.seed]
+        index = build_matching_index(graph, model, base)
+        index.save(tmp_path / "strict-idx")
+        registry = IndexRegistry(directory=tmp_path)
+        server = AllocationServer(registry)
+        rng = random.Random(5)
+        rejected = 0
+        for _ in range(10):
+            mutated = dataclasses.replace(
+                base, engine=dataclasses.replace(
+                    base.engine,
+                    seed=rng.randint(50, 99),
+                    epsilon=rng.choice([0.1, 0.2, 0.9])))
+            response = server.dispatch_line(
+                json.dumps(make_request(mutated)))
+            assert response["ok"] is False
+            assert response["error"]["code"] == "incompatible-spec"
+            rejected += 1
+        assert rejected == 10
