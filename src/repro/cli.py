@@ -144,7 +144,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_arguments(build)
     add_engine_arguments(build, exclude=("samples", "marginal_samples",
                                          "pool_size"))
+    build.add_argument("--stream", action="store_true",
+                       help="standard sampler only: spill RR-set chunks "
+                            "straight to the on-disk v2 layout (bounded "
+                            "working set; bit-identical to a sharded "
+                            "in-RAM build)")
+    build.add_argument("--rr-sets", type=int, default=None,
+                       help="with --stream: skip adaptive IMM and sample "
+                            "exactly this many RR sets (fixed θ)")
+    build.add_argument("--chunk-sets", type=int, default=None,
+                       help="with --stream: RR sets per spilled chunk "
+                            "(rounded up to a shard multiple)")
     build.add_argument("--json", action="store_true")
+
+    info = index_sub.add_parser(
+        "info", help="describe a persisted index from its manifest "
+                     "(no arrays are loaded)")
+    info.add_argument("path", type=Path,
+                      help="index path stem (or its .npz/.manifest.json)")
+    info.add_argument("--json", action="store_true")
 
     query = index_sub.add_parser(
         "query", help="answer an allocation query from a persisted index")
@@ -201,6 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-coalesce", action="store_true",
                        help="disable in-flight request coalescing and "
                             "batching on the concurrent endpoints")
+    serve.add_argument("--no-mmap", action="store_true",
+                       help="materialize index arrays in RAM instead of "
+                            "serving v2 indexes off the page cache")
+    serve.add_argument("--memory-budget-mb", type=float, default=None,
+                       metavar="MB",
+                       help="evict least-recently-used indexes beyond "
+                            "this resident-byte budget (mmap-served "
+                            "arrays count zero)")
     serve.add_argument("--no-verify", action="store_true")
     add_spec_arguments(serve, EngineConfig, include=("selection_strategy",))
 
@@ -350,20 +376,39 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         superior_item = item
         budgets = {item: budget}
 
-    index = build_index(
-        graph, model, sampler=args.sampler, budgets=budgets,
-        fixed_allocation=fixed, superior_item=superior_item,
-        options=options, seed=engine.seed, workers=engine.workers,
-        engine=engine.engine, selection_strategy=engine.selection_strategy,
-        meta_extra={
-            "network": workload.network,
-            "scale": workload.scale,
-            "configuration": workload.configuration,
-            "graph_seed": engine.seed,
-            "fixed_imm_item": workload.fixed_imm_item,
-            "fixed_imm_budget": workload.fixed_imm_budget,
-        })
-    npz_path, manifest_path = index.save(args.out)
+    meta_extra = {
+        "network": workload.network,
+        "scale": workload.scale,
+        "configuration": workload.configuration,
+        "graph_seed": engine.seed,
+        "fixed_imm_item": workload.fixed_imm_item,
+        "fixed_imm_budget": workload.fixed_imm_budget,
+    }
+    if getattr(args, "stream", False):
+        if args.sampler != "standard":
+            print("error: --stream supports the standard sampler only",
+                  file=sys.stderr)
+            return 2
+        from repro.index import build_streaming_index
+        from repro.index.frozen import index_paths
+
+        index = build_streaming_index(
+            graph, model, budgets=budgets, fixed_allocation=fixed,
+            out=args.out,
+            rr_sets=args.rr_sets, options=options, seed=engine.seed,
+            workers=engine.workers or 1, engine=engine.engine,
+            selection_strategy=engine.selection_strategy,
+            chunk_sets=args.chunk_sets, meta_extra=meta_extra)
+        npz_path, manifest_path = index_paths(args.out)
+    else:
+        index = build_index(
+            graph, model, sampler=args.sampler, budgets=budgets,
+            fixed_allocation=fixed, superior_item=superior_item,
+            options=options, seed=engine.seed, workers=engine.workers,
+            engine=engine.engine,
+            selection_strategy=engine.selection_strategy,
+            meta_extra=meta_extra)
+        npz_path, manifest_path = index.save(args.out)
     payload = {
         "index": str(npz_path),
         "manifest": str(manifest_path),
@@ -444,9 +489,69 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    from repro.index import FrozenRRIndex, index_paths
+
+    npz_path, manifest_path = index_paths(args.path)
+    manifest = FrozenRRIndex.peek_manifest(args.path)
+    meta = manifest.get("meta", {})
+    payload = {
+        "index": str(npz_path),
+        "manifest": str(manifest_path),
+        "format_version": manifest.get("format_version"),
+        "fingerprint": meta.get("fingerprint"),
+        "num_nodes": manifest.get("num_nodes"),
+        "num_sets": manifest.get("num_sets"),
+        "total_weight": manifest.get("total_weight"),
+        "dtypes": manifest.get("dtypes"),
+        "array_bytes": manifest.get("array_bytes"),
+        "size_bytes": npz_path.stat().st_size if npz_path.exists() else None,
+        "manifest_bytes": (manifest_path.stat().st_size
+                           if manifest_path.exists() else None),
+        "algorithm": meta.get("algorithm"),
+        "sampler": meta.get("sampler"),
+        "network": meta.get("network"),
+        "configuration": meta.get("configuration"),
+        "seed": meta.get("seed"),
+        "streamed": bool(meta.get("streamed", False)),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    version = payload["format_version"]
+    mmap_note = ("mmap-served" if version and int(version) >= 2
+                 else "compressed v1 (heap-loaded; rebuild for mmap)")
+    print(f"index      : {npz_path}")
+    print(f"format     : v{version} ({mmap_note})")
+    print(f"fingerprint: {payload['fingerprint']}")
+    print(f"contents   : {payload['num_sets']} RR sets over "
+          f"{payload['num_nodes']} nodes, total weight "
+          f"{payload['total_weight']}")
+    if payload["dtypes"]:
+        dtypes = ", ".join(f"{name}={dt}"
+                           for name, dt in sorted(payload["dtypes"].items()))
+        print(f"dtypes     : {dtypes}")
+    if payload["array_bytes"] is not None:
+        print(f"array bytes: {payload['array_bytes']} "
+              f"({payload['array_bytes'] / 2 ** 20:.1f} MiB)")
+    if payload["size_bytes"] is not None:
+        print(f"file bytes : {payload['size_bytes']} npz + "
+              f"{payload['manifest_bytes']} manifest")
+    built_from = payload["network"] or "?"
+    if payload["configuration"]:
+        built_from += f" / {payload['configuration']}"
+    print(f"built from : {built_from} "
+          f"({payload['algorithm']}, sampler={payload['sampler']}, "
+          f"seed={payload['seed']}"
+          f"{', streamed' if payload['streamed'] else ''})")
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     if args.index_command == "build":
         return _cmd_index_build(args)
+    if args.index_command == "info":
+        return _cmd_index_info(args)
     return _cmd_index_query(args)
 
 
@@ -473,7 +578,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         paths=args.index, directory=args.index_dir,
         capacity=args.max_indexes, cache_size=args.cache_size,
         selection_strategy=args.selection_strategy,
-        verify=not args.no_verify)
+        verify=not args.no_verify, mmap=not args.no_mmap,
+        memory_budget=(int(args.memory_budget_mb * 2 ** 20)
+                       if args.memory_budget_mb is not None else None))
     server = AllocationServer(
         registry,
         max_line_bytes=(args.max_line_bytes if args.max_line_bytes

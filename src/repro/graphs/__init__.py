@@ -3,7 +3,12 @@
 from repro.graphs.graph import DirectedGraph, Edge
 from repro.graphs import analysis, generators, weighting, datasets, loaders, sampling
 from repro.graphs.analysis import extended_statistics
-from repro.graphs.datasets import load_network, network_names, network_statistics
+from repro.graphs.datasets import (
+    load_edge_list_network,
+    load_network,
+    network_names,
+    network_statistics,
+)
 from repro.graphs.weighting import weighted_cascade, uniform, trivalency
 
 __all__ = [
@@ -16,6 +21,7 @@ __all__ = [
     "datasets",
     "loaders",
     "sampling",
+    "load_edge_list_network",
     "load_network",
     "network_names",
     "network_statistics",

@@ -19,7 +19,8 @@ preserved at reduced scale even though absolute numbers differ.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from repro.exceptions import GraphError
 from repro.graphs import generators, weighting
@@ -127,6 +128,41 @@ def load_network(name: str, scale: Optional[float] = None,
     return graph
 
 
+def load_edge_list_network(path: Union[str, Path], *,
+                           directed: bool = True,
+                           one_based: bool = False,
+                           num_nodes: Optional[int] = None,
+                           name: Optional[str] = None,
+                           weighting_scheme: str = "weighted_cascade",
+                           uniform_probability: float = 0.01
+                           ) -> DirectedGraph:
+    """Load a real SNAP-style edge-list snapshot as a benchmark network.
+
+    This is the path the paper's own experiments take: download a published
+    snapshot (NetHEPT, Orkut, ...), parse its edge list and apply the
+    influence weighting.  :func:`repro.graphs.loaders.read_edge_list` does
+    the parsing — gzipped files, ``#``/``%`` comments, duplicate edges,
+    self loops and 1-based numbering are all handled — and the requested
+    ``weighting_scheme`` is applied afterwards exactly as for the synthetic
+    stand-ins.  Unlike the generators this has no node-count ceiling; the
+    streamed index build keeps million-node snapshots tractable.
+
+    ``weighting_scheme="none"`` preserves the file's own probability
+    column (or the 1.0 default when there is none) instead of reweighting.
+    """
+    from repro.graphs.loaders import read_edge_list
+
+    graph = read_edge_list(path, directed=directed, num_nodes=num_nodes,
+                           name=name, one_based=one_based)
+    if weighting_scheme == "weighted_cascade":
+        graph = weighting.weighted_cascade(graph)
+    elif weighting_scheme == "uniform":
+        graph = weighting.uniform(graph, uniform_probability)
+    elif weighting_scheme != "none":
+        raise GraphError(f"unknown weighting scheme {weighting_scheme!r}")
+    return graph
+
+
 def network_statistics(graph: DirectedGraph) -> Dict[str, object]:
     """Summary statistics in the layout of the paper's Table 2."""
     return {
@@ -144,6 +180,7 @@ __all__ = [
     "NETWORKS",
     "network_names",
     "network_spec",
+    "load_edge_list_network",
     "load_network",
     "network_statistics",
 ]

@@ -12,7 +12,10 @@ serving layer:
 * :mod:`repro.index.fingerprint` — instance fingerprints so stale indexes
   are detected and rebuilt, never silently reused;
 * :mod:`repro.index.builder` — deterministic sharded (multiprocessing)
-  RR-set generation and the one-stop :func:`build_index`;
+  RR-set generation and the one-stop :func:`build_index` /
+  :func:`build_streaming_index`;
+* :mod:`repro.index.stream` — :class:`StreamingIndexWriter`, the
+  bounded-memory spill path behind the streaming build;
 * :mod:`repro.index.service` — :class:`AllocationService`, the cached
   query layer behind ``repro index query`` and ``repro serve``.
 """
@@ -23,6 +26,7 @@ from repro.index.builder import (
     ParallelRRSampler,
     ShardSpec,
     build_index,
+    build_streaming_index,
     expected_index_fingerprint,
     shard_size,
 )
@@ -31,19 +35,28 @@ from repro.index.fingerprint import (
     index_fingerprint,
     model_fingerprint,
 )
-from repro.index.frozen import FORMAT_VERSION, FrozenRRIndex, index_paths
+from repro.index.frozen import (
+    FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    FrozenRRIndex,
+    index_paths,
+)
 from repro.index.service import SERVICE_ALGORITHMS, AllocationService
+from repro.index.stream import StreamingIndexWriter
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "FORMAT_VERSION",
     "SAMPLER_KINDS",
     "SERVICE_ALGORITHMS",
+    "SUPPORTED_FORMAT_VERSIONS",
     "AllocationService",
     "FrozenRRIndex",
     "ParallelRRSampler",
     "ShardSpec",
+    "StreamingIndexWriter",
     "build_index",
+    "build_streaming_index",
     "expected_index_fingerprint",
     "graph_fingerprint",
     "index_fingerprint",

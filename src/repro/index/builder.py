@@ -22,6 +22,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import warnings
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -383,6 +384,158 @@ def build_index(graph: DirectedGraph, model: Optional[UtilityModel] = None, *,
     return collection.freeze(meta=meta, compact=True)
 
 
+def build_streaming_index(graph: DirectedGraph,
+                          model: Optional[UtilityModel] = None, *,
+                          k: Optional[int] = None,
+                          out,
+                          budgets: Optional[Mapping[str, int]] = None,
+                          fixed_allocation: Optional[Allocation] = None,
+                          rr_sets: Optional[int] = None,
+                          options: Optional[IMMOptions] = None,
+                          seed: int = 2020,
+                          workers: int = 1,
+                          engine: Optional[str] = None,
+                          selection_strategy: Optional[str] = None,
+                          chunk_sets: Optional[int] = None,
+                          chunk_members: Optional[int] = None,
+                          meta_extra: Optional[Dict[str, Any]] = None
+                          ) -> FrozenRRIndex:
+    """Build a standard (single-item IMM) index with a bounded working set.
+
+    Completed RR-set chunks are spilled straight into the v2 on-disk
+    layout by a :class:`~repro.index.stream.StreamingIndexWriter` instead
+    of accumulating in one growable collection, so member-proportional
+    memory never exceeds one chunk.  Sampling always goes through the
+    deterministic sharded :class:`ParallelRRSampler`, and chunk sizes are
+    rounded up to a multiple of the shard size — the SeedSequence shard
+    layout, and therefore every sampled set, is bit-identical to a
+    one-shot ``build_index(..., workers=...)`` build at the same seed for
+    any worker count.
+
+    Two modes:
+
+    * ``rr_sets=None`` (adaptive): the full IMM skeleton runs — the
+      lower-bound search phase holds its (much smaller) collection in RAM,
+      then the final θ sets stream through the writer.
+    * ``rr_sets=N`` (fixed θ): skips the adaptive phase and streams
+      exactly ``N`` sets — the practical route to million-node tiers,
+      where an adaptive θ would be found at smoke scale anyway.  The
+      fingerprint hashes ``N`` so fixed-θ indexes never alias adaptive
+      ones.
+
+    The node selection recorded in the manifest runs over the finalized
+    (memory-mapped) index — bit-identical to selecting over the in-RAM
+    collection by the packed-coverage protocol.  Returns the mmap-loaded
+    :class:`FrozenRRIndex`; the files are already at ``out``.
+    """
+    from repro.index.stream import StreamingIndexWriter
+    from repro.rrsets.imm import run_imm_engine
+    from repro.rrsets.rrset import random_rr_set
+    from repro.utils.rng import derive_seed, ensure_rng
+
+    options = options or IMMOptions()
+    engine_name = resolve_engine(engine)
+    fixed_allocation = fixed_allocation or Allocation.empty()
+    budgets = dict(budgets or {})
+    if k is None:
+        k = max(budgets.values()) if budgets else 0
+    k = int(k)
+    if k <= 0:
+        raise AlgorithmError(
+            "building a standard index needs a positive budget k")
+    workers = max(1, int(workers))
+    shard = shard_size()
+    chunk = int(chunk_sets or 32 * shard)
+    chunk = max(shard, ((chunk + shard - 1) // shard) * shard)
+
+    extra: Dict[str, Any] = {
+        "epsilon": options.epsilon,
+        "ell": options.ell,
+        "max_rr_sets": options.max_rr_sets,
+        "min_rr_sets": options.min_rr_sets,
+        "budgets": dict(sorted(budgets.items())),
+        "fixed": {item: list(fixed_allocation.seeds_for(item))
+                  for item in sorted(fixed_allocation.items)},
+        "sharded": True,
+        "k": k,
+    }
+    if rr_sets is not None:
+        extra["rr_sets"] = int(rr_sets)
+    meta: Dict[str, Any] = {
+        "sampler": "standard",
+        "engine": engine_name,
+        "seed": int(seed),
+        "workers": workers,
+        "budgets": dict(sorted(budgets.items())),
+        "options": {"epsilon": options.epsilon, "ell": options.ell,
+                    "max_rr_sets": options.max_rr_sets,
+                    "min_rr_sets": options.min_rr_sets},
+        "k": k,
+        "algorithm": "IMM",
+        "streamed": True,
+    }
+    meta["fingerprint"] = index_fingerprint(
+        graph, model, sampler="standard", engine=engine_name, seed=int(seed),
+        extra=extra)
+    meta["fingerprint_extra"] = extra
+    if meta_extra:
+        meta.update(meta_extra)
+
+    rng = ensure_rng(seed)
+    spec = ShardSpec(kind="standard", graph=graph, engine=engine_name)
+    writer_kwargs: Dict[str, Any] = {}
+    if chunk_members is not None:
+        writer_kwargs["chunk_members"] = int(chunk_members)
+    with ParallelRRSampler(spec, seed=derive_seed(rng),
+                           workers=workers) as parallel_sampler, \
+            StreamingIndexWriter(out, graph.num_nodes,
+                                 **writer_kwargs) as writer:
+        if rr_sets is not None:
+            remaining = int(rr_sets)
+            cap_hit = False
+            while remaining > 0:
+                step = min(chunk, remaining)
+                writer.append(parallel_sampler(step))
+                remaining -= step
+            lower_bound = None
+        else:
+            def sampler(generator: np.random.Generator):
+                return random_rr_set(graph, generator), 1.0
+
+            result = run_imm_engine(
+                graph.num_nodes, k, sampler,
+                max_value=float(graph.num_nodes), options=options, rng=rng,
+                parallel_sampler=parallel_sampler,
+                selection_strategy=selection_strategy,
+                final_sink=writer, final_chunk_sets=chunk)
+            cap_hit = result.cap_hit
+            lower_bound = result.lower_bound
+        npz_path, manifest_path = writer.finalize(meta=meta)
+
+    index = FrozenRRIndex.load(npz_path, mmap=True)
+    from repro.rrsets.coverage import node_selection
+
+    selection = node_selection(index, k, strategy=selection_strategy)
+    scale = graph.num_nodes / max(index.num_sets, 1)
+    meta.update(seeds=list(selection.seeds),
+                estimated_value=selection.covered_weight * scale,
+                cap_hit=cap_hit, lower_bound=lower_bound)
+    index.meta.update(meta)
+    _update_manifest_meta(manifest_path, meta)
+    return index
+
+
+def _update_manifest_meta(manifest_path, meta: Dict[str, Any]) -> None:
+    """Rewrite a manifest's ``meta`` block in place (post-build updates)."""
+    import json
+
+    manifest = json.loads(Path(manifest_path).read_text(encoding="utf-8"))
+    manifest["meta"] = meta
+    Path(manifest_path).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=str),
+        encoding="utf-8")
+
+
 def expected_index_fingerprint(graph: DirectedGraph,
                                model: Optional[UtilityModel],
                                meta: Mapping[str, Any]) -> str:
@@ -408,5 +561,6 @@ __all__ = [
     "ShardSpec",
     "ParallelRRSampler",
     "build_index",
+    "build_streaming_index",
     "expected_index_fingerprint",
 ]

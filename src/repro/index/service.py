@@ -129,6 +129,19 @@ class AllocationService:
                                "capacity": self._cache_size,
                                "evictions": self._spec_evictions}}
 
+    @property
+    def memory_stats(self) -> Dict[str, Any]:
+        """Index memory accounting, measured from the arrays themselves.
+
+        ``array_bytes`` sums ``nbytes`` over every index array (so int32
+        stores report half the member bytes of int64 ones — nothing here
+        assumes 8-byte ids); ``resident_bytes`` excludes memory-mapped
+        arrays, whose pages live in the reclaimable page cache.
+        """
+        return {"array_bytes": self._index.array_nbytes(),
+                "resident_bytes": self._index.resident_nbytes(),
+                "mmapped": self._index.mmapped}
+
     # ------------------------------------------------------------------
     # RunSpec-fingerprint cache (the versioned serve protocol's key)
     # ------------------------------------------------------------------
@@ -323,6 +336,7 @@ class AllocationService:
                 response.update(ok=True, pong=True)
             elif op == "stats":
                 response.update(ok=True, stats=self.cache_stats,
+                                memory=self.memory_stats,
                                 num_rr_sets=self._index.num_sets,
                                 num_nodes=self._index.num_nodes)
             elif op == "query":

@@ -101,6 +101,22 @@ def resolve_strategy(strategy: Optional[str] = None) -> str:
     return value
 
 
+def min_id_dtype(num_nodes: int) -> np.dtype:
+    """Narrowest member dtype that can address ``num_nodes`` node ids.
+
+    ``int32`` holds every id below ``2**31``; graphs at or beyond that
+    (not reachable in practice, but the contract matters) fall back to
+    ``int64``.  Offsets always stay ``int64`` — member *counts* overflow
+    ``int32`` long before node ids do.
+    """
+    return np.dtype(np.int32 if int(num_nodes) < 2 ** 31 else np.int64)
+
+
+def min_set_dtype(num_sets: int) -> np.dtype:
+    """Narrowest dtype for RR-set indices in the inverted CSR."""
+    return np.dtype(np.int32 if int(num_sets) < 2 ** 31 else np.int64)
+
+
 def build_inverted_csr(offsets: np.ndarray, members: np.ndarray,
                        weights: np.ndarray, num_nodes: int
                        ) -> Tuple[np.ndarray, np.ndarray]:
@@ -116,7 +132,8 @@ def build_inverted_csr(offsets: np.ndarray, members: np.ndarray,
     keep = np.repeat(weights > 0.0, lengths)
     member_nodes = members[keep]
     member_sets = np.repeat(
-        np.arange(len(weights), dtype=np.int64), lengths)[keep]
+        np.arange(len(weights), dtype=min_set_dtype(len(weights))),
+        lengths)[keep]
     order = np.argsort(member_nodes, kind="stable")
     sorted_nodes = member_nodes[order]
     inv_sets = member_sets[order]
@@ -139,6 +156,35 @@ class PackedCoverage:
     """
 
     # subclasses provide: num_nodes, num_sets, _packed(), _inverted()
+
+    @property
+    def id_dtype(self) -> np.dtype:
+        """Dtype of the member (node-id) buffer."""
+        return self._packed()[1].dtype
+
+    @property
+    def set_dtype(self) -> np.dtype:
+        """Dtype of the inverted-CSR set-index buffer."""
+        return self._inverted()[1].dtype
+
+    def array_nbytes(self) -> int:
+        """Total bytes of the packed CSR arrays (plus the inverted CSR and
+        cached initial gains, when materialized).
+
+        This is the *logical* array footprint — what the data occupies in
+        RAM when fully materialized, and (for the uncompressed v2 index
+        format) what it occupies on disk.  Memory-mapped indexes may be
+        resident well below this figure.
+        """
+        offsets, members, weights = self._packed()
+        total = offsets.nbytes + members.nbytes + weights.nbytes
+        inv = getattr(self, "_inv", None)
+        if inv is not None:
+            total += inv[0].nbytes + inv[1].nbytes
+        gains0 = getattr(self, "_gains0", None)
+        if gains0 is not None:
+            total += gains0.nbytes
+        return int(total)
 
     def weights(self) -> np.ndarray:
         """Weights of all RR sets (a view of the packed buffer; do not
@@ -169,16 +215,31 @@ class PackedCoverage:
         The result is cached until the collection changes (it is the
         dominant cost of a warm selection) and returned as a copy, since
         the greedy mutates its gains in place.
+
+        Unit-weight collections (every RR set weighing exactly 1.0 — the
+        standard IMM case) take a chunked integer-counting path: int64
+        counts are exact and associative, so accumulating per chunk is
+        bit-identical to the one-shot weighted bincount while keeping the
+        working set bounded (no ``num_members``-sized float temporaries).
         """
         cached = getattr(self, "_gains0", None)
         if cached is None:
             offsets, members, weights = self._packed()
-            lengths = np.diff(offsets)
-            keep = np.repeat(weights > 0.0, lengths)
-            cached = np.bincount(members[keep],
-                                 weights=np.repeat(weights, lengths)[keep],
-                                 minlength=self.num_nodes)
-            cached = cached.astype(np.float64, copy=False)
+            if len(weights) and bool((weights == 1.0).all()):
+                counts = np.zeros(self.num_nodes, dtype=np.int64)
+                step = 1 << 22
+                for start in range(0, len(members), step):
+                    counts += np.bincount(members[start:start + step],
+                                          minlength=self.num_nodes)
+                cached = counts.astype(np.float64)
+            else:
+                lengths = np.diff(offsets)
+                keep = np.repeat(weights > 0.0, lengths)
+                cached = np.bincount(
+                    members[keep],
+                    weights=np.repeat(weights, lengths)[keep],
+                    minlength=self.num_nodes)
+                cached = cached.astype(np.float64, copy=False)
             self._gains0 = cached
         return cached.copy()
 
@@ -209,10 +270,16 @@ _INITIAL_MEMBERS = 64
 class RRCollection(PackedCoverage):
     """A growable, CSR-packed collection of (possibly weighted) RR sets.
 
-    Members live in flat int64/float64 buffers grown by amortized doubling:
-    ``add`` and ``extend`` are O(amortized size of the appended sets), and
-    the node → sets inverted index is rebuilt lazily (one stable argsort)
-    the first time it is needed after an append.
+    Members live in flat integer/float64 buffers grown by amortized
+    doubling: ``add`` and ``extend`` are O(amortized size of the appended
+    sets), and the node → sets inverted index is rebuilt lazily (one stable
+    argsort) the first time it is needed after an append.
+
+    The member dtype adapts to the node count (``id_dtype=None`` picks
+    :func:`min_id_dtype` — ``int32`` below ``2**31`` nodes) which halves
+    the member buffer at every realistic scale; pass ``id_dtype=np.int64``
+    to force the historical wide layout.  Offsets and weights stay
+    ``int64``/``float64`` regardless.
 
     Empty RR sets (as produced by marginal sampling when the reverse BFS
     hits the fixed seed set) still count towards :attr:`num_sets` — they can
@@ -220,12 +287,22 @@ class RRCollection(PackedCoverage):
     marginal.
     """
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(self, num_nodes: int, id_dtype=None) -> None:
         self._num_nodes = int(num_nodes)
+        if id_dtype is None:
+            id_dtype = min_id_dtype(self._num_nodes)
+        id_dtype = np.dtype(id_dtype)
+        if id_dtype.kind != "i":
+            raise AlgorithmError(
+                f"id_dtype must be a signed integer dtype, got {id_dtype}")
+        if self._num_nodes > np.iinfo(id_dtype).max:
+            raise AlgorithmError(
+                f"id_dtype {id_dtype} cannot address {self._num_nodes} nodes")
+        self._id_dtype = id_dtype
         self._num_sets = 0
         self._num_members = 0
         self._offsets = np.zeros(_INITIAL_SETS + 1, dtype=np.int64)
-        self._members = np.empty(_INITIAL_MEMBERS, dtype=np.int64)
+        self._members = np.empty(_INITIAL_MEMBERS, dtype=id_dtype)
         self._weights = np.empty(_INITIAL_SETS, dtype=np.float64)
         self._total_weight = 0.0
         self._inv: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -288,16 +365,18 @@ class RRCollection(PackedCoverage):
         capacity = max(capacity, 1)  # _from_packed may install empty buffers
         while capacity < need:
             capacity *= 2
-        members = np.empty(capacity, dtype=np.int64)
+        members = np.empty(capacity, dtype=self._id_dtype)
         members[:self._num_members] = self._members[:self._num_members]
         self._members = members
 
     def _as_members(self, nodes) -> np.ndarray:
+        # bounds-check at full width BEFORE narrowing, so an out-of-range
+        # id can never wrap around an int32 cast into a valid-looking one
         nodes = np.asarray(nodes, dtype=np.int64).ravel()
         if len(nodes) and (nodes.min() < 0 or nodes.max() >= self._num_nodes):
             raise AlgorithmError(
                 f"RR-set members must be node ids in [0, {self._num_nodes})")
-        return nodes
+        return nodes.astype(self._id_dtype, copy=False)
 
     # ------------------------------------------------------------------
     # appends
@@ -399,10 +478,20 @@ class RRCollection(PackedCoverage):
     def _from_packed(cls, num_nodes: int, offsets: np.ndarray,
                      members: np.ndarray,
                      weights: np.ndarray) -> "RRCollection":
-        """Rebuild a growable collection around copies of packed arrays."""
-        collection = cls(int(num_nodes))
+        """Rebuild a growable collection around copies of packed arrays.
+
+        The member dtype of the source arrays is preserved when it is a
+        valid id dtype for ``num_nodes`` (so an int64 v1 index round-trips
+        as int64); anything else is normalized to :func:`min_id_dtype`.
+        """
+        members = np.asarray(members)
+        id_dtype = members.dtype
+        if id_dtype.kind != "i" or \
+                int(num_nodes) > np.iinfo(id_dtype).max:
+            id_dtype = min_id_dtype(num_nodes)
+        collection = cls(int(num_nodes), id_dtype=id_dtype)
         collection._offsets = np.array(offsets, dtype=np.int64)
-        collection._members = np.array(members, dtype=np.int64)
+        collection._members = np.array(members, dtype=id_dtype)
         collection._weights = np.array(weights, dtype=np.float64)
         collection._num_sets = len(collection._weights)
         collection._num_members = len(collection._members)
@@ -629,6 +718,8 @@ __all__ = [
     "SATURATION_STOP",
     "default_strategy",
     "resolve_strategy",
+    "min_id_dtype",
+    "min_set_dtype",
     "build_inverted_csr",
     "PackedCoverage",
     "RRCollection",

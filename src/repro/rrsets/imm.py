@@ -107,7 +107,9 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
                    batch_sampler: Optional[BatchSampler] = None,
                    parallel_sampler: Optional[ParallelSampler] = None,
                    keep_collection: bool = False,
-                   selection_strategy: Optional[str] = None) -> IMMResult:
+                   selection_strategy: Optional[str] = None,
+                   final_sink=None,
+                   final_chunk_sets: int = 65_536) -> IMMResult:
     """Run the IMM sampling + node-selection skeleton.
 
     Parameters
@@ -144,6 +146,21 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
         (:data:`repro.rrsets.coverage.SELECTION_STRATEGIES`); all
         strategies return bit-identical selections, so this only trades
         selection speed.
+    final_sink:
+        Optional streaming sink (an object with ``append(pairs)``, e.g.
+        :class:`repro.index.stream.StreamingIndexWriter`) receiving the
+        final sampling phase in bounded chunks instead of an in-RAM
+        collection.  Requires ``parallel_sampler`` (the sharded sampler's
+        SeedSequence layout is what keeps chunked generation bit-identical
+        to one-shot generation) and ``fresh_final_sampling``.  The engine
+        then performs **no final node selection** — the returned result
+        carries empty ``seeds`` and the θ bookkeeping; the caller runs
+        selection over the finalized index, which is bit-identical by the
+        packed-coverage protocol.
+    final_chunk_sets:
+        RR sets per streamed chunk; rounded up to a multiple of the
+        sampler's shard size by callers so chunk boundaries never change
+        the shard layout.
     """
     options = options or IMMOptions()
     rng = ensure_rng(rng)
@@ -213,6 +230,33 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
         cap_hit = True
     theta = min(theta, options.max_rr_sets)
     theta = max(theta, options.min_rr_sets)
+    if final_sink is not None:
+        if parallel_sampler is None:
+            raise AlgorithmError(
+                "streaming final sampling requires the sharded parallel "
+                "sampler (pass workers=)")
+        if not options.fresh_final_sampling:
+            raise AlgorithmError(
+                "streaming final sampling requires fresh_final_sampling")
+        # identical to ensure_samples' request arithmetic
+        target = min(int(math.ceil(theta)), options.max_rr_sets)
+        chunk_sets = max(1, int(final_chunk_sets))
+        remaining = target
+        while remaining > 0:
+            step = min(chunk_sets, remaining)
+            final_sink.append(parallel_sampler(step))
+            remaining -= step
+        if cap_hit:
+            warnings.warn(
+                f"IMM sampling stopped at the max_rr_sets cap "
+                f"({options.max_rr_sets}); the (1 - 1/e - eps) guarantee "
+                f"does not hold and the estimated objective may be biased "
+                f"— raise IMMOptions.max_rr_sets for trustworthy estimates",
+                RuntimeWarning, stacklevel=2)
+        return IMMResult(
+            seeds=[], estimated_value=0.0, prefix_values=[],
+            num_rr_sets=target, lower_bound=lower_bound,
+            sampling_rounds=sampling_rounds, cap_hit=cap_hit)
     if options.fresh_final_sampling:
         final_collection = RRCollection(num_nodes)
     else:

@@ -53,18 +53,25 @@ class LoadedService:
 
 def load_service(index_path: Union[str, Path], *, verify: bool = True,
                  cache_size: int = 128,
-                 selection_strategy: Optional[str] = None) -> LoadedService:
+                 selection_strategy: Optional[str] = None,
+                 mmap: bool = True) -> LoadedService:
     """Load an index + rebuild its instance into an :class:`AllocationService`.
 
     The graph and utility model are reconstructed from the manifest and the
     index fingerprint is re-verified against them (unless ``verify`` is
     false), so a stale index — the network file or configuration changed
     since the build — is rejected instead of silently served.
+
+    Loading is mmap-first (``mmap=True``): v2 indexes are served straight
+    off the page cache, so a loaded service pins almost no array memory
+    until queries fault pages in; v1 (compressed) indexes silently fall
+    back to a full in-RAM load.  Served allocations are bit-identical
+    either way.
     """
     from repro.api.runner import load_graph
     from repro.index.builder import expected_index_fingerprint
 
-    index = FrozenRRIndex.load(index_path)
+    index = FrozenRRIndex.load(index_path, mmap=mmap)
     meta = index.meta
     network = meta.get("network")
     configuration = meta.get("configuration")
@@ -125,8 +132,15 @@ class IndexRegistry:
     capacity:
         Maximum number of *loaded* indexes resident at once (LRU-evicted
         beyond that; manifests always stay registered).
-    cache_size, selection_strategy, verify:
-        Forwarded to :func:`load_service` for every lazy load.
+    cache_size, selection_strategy, verify, mmap:
+        Forwarded to :func:`load_service` for every lazy load (loads are
+        mmap-first by default).
+    memory_budget:
+        Optional cap, in bytes, on the summed *resident* index memory
+        (:meth:`FrozenRRIndex.resident_nbytes` — memory-mapped arrays
+        count zero).  When exceeded, least-recently-used services are
+        evicted beyond the entry-count LRU until the total fits (the
+        most-recent service always stays loaded).
     """
 
     def __init__(self, paths: Sequence[Union[str, Path]] = (),
@@ -134,13 +148,18 @@ class IndexRegistry:
                  capacity: int = 4,
                  cache_size: int = 128,
                  selection_strategy: Optional[str] = None,
-                 verify: bool = True) -> None:
+                 verify: bool = True,
+                 mmap: bool = True,
+                 memory_budget: Optional[int] = None) -> None:
         self._paths = [Path(p) for p in paths]
         self._directory = Path(directory) if directory is not None else None
         self._capacity = max(1, int(capacity))
         self._cache_size = int(cache_size)
         self._selection_strategy = selection_strategy
         self._verify = bool(verify)
+        self._mmap = bool(mmap)
+        self._memory_budget = (None if memory_budget is None
+                               else max(0, int(memory_budget)))
         self._entries: Dict[str, RegistryEntry] = {}
         #: keys of loaded entries, least-recently-used first
         self._lru: "OrderedDict[str, None]" = OrderedDict()
@@ -269,7 +288,8 @@ class IndexRegistry:
             loaded = load_service(
                 entry.stem, verify=self._verify,
                 cache_size=self._cache_size,
-                selection_strategy=self._selection_strategy)
+                selection_strategy=self._selection_strategy,
+                mmap=self._mmap)
             with self._lock:
                 current = self._entries.get(key)
                 if current is None:  # removed by a concurrent reload
@@ -284,7 +304,11 @@ class IndexRegistry:
                         self._loads += 1
                     self._lru[key] = None
                     self._lru.move_to_end(key)
-                    while len(self._lru) > self._capacity:
+                    while len(self._lru) > self._capacity or (
+                            self._memory_budget is not None
+                            and len(self._lru) > 1
+                            and self._resident_bytes_locked()
+                            > self._memory_budget):
                         victim, _ = self._lru.popitem(last=False)
                         victim_entry = self._entries.get(victim)
                         if victim_entry is not None:
@@ -329,8 +353,20 @@ class IndexRegistry:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def _resident_bytes_locked(self) -> int:
+        """Summed resident bytes of all loaded services (lock held)."""
+        return sum(entry.loaded.service.index.resident_nbytes()
+                   for entry in self._entries.values()
+                   if entry.loaded is not None)
+
     def stats(self) -> Dict[str, Any]:
-        """Registry statistics for the ``stats`` op."""
+        """Registry statistics for the ``stats`` op.
+
+        Per-index memory figures come from array ``nbytes`` (int32 and
+        int64 stores report their true sizes); ``resident_bytes`` counts
+        only non-memory-mapped arrays — a mmap-served index reports (near)
+        zero because its pages live in the reclaimable page cache.
+        """
         with self._lock:
             per_index = {}
             for key, entry in sorted(self._entries.items()):
@@ -344,7 +380,9 @@ class IndexRegistry:
                     "network": entry.meta.get("network"),
                 }
                 if entry.loaded is not None:
-                    row["cache"] = entry.loaded.service.cache_stats
+                    service = entry.loaded.service
+                    row["cache"] = service.cache_stats
+                    row.update(service.memory_stats)
                 per_index[key] = row
             return {
                 "indexes": per_index,
@@ -356,6 +394,9 @@ class IndexRegistry:
                 "eviction_order": list(self._eviction_log),
                 "reloads": self._reloads,
                 "skipped": list(self._skipped),
+                "resident_bytes": self._resident_bytes_locked(),
+                "memory_budget": self._memory_budget,
+                "mmap": self._mmap,
             }
 
 

@@ -1,9 +1,12 @@
 """Unit tests for edge-list reading and writing."""
 
+import gzip
+
 import pytest
 
 from repro.exceptions import GraphError
 from repro.graphs import generators
+from repro.graphs.datasets import load_edge_list_network
 from repro.graphs.loaders import read_edge_list, write_edge_list
 
 
@@ -58,3 +61,100 @@ class TestReading:
         path.write_text("0 1 0.5 extra stuff\n")
         with pytest.raises(GraphError, match="expected"):
             read_edge_list(path)
+
+
+class TestSnapDialect:
+    """Real published snapshots: gzip, comments, dupes, loops, 1-based."""
+
+    def test_gzip_round_trip(self, tmp_path):
+        g = generators.erdos_renyi(30, 3.0, rng=2)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline().startswith("#")
+        loaded = read_edge_list(path, num_nodes=30)
+        assert set(loaded.edges()) == set(g.edges())
+        assert loaded.name == "graph"
+
+    def test_percent_comments_and_trailing_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("% KONECT-style header\n0 1 0.5\n"
+                        "# mid-file comment\n1 2\n\n   \n\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_self_loops_skipped_by_default(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n1 1 0.9\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+        with pytest.raises(GraphError, match="self loops"):
+            read_edge_list(path, skip_self_loops=False)
+
+    def test_duplicate_edges_collapse_to_max_probability(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.2\n0 1 0.7\n0 1 0.4\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+        assert g.edge_probability(0, 1) == pytest.approx(0.7)
+
+    def test_one_based_ids_shift_down(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n2 3\n")
+        g = read_edge_list(path, one_based=True)
+        assert g.num_nodes == 3
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_one_based_with_zero_id_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError, match="one_based"):
+            read_edge_list(path, one_based=True)
+
+    def test_mixed_column_counts_fall_back_to_line_parser(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n1 2\n2 3 0.25\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 3
+        assert g.edge_probability(1, 2) == pytest.approx(1.0)
+        assert g.edge_probability(2, 3) == pytest.approx(0.25)
+
+    def test_malformed_gzip_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# header\n0 1\nnot numbers\n")
+        with pytest.raises(GraphError, match=r"expected"):
+            read_edge_list(path)
+
+    def test_non_numeric_tokens_report_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n2 x\n")
+        with pytest.raises(GraphError, match=r"g\.txt:2"):
+            read_edge_list(path)
+
+
+class TestLoadEdgeListNetwork:
+    def test_applies_weighted_cascade(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("0 2\n1 2\n2 0\n")
+        g = load_edge_list_network(path)
+        # p = 1/d_in: node 2 has two in-edges
+        assert g.edge_probability(0, 2) == pytest.approx(0.5)
+        assert g.edge_probability(1, 2) == pytest.approx(0.5)
+        assert g.edge_probability(2, 0) == pytest.approx(1.0)
+
+    def test_none_scheme_preserves_file_probabilities(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("0 1 0.125\n1 0\n")
+        g = load_edge_list_network(path, weighting_scheme="none")
+        assert g.edge_probability(0, 1) == pytest.approx(0.125)
+        assert g.edge_probability(1, 0) == pytest.approx(1.0)
+
+    def test_unknown_scheme_raises(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError, match="weighting"):
+            load_edge_list_network(path, weighting_scheme="bogus")
