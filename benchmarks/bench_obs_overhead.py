@@ -1,0 +1,198 @@
+"""Benchmark: observability overhead on the warm serving path.
+
+The instrumentation contract (ISSUE 7) is that metrics and tracing
+*observe* serving without participating in it: allocations are
+bit-identical with metrics on or off, and the warm-path cost of the
+enabled instrumentation — counters, span timings, latency histograms —
+stays **under 5%** of request throughput.
+
+The measurement interleaves enabled/disabled passes over a warm server
+(index loaded, response cache off so every request pays its selection
+run) and compares best-of-``REPETITIONS`` wall times, the same way a
+careful A/B perf check would.  A micro section also reports the raw
+per-operation cost of one counter increment + one histogram observation
+so regressions in the primitives themselves show up even when selection
+dominates.
+
+Results are written to ``benchmarks/BENCH_obs.json``.  Scale is
+controlled by ``REPRO_BENCH_SCALE`` like the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import report
+
+from repro.api import EngineConfig, RunSpec, WorkloadSpec, make_request
+from repro.index import build_index
+from repro.obs.metrics import MetricsRegistry, set_global_metrics_enabled
+from repro.serve import AllocationServer, IndexRegistry
+from repro.utility.configs import configuration_model
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_obs.json"
+
+NETWORK, CONFIGURATION = "nethept", "C1"
+_NETWORK_SCALE = {"smoke": 0.1, "default": 0.2, "large": 0.4}
+_MAX_RR_SETS = {"smoke": 60_000, "default": 100_000, "large": 200_000}
+
+#: distinct budget points cycled through each pass (cache off, so every
+#: request runs its selection — the realistic warm workload)
+BUDGET_SWEEP = ({"i": 5, "j": 5}, {"i": 10, "j": 10}, {"i": 15, "j": 15},
+                {"i": 20, "j": 20})
+REQUESTS_PER_PASS = 24
+REPETITIONS = 3
+MAX_OVERHEAD_PCT = 5.0
+
+#: iterations for the per-operation micro measurement
+MICRO_OPS = 200_000
+
+
+def _specs(scale):
+    engine = EngineConfig(seed=scale.seed, samples=10, epsilon=0.3,
+                          max_rr_sets=_MAX_RR_SETS.get(scale.name, 60_000))
+    base = RunSpec(
+        algorithm="SeqGRD-NM",
+        workload=WorkloadSpec(network=NETWORK,
+                              scale=_NETWORK_SCALE.get(scale.name, 0.01),
+                              configuration=CONFIGURATION,
+                              budgets=dict(BUDGET_SWEEP[-1])),
+        engine=engine)
+    return [dataclasses.replace(
+        base, workload=dataclasses.replace(base.workload, budgets=dict(b)))
+        for b in BUDGET_SWEEP]
+
+
+def _build_index_dir(tmp_path, scale, spec):
+    from repro.api.runner import load_graph
+
+    graph = load_graph(spec.workload, spec.engine.seed)
+    model = configuration_model(CONFIGURATION)
+    index = build_index(
+        graph, model, sampler="marginal",
+        budgets=dict(spec.workload.budgets),
+        options=spec.engine.imm_options(), seed=spec.engine.seed,
+        meta_extra={"network": NETWORK,
+                    "scale": spec.workload.scale,
+                    "configuration": CONFIGURATION,
+                    "graph_seed": spec.engine.seed,
+                    "fixed_imm_item": None, "fixed_imm_budget": 50})
+    index.save(tmp_path / "bench-obs-idx")
+    return graph, index
+
+
+def _enable(server, flag):
+    server.metrics.enable(flag)
+    set_global_metrics_enabled(flag)
+
+
+def _timed_pass(server, request_lines):
+    start = time.perf_counter()
+    responses = [server.dispatch_line(line) for line in request_lines]
+    elapsed = time.perf_counter() - start
+    assert all(r["ok"] for r in responses), "warm pass failed"
+    return elapsed, responses
+
+
+def _stable(response):
+    """The allocation-bearing response fields that must not depend on
+    instrumentation (timings carry trace ids and are volatile)."""
+    return {key: response[key] for key in
+            ("id", "allocation", "welfare", "fingerprint", "budgets")}
+
+
+def _micro_op_cost(enabled):
+    registry = MetricsRegistry(enabled=enabled)
+    counter = registry.counter("bench_ops_total")
+    histogram = registry.histogram("bench_op_seconds")
+    start = time.perf_counter()
+    for i in range(MICRO_OPS):
+        counter.inc()
+        histogram.observe(1e-4)
+    elapsed = time.perf_counter() - start
+    return elapsed / MICRO_OPS * 1e9  # ns per (inc + observe)
+
+
+def test_observability_overhead(scale, tmp_path):
+    specs = _specs(scale)
+    graph, index = _build_index_dir(tmp_path, scale, specs[-1])
+    request_lines = [json.dumps(make_request(spec, request_id=i))
+                     for i, spec in enumerate(specs)] * (
+                         REQUESTS_PER_PASS // len(BUDGET_SWEEP) or 1)
+
+    registry = IndexRegistry(directory=tmp_path, capacity=2, cache_size=0)
+    server = AllocationServer(registry, metrics=MetricsRegistry())
+    _timed_pass(server, request_lines)  # warm: index load + first selections
+
+    times = {True: [], False: []}
+    allocations = {}
+    try:
+        for _repetition in range(REPETITIONS):
+            for enabled in (True, False):
+                _enable(server, enabled)
+                elapsed, responses = _timed_pass(server, request_lines)
+                times[enabled].append(elapsed)
+                stable = [_stable(r) for r in responses]
+                if enabled in allocations:
+                    assert allocations[enabled] == stable, \
+                        "warm responses drifted between repetitions"
+                allocations[enabled] = stable
+    finally:
+        _enable(server, True)
+
+    # instrumentation must never participate in the computation
+    assert allocations[True] == allocations[False], \
+        "allocations differ with metrics enabled vs disabled"
+
+    best_on, best_off = min(times[True]), min(times[False])
+    rps_on = len(request_lines) / best_on
+    rps_off = len(request_lines) / best_off
+    overhead_pct = (best_on - best_off) / best_off * 100.0
+
+    micro_on = _micro_op_cost(enabled=True)
+    micro_off = _micro_op_cost(enabled=False)
+
+    report(f"Observability overhead — {graph.name} ({graph.num_nodes} "
+           f"nodes, {index.num_sets} RR sets), warm path, best of "
+           f"{REPETITIONS}",
+           [{"arm": "metrics enabled", "seconds": round(best_on, 4),
+             "rps": round(rps_on, 1)},
+            {"arm": "metrics disabled", "seconds": round(best_off, 4),
+             "rps": round(rps_off, 1)},
+            {"arm": "overhead", "seconds": round(best_on - best_off, 4),
+             "rps": f"{overhead_pct:+.2f}%"}],
+           columns=["arm", "seconds", "rps"])
+
+    ARTIFACT.write_text(json.dumps({
+        "benchmark": "obs_overhead",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale.name,
+        "graph": {"name": graph.name, "nodes": graph.num_nodes,
+                  "edges": graph.num_edges},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "num_rr_sets": index.num_sets,
+        "requests_per_pass": len(request_lines),
+        "repetitions": REPETITIONS,
+        "enabled": {"best_s": round(best_on, 4),
+                    "all_s": [round(t, 4) for t in times[True]],
+                    "rps": round(rps_on, 1)},
+        "disabled": {"best_s": round(best_off, 4),
+                     "all_s": [round(t, 4) for t in times[False]],
+                     "rps": round(rps_off, 1)},
+        "overhead_pct": round(overhead_pct, 3),
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "bit_identical": True,
+        "micro_ns_per_record": {"enabled": round(micro_on, 1),
+                                "disabled": round(micro_off, 1)},
+    }, indent=2) + "\n")
+
+    assert overhead_pct < MAX_OVERHEAD_PCT, (
+        f"warm-path instrumentation overhead must stay under "
+        f"{MAX_OVERHEAD_PCT}%, measured {overhead_pct:+.2f}%")

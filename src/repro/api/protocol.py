@@ -292,11 +292,24 @@ def execute_prepared_batch(service, batch: Sequence[PreparedRequest]
 
 
 def build_response(prepared: PreparedRequest, payload: Dict[str, Any],
-                   started: float) -> Dict[str, Any]:
-    """Assemble the v1 wire response for an executed request."""
+                   started: float, trace=None) -> Dict[str, Any]:
+    """Assemble the v1 wire response for an executed request.
+
+    ``trace`` (an optional :class:`repro.obs.trace.Trace`) adds
+    ``trace_id`` and per-stage ``spans`` (milliseconds) to the
+    ``timings`` object; the allocation payload itself never depends on
+    it.
+    """
     response: Dict[str, Any] = {"v": PROTOCOL_VERSION, "ok": True}
     if prepared.request_id is not None:
         response["id"] = prepared.request_id
+    timings: Dict[str, Any] = {
+        "latency_ms": round((time.perf_counter() - started) * 1e3, 3),
+        "num_rr_sets": payload.get("num_rr_sets"),
+    }
+    if trace is not None:
+        timings["trace_id"] = trace.trace_id
+        timings["spans"] = trace.timings_ms()
     response.update(
         spec=prepared.spec.to_dict(),
         fingerprint=prepared.fingerprint,
@@ -305,10 +318,7 @@ def build_response(prepared: PreparedRequest, payload: Dict[str, Any],
         allocation=payload["allocation"],
         welfare=payload["estimated_value"],
         cached=payload["cached"],
-        timings={
-            "latency_ms": round((time.perf_counter() - started) * 1e3, 3),
-            "num_rr_sets": payload.get("num_rr_sets"),
-        },
+        timings=timings,
     )
     return response
 

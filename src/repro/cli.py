@@ -228,7 +228,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "this resident-byte budget (mmap-served "
                             "arrays count zero)")
     serve.add_argument("--no-verify", action="store_true")
+    serve.add_argument("--metrics-tcp", type=tcp_address_argument,
+                       default=None, metavar="HOST:PORT",
+                       help="expose GET /metrics (Prometheus text format) "
+                            "and GET /healthz on a dedicated HTTP "
+                            "listener (concurrent endpoints only)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable metrics recording (the ops surface "
+                            "still answers, with empty instruments)")
+    serve.add_argument("--log-level", default="info",
+                       choices=["debug", "info", "warning", "error"],
+                       help="structured event log level (stderr)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit structured events as one JSON object "
+                            "per line instead of key=value text")
     add_spec_arguments(serve, EngineConfig, include=("selection_strategy",))
+
+    # metrics ------------------------------------------------------------
+    metrics = sub.add_parser(
+        "metrics", help="query a running repro serve process and "
+                        "pretty-print its metrics")
+    metrics_source = metrics.add_mutually_exclusive_group(required=True)
+    metrics_source.add_argument("--tcp", type=tcp_address_argument,
+                                default=None, metavar="HOST:PORT",
+                                help="JSON-lines endpoint of the server "
+                                     "(sends the 'stats' op)")
+    metrics_source.add_argument("--unix", type=Path, default=None,
+                                metavar="PATH",
+                                help="unix-socket endpoint of the server")
+    metrics_source.add_argument("--http", type=tcp_address_argument,
+                                default=None, metavar="HOST:PORT",
+                                help="scrape the --metrics-tcp exporter "
+                                     "and print the raw Prometheus text")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the raw stats payload as JSON")
+    metrics.add_argument("--timeout", type=float, default=10.0,
+                         help="socket timeout in seconds")
 
     # experiment ---------------------------------------------------------
     experiment = sub.add_parser("experiment",
@@ -512,7 +547,12 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
         "sampler": meta.get("sampler"),
         "network": meta.get("network"),
         "configuration": meta.get("configuration"),
+        "scale": meta.get("scale"),
         "seed": meta.get("seed"),
+        "budgets": meta.get("budgets"),
+        "engine": meta.get("engine"),
+        "workers": meta.get("workers"),
+        "options": meta.get("options"),
         "streamed": bool(meta.get("streamed", False)),
     }
     if args.json:
@@ -544,6 +584,8 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
           f"({payload['algorithm']}, sampler={payload['sampler']}, "
           f"seed={payload['seed']}"
           f"{', streamed' if payload['streamed'] else ''})")
+    if payload["budgets"]:
+        print(f"budgets    : {payload['budgets']}")
     return 0
 
 
@@ -558,6 +600,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.obs import configure_logging, set_global_metrics_enabled
+    from repro.obs.metrics import MetricsRegistry
     from repro.serve import (
         DEFAULT_MAX_LINE_BYTES,
         AllocationServer,
@@ -574,6 +618,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "cannot be combined with --tcp/--unix; run separate "
               "processes to serve both", file=sys.stderr)
         return 2
+    if args.metrics_tcp is not None and args.tcp is None \
+            and args.unix is None:
+        print("error: --metrics-tcp needs a concurrent endpoint "
+              "(--tcp/--unix); the stdio loop has no event loop to host "
+              "the exporter", file=sys.stderr)
+        return 2
+    configure_logging(level=args.log_level, json_output=args.log_json)
+    if args.no_metrics:
+        set_global_metrics_enabled(False)
     registry = IndexRegistry(
         paths=args.index, directory=args.index_dir,
         capacity=args.max_indexes, cache_size=args.cache_size,
@@ -585,7 +638,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry,
         max_line_bytes=(args.max_line_bytes if args.max_line_bytes
                         else DEFAULT_MAX_LINE_BYTES),
-        coalesce=not args.no_coalesce)
+        coalesce=not args.no_coalesce,
+        metrics=MetricsRegistry(enabled=not args.no_metrics))
     hosted = ", ".join(registry.keys()) or "(empty registry)"
     if args.tcp is None and args.unix is None:
         print(f"serving indexes [{hosted}] — one JSON request per line on "
@@ -603,7 +657,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr, flush=True)
 
     asyncio.run(server.serve_forever(tcp=args.tcp, unix=args.unix,
+                                     metrics_tcp=args.metrics_tcp,
                                      ready=_ready))
+    return 0
+
+
+def _metrics_exchange(args: argparse.Namespace) -> dict:
+    """One ``stats`` request/response over the server's JSON-lines socket."""
+    import socket
+
+    if args.tcp is not None:
+        sock = socket.create_connection(args.tcp, timeout=args.timeout)
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(args.timeout)
+        sock.connect(str(args.unix))
+    try:
+        sock.sendall(b'{"op": "stats", "id": "repro-metrics"}\n')
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        return json.loads(b"".join(chunks).decode("utf-8"))
+    finally:
+        sock.close()
+
+
+def _format_metrics(stats: dict) -> str:
+    """Human-readable digest of a ``stats`` payload."""
+    lines = []
+    server = stats.get("server", {})
+    lines.append(f"uptime        : {server.get('uptime_s', 0.0):.1f} s")
+    lines.append(f"requests      : {server.get('requests', 0)} "
+                 f"({server.get('errors', 0)} errors)")
+    lines.append(f"connections   : {server.get('active_connections', 0)} "
+                 f"active / {server.get('connections', 0)} total")
+    lines.append(f"queue depth   : {server.get('queue_depth', 0)} "
+                 f"(in flight: {server.get('in_flight', 0)})")
+    metrics = stats.get("metrics", {})
+    latency = (metrics.get("histograms", {})
+               .get("repro_request_latency_seconds", {}).get("", {}))
+    if latency.get("count"):
+        lines.append(
+            f"latency       : p50 {latency['p50'] * 1e3:.2f} ms, "
+            f"p95 {latency['p95'] * 1e3:.2f} ms, "
+            f"p99 {latency['p99'] * 1e3:.2f} ms "
+            f"(n={latency['count']})")
+    for name, family in sorted(
+            metrics.get("histograms", {}).items()):
+        if not name.startswith("repro_span_seconds"):
+            continue
+        for labels, summary in sorted(family.items()):
+            if summary.get("count"):
+                lines.append(f"  span {labels}: p50 "
+                             f"{summary['p50'] * 1e3:.2f} ms "
+                             f"(n={summary['count']})")
+    for key, counters in sorted(stats.get("coalescer", {}).items()):
+        lines.append(
+            f"coalescer[{key}]: {counters.get('requests', 0)} requests, "
+            f"{counters.get('batches', 0)} batches, "
+            f"{counters.get('coalesced', 0)} coalesced, "
+            f"efficiency {counters.get('efficiency', 0.0):.0%}")
+    registry = stats.get("registry", {})
+    for key, row in sorted(registry.get("indexes", {}).items()):
+        cache = row.get("cache") or {}
+        state = "loaded" if row.get("loaded") else "manifest-only"
+        line = (f"index[{key}]  : {state}, "
+                f"{row.get('requests', 0)} requests")
+        if cache:
+            line += (f", cache hit rate {cache.get('hit_rate', 0.0):.0%} "
+                     f"({cache.get('hits', 0)}/"
+                     f"{cache.get('hits', 0) + cache.get('misses', 0)})")
+        lines.append(line)
+    lines.append(f"registry      : {registry.get('loads', 0)} loads, "
+                 f"{registry.get('evictions', 0)} evictions, "
+                 f"{registry.get('reloads', 0)} reloads")
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        from urllib.request import urlopen
+
+        host, port = args.http
+        with urlopen(f"http://{host}:{port}/metrics",
+                     timeout=args.timeout) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+    try:
+        stats = _metrics_exchange(args)
+    except OSError as error:
+        print(f"error: cannot reach the server: {error}", file=sys.stderr)
+        return 2
+    if not stats.get("ok", False):
+        print(f"error: the server answered with {stats!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(_format_metrics(stats))
     return 0
 
 
@@ -619,6 +775,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "learn": _cmd_learn,
         "index": _cmd_index,
         "serve": _cmd_serve,
+        "metrics": _cmd_metrics,
     }
     try:
         return handlers[args.command](args)

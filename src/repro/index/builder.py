@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import warnings
 from pathlib import Path
 from dataclasses import dataclass, field
@@ -34,6 +35,7 @@ from repro.exceptions import AlgorithmError, IndexStoreError
 from repro.graphs.graph import DirectedGraph
 from repro.index.fingerprint import index_fingerprint
 from repro.index.frozen import FrozenRRIndex
+from repro.obs.metrics import get_metrics
 from repro.rrsets.coverage import RRCollection
 from repro.rrsets.imm import IMMOptions
 from repro.utility.model import UtilityModel
@@ -206,6 +208,7 @@ class ParallelRRSampler:
         count = int(count)
         if count <= 0:
             return []
+        started = time.perf_counter()
         sizes = [self._shard_sets] * (count // self._shard_sets)
         if count % self._shard_sets:
             sizes.append(count % self._shard_sets)
@@ -218,6 +221,22 @@ class ParallelRRSampler:
                       for seed_seq, size in tasks]
         else:
             shards = pool.map(_run_shard, tasks, chunksize=1)
+        metrics = get_metrics()
+        if metrics.enabled:
+            elapsed = time.perf_counter() - started
+            metrics.counter(
+                "repro_build_rr_sets_total",
+                "RR sets sampled by the sharded builder",
+                kind=self._spec.kind).inc(count)
+            metrics.histogram(
+                "repro_build_sample_seconds",
+                "Wall time per sharded generate() call",
+                kind=self._spec.kind).observe(elapsed)
+            if elapsed > 0.0:
+                metrics.gauge(
+                    "repro_build_sample_rate", "RR sets per second of the "
+                    "most recent generate() call",
+                    kind=self._spec.kind).set(count / elapsed)
         return [pair for shard in shards for pair in shard]
 
     __call__ = generate

@@ -27,6 +27,8 @@ order:
 from __future__ import annotations
 
 import json
+import logging
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
 
@@ -34,7 +36,11 @@ import numpy as np
 
 from repro.exceptions import AlgorithmError, IndexStoreError
 from repro.index.frozen import FORMAT_VERSION, index_paths
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import get_metrics
 from repro.rrsets.coverage import min_id_dtype, min_set_dtype
+
+_LOG = get_logger("repro.index.stream")
 
 #: default member-chunk budget (elements, not bytes) for spills and the
 #: inverted-CSR passes; ~16 MB of int32 ids per chunk
@@ -130,10 +136,15 @@ class StreamingIndexWriter:
     def _flush(self) -> None:
         if not self._buffer:
             return
+        started = time.perf_counter()
         chunk = np.concatenate(self._buffer) if len(self._buffer) > 1 \
             else self._buffer[0]
         self._members_file.write(
             np.ascontiguousarray(chunk, dtype=self._id_dtype).tobytes())
+        get_metrics().histogram(
+            "repro_build_spill_seconds",
+            "Member-chunk spill time in the streaming writer"
+        ).observe(time.perf_counter() - started)
         self._buffer = []
         self._buffered = 0
 
@@ -190,6 +201,7 @@ class StreamingIndexWriter:
         uniform = bool((weights == 1.0).all()) if len(weights) else False
 
         # pass 1: per-node posting counts (members of positive-weight sets)
+        pass1_started = time.perf_counter()
         counts = np.zeros(self._num_nodes, dtype=np.int64)
         for first, last in self._set_chunks(offsets):
             chunk = members[offsets[first]:offsets[last]]
@@ -202,10 +214,15 @@ class StreamingIndexWriter:
         inv_offsets = np.zeros(self._num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=inv_offsets[1:])
         kept = int(inv_offsets[-1])
+        get_metrics().histogram(
+            "repro_build_invert_seconds",
+            "Inverted-CSR derivation time, by pass",
+            **{"pass": "count"}).observe(time.perf_counter() - pass1_started)
 
         # pass 2: chunked stable counting sort into the inverted postings —
         # chunks arrive in set order and sort stably within, reproducing
         # the global stable argsort of build_inverted_csr exactly
+        pass2_started = time.perf_counter()
         set_dtype = min_set_dtype(self._num_sets)
         inv_tmp = self._npz_path.with_name(self._npz_path.name + ".inv.tmp")
         if kept:
@@ -237,6 +254,11 @@ class StreamingIndexWriter:
             inv_sets.flush()
         else:
             inv_sets = np.empty(0, dtype=set_dtype)
+        get_metrics().histogram(
+            "repro_build_invert_seconds",
+            "Inverted-CSR derivation time, by pass",
+            **{"pass": "scatter"}).observe(time.perf_counter()
+                                           - pass2_started)
 
         # initial gains: exact integer counts for the unit-weight case;
         # the general case defers to the one-shot weighted bincount so the
@@ -280,6 +302,9 @@ class StreamingIndexWriter:
                 tmp.unlink()
             except FileNotFoundError:
                 pass
+        log_event(_LOG, logging.INFO, "index-finalized",
+                  path=str(self._npz_path), num_sets=self._num_sets,
+                  num_members=self._num_members, array_bytes=array_bytes)
         return self._npz_path, self._manifest_path
 
     def abort(self) -> None:

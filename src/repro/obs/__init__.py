@@ -1,0 +1,37 @@
+"""Observability: metrics, tracing, structured logging, exposition.
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket log-scale histograms) with JSON
+  summaries and Prometheus text exposition; a process-global registry
+  (:func:`get_metrics`) for build-path instrumentation.
+* :mod:`repro.obs.trace` — per-request :class:`Trace` ids and span
+  timings threaded through the protocol stages.
+* :mod:`repro.obs.logging` — structured JSON event logging on stdlib
+  :mod:`logging` (``repro serve --log-json/--log-level``).
+* :mod:`repro.obs.httpexp` — the minimal asyncio HTTP exporter behind
+  ``repro serve --metrics-tcp``.
+
+Design rule: instrumentation observes, never participates — allocations
+are bit-identical with the registry enabled or disabled, and the warm
+request path stays within 5% of the uninstrumented baseline
+(``benchmarks/bench_obs_overhead.py``).
+"""
+
+from repro.obs.logging import configure_logging, get_logger, log_event
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_metrics,
+    set_global_metrics_enabled,
+)
+from repro.obs.trace import Trace, new_trace_id
+
+__all__ = [
+    "MetricsRegistry",
+    "Trace",
+    "configure_logging",
+    "get_logger",
+    "get_metrics",
+    "log_event",
+    "new_trace_id",
+    "set_global_metrics_enabled",
+]

@@ -1,0 +1,135 @@
+"""Minimal asyncio HTTP endpoint exposing Prometheus metrics.
+
+Serves exactly two routes on a dedicated listener
+(``repro serve --metrics-tcp HOST:PORT``):
+
+* ``GET /metrics``  — Prometheus text exposition
+  (``text/plain; version=0.0.4``) rendered from one or more
+  :class:`~repro.obs.metrics.MetricsRegistry` instances;
+* ``GET /healthz``  — a small JSON liveness document.
+
+This is deliberately not a web framework: one request per connection
+(``Connection: close``), headers are read and discarded, anything that
+is not a well-formed ``GET`` gets a 400/404/405.  The scrape path never
+touches the allocation hot path — rendering snapshots instrument state
+under per-instrument locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Iterable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+_MAX_REQUEST_BYTES = 16384
+_CONTENT_TYPE_PROM = "text/plain; version=0.0.4; charset=utf-8"
+_CONTENT_TYPE_JSON = "application/json; charset=utf-8"
+
+
+def _http_response(status: int, reason: str, content_type: str,
+                   body: bytes) -> bytes:
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
+
+
+class MetricsExporter:
+    """One-listener HTTP exporter over a set of metric registries."""
+
+    def __init__(self, registries: Iterable[MetricsRegistry],
+                 health: Optional[Callable[[], dict]] = None) -> None:
+        self._registries = list(registries)
+        self._health = health
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    def render(self) -> str:
+        """Concatenated exposition text of every registry."""
+        return "".join(r.render_prometheus() for r in self._registries)
+
+    async def start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port)
+
+    @property
+    def addresses(self):
+        """Bound ``(host, port)`` pairs (after :meth:`start`)."""
+        if self._server is None:
+            return []
+        return [sock.getsockname()[:2] for sock in self._server.sockets]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            response = await self._respond(reader)
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=10.0)
+        except asyncio.TimeoutError:
+            return _http_response(408, "Request Timeout",
+                                  _CONTENT_TYPE_JSON, b'{"error":"timeout"}')
+        if len(request_line) > _MAX_REQUEST_BYTES:
+            return _http_response(400, "Bad Request", _CONTENT_TYPE_JSON,
+                                  b'{"error":"request line too long"}')
+        try:
+            parts = request_line.decode("ascii").split()
+        except UnicodeDecodeError:
+            parts = []
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            return _http_response(400, "Bad Request", _CONTENT_TYPE_JSON,
+                                  b'{"error":"malformed request line"}')
+        method, target, _version = parts
+        # drain headers (bounded) so well-behaved clients see a response
+        consumed = len(request_line)
+        while True:
+            line = await reader.readline()
+            consumed += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if consumed > _MAX_REQUEST_BYTES:
+                return _http_response(
+                    400, "Bad Request", _CONTENT_TYPE_JSON,
+                    b'{"error":"headers too long"}')
+        if method != "GET":
+            return _http_response(405, "Method Not Allowed",
+                                  _CONTENT_TYPE_JSON,
+                                  b'{"error":"method not allowed"}')
+        path = target.split("?", 1)[0]
+        if path == "/metrics":
+            return _http_response(200, "OK", _CONTENT_TYPE_PROM,
+                                  self.render().encode("utf-8"))
+        if path == "/healthz":
+            payload = {"ok": True}
+            if self._health is not None:
+                try:
+                    payload.update(self._health())
+                except Exception:
+                    payload = {"ok": False}
+            return _http_response(200, "OK", _CONTENT_TYPE_JSON,
+                                  json.dumps(payload).encode("utf-8"))
+        return _http_response(404, "Not Found", _CONTENT_TYPE_JSON,
+                              b'{"error":"not found"}')
+
+
+__all__ = ["MetricsExporter"]

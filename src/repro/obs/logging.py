@@ -1,0 +1,117 @@
+"""Structured JSON event logging on top of stdlib :mod:`logging`.
+
+Events are emitted through :func:`log_event` with a machine-stable
+``event`` name plus arbitrary JSON-able fields; :class:`JsonFormatter`
+renders one JSON object per line.  Without ``--log-json`` the same
+events render as ordinary ``key=value`` log lines, so nothing is gated
+on the formatter.
+
+Event names used across the system (grep for ``log_event``):
+
+``server-started``, ``server-drained``, ``connection-opened``,
+``connection-closed``, ``frame-resync``, ``response-unserializable``,
+``batch-executed``, ``index-loaded``, ``index-evicted``,
+``registry-reloaded``, ``manifest-skipped``, ``index-finalized``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+#: the logger namespace every repro component logs under
+ROOT_LOGGER = "repro"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "repro_event", "log"),
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        try:
+            return json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError):
+            return json.dumps({k: str(v) for k, v in payload.items()},
+                              sort_keys=True)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable fallback: ``LEVEL event message key=value ...``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = getattr(record, "repro_event", None)
+        fields = getattr(record, "repro_fields", None) or {}
+        parts = [record.levelname.lower()]
+        if event:
+            parts.append(event)
+        message = record.getMessage()
+        if message:
+            parts.append(message)
+        parts.extend(f"{k}={v}" for k, v in fields.items())
+        text = " ".join(parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            text += "\n" + self.formatException(record.exc_info)
+        return text
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """The logger for a repro component (``repro.serve``, ...)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, level: int, event: str,
+              message: str = "", **fields: Any) -> None:
+    """Emit a structured event: stable ``event`` name + JSON-able
+    ``fields`` (rendered as one JSON line under ``--log-json``)."""
+    if not logger.isEnabledFor(level):
+        return
+    logger.log(level, message or event,
+               extra={"repro_event": event, "repro_fields": fields})
+
+
+def configure_logging(level: str = "info", json_output: bool = False,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree (``serve --log-level/--log-json``).
+
+    Logs go to ``stream`` (default stderr — stdout belongs to the
+    JSON-lines protocol in stdio mode).  Replaces any handlers from a
+    prior call, so it is safe to call repeatedly (tests, reloads).
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(numeric)
+    root.propagate = False
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_output
+                         else KeyValueFormatter())
+    root.addHandler(handler)
+    return root
+
+
+__all__ = [
+    "ROOT_LOGGER",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]

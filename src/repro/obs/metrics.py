@@ -1,0 +1,439 @@
+"""Thread-safe metrics primitives: counters, gauges, log-scale histograms.
+
+One :class:`MetricsRegistry` holds every instrument of a subsystem.
+Instruments are identified by a name plus optional labels (Prometheus
+conventions: ``snake_case`` names, ``_total`` suffix on counters,
+``_seconds`` on duration histograms), and the registry renders them two
+ways:
+
+* :meth:`MetricsRegistry.summary` — a JSON-able dict for the ``stats`` /
+  ``metrics`` protocol ops and ``repro metrics``;
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``text/plain; version=0.0.4``) served by
+  ``repro serve --metrics-tcp``.
+
+Histograms use **fixed log-scale buckets**: an observation lands in the
+first bucket whose upper bound reaches it, so p50/p95/p99 are answered
+from ~40 integers without retaining samples (the quantile rule is the
+shared nearest-rank implementation in :mod:`repro.utils.timer`, which the
+experiment harness' bounded lap reservoirs use too).
+
+Every instrument checks its registry's ``enabled`` flag on the hot path,
+so a disabled registry (``repro serve --no-metrics``, the overhead
+benchmark's control arm) reduces recording to one attribute read and a
+branch.  Instrumentation never feeds back into computation — allocations
+are bit-identical with metrics on or off, which ``tests/test_obs.py``
+pins.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.utils.timer import percentile_from_counts
+
+#: default histogram buckets: log-scale seconds from 10 µs to ~84 s
+#: (upper bounds; one +Inf bucket is always appended)
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    1e-5 * 2.0 ** i for i in range(24))
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_set(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    return "{%s}" % ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_registry", "_lock", "_value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (or is computed on read)."""
+
+    __slots__ = ("_registry", "_lock", "_value", "_fn")
+
+    def __init__(self, registry: "MetricsRegistry",
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:  # a dead callback must not kill a scrape
+                return float("nan")
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket log-scale histogram answering quantiles from counts.
+
+    ``observe`` is O(log #buckets) (one bisect) plus a lock; the registry
+    never retains samples, so the memory footprint is constant.  Reported
+    percentiles are bucket upper bounds — conservative estimates whose
+    resolution is the bucket growth factor (2x by default).
+    """
+
+    __slots__ = ("_registry", "_lock", "_bounds", "_counts", "_sum",
+                 "_count", "_min", "_max")
+
+    def __init__(self, registry: "MetricsRegistry",
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly ascending")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        value = float(value)
+        # bisect_right over a small tuple: first bucket whose bound >= value
+        lo, hi = 0, len(self._bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        with self._lock:
+            self._counts[lo] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate (bucket upper bound)."""
+        with self._lock:
+            counts = list(self._counts)
+            maximum = self._max
+        if not sum(counts):
+            return float("nan")
+        # the +Inf bucket reports the observed maximum instead of inf
+        values = list(self._bounds) + [maximum]
+        return percentile_from_counts(values, counts, q)
+
+    def summary(self) -> Dict[str, Any]:
+        """Count, sum, min/max and the standard serving percentiles."""
+        with self._lock:
+            count, total = self._count, self._sum
+            minimum, maximum = self._min, self._max
+        if not count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": count,
+            "sum": round(total, 6),
+            "min": round(minimum, 6),
+            "max": round(maximum, 6),
+            "mean": round(total / count, 6),
+            "p50": round(self.percentile(50.0), 6),
+            "p95": round(self.percentile(95.0), 6),
+            "p99": round(self.percentile(99.0), 6),
+        }
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` pairs, +Inf last (non-cumulative)."""
+        with self._lock:
+            counts = list(self._counts)
+        return list(zip(list(self._bounds) + [float("inf")], counts))
+
+
+#: a metric family: every labeled instrument sharing one name
+_Family = Dict[LabelSet, Any]
+
+#: collector callback result row: (name, type, help, [(labels, value)])
+CollectedFamily = Tuple[str, str, str, List[Tuple[Dict[str, str], float]]]
+
+
+class MetricsRegistry:
+    """Registry of named, labeled instruments with two exposition formats.
+
+    Parameters
+    ----------
+    enabled:
+        When false, every instrument's record path is a no-op (one
+        attribute read + branch); exposition still works and reports the
+        state accumulated while enabled.  Togglable at runtime via
+        :meth:`enable` — handed-out instrument handles observe the change
+        immediately.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, _Family] = {}
+        self._gauges: Dict[str, _Family] = {}
+        self._histograms: Dict[str, _Family] = {}
+        self._help: Dict[str, str] = {}
+        self._collectors: List[Callable[[], Iterable[CollectedFamily]]] = []
+        self._created = time.time()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self, flag: bool = True) -> None:
+        """Switch recording on or off for every instrument at once."""
+        self._enabled = bool(flag)
+
+    # ------------------------------------------------------------------
+    def _instrument(self, store: Dict[str, _Family], name: str, help: str,
+                    factory: Callable[[], Any], labels: Dict[str, Any]):
+        key = _label_set(labels)
+        family = store.get(name)
+        if family is not None:
+            instrument = family.get(key)
+            if instrument is not None:
+                return instrument
+        with self._lock:
+            family = store.setdefault(name, {})
+            instrument = family.get(key)
+            if instrument is None:
+                instrument = family[key] = factory()
+                if help:
+                    self._help.setdefault(name, help)
+            return instrument
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        """The counter ``name`` with the given labels (created on first
+        use)."""
+        return self._instrument(self._counters, name, help,
+                                lambda: Counter(self), labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        """The settable gauge ``name`` with the given labels."""
+        return self._instrument(self._gauges, name, help,
+                                lambda: Gauge(self), labels)
+
+    def gauge_fn(self, name: str, fn: Callable[[], float],
+                 help: str = "", **labels: Any) -> Gauge:
+        """Register a gauge computed by ``fn`` at exposition time (zero
+        recording cost on the hot path)."""
+        return self._instrument(self._gauges, name, help,
+                                lambda: Gauge(self, fn=fn), labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        """The histogram ``name`` with the given labels."""
+        return self._instrument(self._histograms, name, help,
+                                lambda: Histogram(self, buckets=buckets),
+                                labels)
+
+    def register_collector(
+            self, fn: Callable[[], Iterable[CollectedFamily]]) -> None:
+        """Register a callback producing metric families at exposition
+        time — the route for dynamic label sets (e.g. per-index cache
+        stats) that would be wasteful to maintain on the hot path."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    def reset(self) -> None:
+        """Drop every instrument and collector (tests / benchmarks)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._help.clear()
+            self._collectors.clear()
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def _collected(self) -> List[CollectedFamily]:
+        with self._lock:
+            collectors = list(self._collectors)
+        families: List[CollectedFamily] = []
+        for collector in collectors:
+            try:
+                families.extend(collector())
+            except Exception:  # a broken collector must not kill a scrape
+                continue
+        return families
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able snapshot: counters/gauges by labeled name, histogram
+        summaries with p50/p95/p99."""
+        with self._lock:
+            counters = {name: dict(family)
+                        for name, family in self._counters.items()}
+            gauges = {name: dict(family)
+                      for name, family in self._gauges.items()}
+            histograms = {name: dict(family)
+                          for name, family in self._histograms.items()}
+        out: Dict[str, Any] = {"counters": {}, "gauges": {},
+                               "histograms": {}}
+        for name, family in sorted(counters.items()):
+            out["counters"][name] = {
+                _label_suffix(labels) or "": instrument.value
+                for labels, instrument in sorted(family.items())}
+        for name, family in sorted(gauges.items()):
+            out["gauges"][name] = {
+                _label_suffix(labels) or "": instrument.value
+                for labels, instrument in sorted(family.items())}
+        for name, family in sorted(histograms.items()):
+            out["histograms"][name] = {
+                _label_suffix(labels) or "": instrument.summary()
+                for labels, instrument in sorted(family.items())}
+        for name, kind, _help, rows in self._collected():
+            section = {"counter": "counters", "gauge": "gauges"}.get(kind)
+            if section is None:
+                continue
+            out[section].setdefault(name, {}).update({
+                _label_suffix(_label_set(labels)) or "": value
+                for labels, value in rows})
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        with self._lock:
+            counters = {name: dict(family)
+                        for name, family in self._counters.items()}
+            gauges = {name: dict(family)
+                      for name, family in self._gauges.items()}
+            histograms = {name: dict(family)
+                          for name, family in self._histograms.items()}
+            help_text = dict(self._help)
+
+        def _header(name: str, kind: str) -> None:
+            text = help_text.get(name)
+            if text:
+                lines.append(f"# HELP {name} {text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for name, family in sorted(counters.items()):
+            _header(name, "counter")
+            for labels, instrument in sorted(family.items()):
+                lines.append(
+                    f"{name}{_label_suffix(labels)} {instrument.value:g}")
+        for name, family in sorted(gauges.items()):
+            _header(name, "gauge")
+            for labels, instrument in sorted(family.items()):
+                lines.append(
+                    f"{name}{_label_suffix(labels)} {instrument.value:g}")
+        for name, family in sorted(histograms.items()):
+            _header(name, "histogram")
+            for labels, instrument in sorted(family.items()):
+                cumulative = 0
+                for bound, count in instrument.buckets():
+                    cumulative += count
+                    le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                    bucket_labels = labels + (("le", le),)
+                    lines.append(f"{name}_bucket"
+                                 f"{_label_suffix(bucket_labels)} "
+                                 f"{cumulative}")
+                lines.append(f"{name}_sum{_label_suffix(labels)} "
+                             f"{instrument.sum:g}")
+                lines.append(f"{name}_count{_label_suffix(labels)} "
+                             f"{instrument.count}")
+        for name, kind, text, rows in self._collected():
+            if text:
+                lines.append(f"# HELP {name} {text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in rows:
+                lines.append(
+                    f"{name}{_label_suffix(_label_set(labels))} {value:g}")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# the process-global registry (build-path instrumentation)
+# ----------------------------------------------------------------------
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry the build/selection paths record into.
+
+    Long-lived servers own their *own* registry (per-server counters must
+    not bleed across instances); module-level code — samplers, the
+    streaming writer, the selection engine — records here.
+    """
+    return _GLOBAL
+
+
+def set_global_metrics_enabled(flag: bool) -> None:
+    """Toggle the process-global registry (``repro serve --no-metrics``
+    and the overhead benchmark's control arm)."""
+    _GLOBAL.enable(flag)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_global_metrics_enabled",
+]

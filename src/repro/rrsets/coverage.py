@@ -57,12 +57,29 @@ selection at the first zero-gain pick instead.  Either way
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import AlgorithmError
+
+
+def _observe_selection(strategy: str, phase: str, seconds: float) -> None:
+    """Fold one selection-phase timing into the global metrics registry.
+
+    Imported lazily so this low-level module never drags the obs stack in
+    at import time; a disabled registry makes the call a near no-op.
+    """
+    from repro.obs.metrics import get_metrics
+
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.histogram(
+            "repro_selection_seconds",
+            "Greedy node-selection time, by strategy and phase",
+            strategy=strategy, phase=phase).observe(seconds)
 
 #: CELF-style lazy greedy (the default)
 STRATEGY_LAZY = "lazy"
@@ -566,10 +583,16 @@ def node_selection(collection, k: int, strategy: Optional[str] = None,
             f"expected one of {list(_SATURATION_MODES)}")
     strategy = resolve_strategy(strategy)
     k = min(int(k), collection.num_nodes)
+    started = time.perf_counter()
     if strategy == STRATEGY_REFERENCE or not hasattr(collection, "_packed"):
-        return _select_reference(collection, k, on_saturation)
-    return _select_packed(collection, k, on_saturation,
-                          lazy=strategy == STRATEGY_LAZY)
+        result = _select_reference(collection, k, on_saturation)
+        _observe_selection(STRATEGY_REFERENCE, "total",
+                           time.perf_counter() - started)
+        return result
+    result = _select_packed(collection, k, on_saturation,
+                            lazy=strategy == STRATEGY_LAZY)
+    _observe_selection(strategy, "total", time.perf_counter() - started)
+    return result
 
 
 def _select_reference(collection, k: int,
@@ -620,10 +643,15 @@ def _select_packed(collection, k: int, on_saturation: str,
     the same set-major order), so seeds, totals and prefix weights agree
     bit for bit across all three strategies.
     """
+    strategy = STRATEGY_LAZY if lazy else STRATEGY_EAGER
+    setup_started = time.perf_counter()
     n = collection.num_nodes
     offsets, members, weights = collection._packed()
     inv_offsets, inv_sets = collection._inverted()
     gains = collection.initial_gains()
+    _observe_selection(strategy, "gains_init",
+                       time.perf_counter() - setup_started)
+    loop_started = time.perf_counter()
     covered = np.zeros(collection.num_sets, dtype=bool)
     selected: List[int] = []
     prefix_weights: List[float] = []
@@ -703,6 +731,8 @@ def _select_packed(collection, k: int, on_saturation: str,
                     break
             selected.append(candidate)
             prefix_weights.append(total)
+    _observe_selection(strategy, "select_loop",
+                       time.perf_counter() - loop_started)
     return SelectionResult(seeds=selected, covered_weight=total,
                            prefix_weights=prefix_weights,
                            saturated_at=saturated_at)

@@ -26,16 +26,40 @@ and routes.  Every counter is exposed per index key via
 from __future__ import annotations
 
 import asyncio
+import logging
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.protocol import PreparedRequest, execute_prepared_batch
 from repro.exceptions import ReproError
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry
+
+_LOG = get_logger("repro.serve.coalescer")
+
+#: batch-size histogram buckets (requests per executed batch)
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 def _new_counters() -> Dict[str, int]:
     return {"coalesced": 0, "batches": 0, "batched_requests": 0,
             "executed": 0, "max_batch_size": 0}
+
+
+def _derived(counters: Dict[str, int]) -> Dict[str, Any]:
+    """Counters plus the derived totals the ops surface reports.
+
+    ``requests`` is every admission (deduped + executed); ``efficiency``
+    is the fraction of admissions answered without their own execution
+    slot (coalesced, or sharing a multi-request batch).
+    """
+    out: Dict[str, Any] = dict(counters)
+    requests = counters["coalesced"] + counters["batched_requests"]
+    out["requests"] = requests
+    saved = requests - counters["batches"]
+    out["efficiency"] = round(saved / requests, 4) if requests else 0.0
+    return out
 
 
 class RequestCoalescer:
@@ -50,10 +74,13 @@ class RequestCoalescer:
     """
 
     def __init__(self, executor: ThreadPoolExecutor,
-                 max_batch: int = 64) -> None:
+                 max_batch: int = 64,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._executor = executor
         self._max_batch = max(1, int(max_batch))
-        #: fingerprint -> future resolving to (payload-or-ReproError, batch)
+        self._metrics = metrics
+        #: fingerprint -> future resolving to
+        #: (payload-or-ReproError, batch_size, exec_seconds)
         self._inflight: Dict[str, "asyncio.Future"] = {}
         #: index key -> pending (service, prepared, future) triples
         self._pending: Dict[str, List[Tuple[Any, PreparedRequest,
@@ -75,8 +102,9 @@ class RequestCoalescer:
         atomic snapshots, never live dict views.
         """
         if key is not None:
-            return dict(self._counters.setdefault(key, _new_counters()))
-        return {k: dict(v) for k, v in sorted(list(self._counters.items()))}
+            return _derived(self._counters.setdefault(key, _new_counters()))
+        return {k: _derived(v)
+                for k, v in sorted(list(self._counters.items()))}
 
     def _counters_for(self, key: str) -> Dict[str, int]:
         return self._counters.setdefault(key, _new_counters())
@@ -84,22 +112,29 @@ class RequestCoalescer:
     # ------------------------------------------------------------------
     async def submit(self, key: str, service,
                      prepared: PreparedRequest
-                     ) -> Tuple[Any, bool, int, int]:
+                     ) -> Tuple[Any, bool, int, int, float]:
         """Admit one prepared request; returns its execution outcome.
 
-        Returns ``(payload_or_error, coalesced, batch_size, queue_depth)``
-        where ``payload_or_error`` is the service payload dict or the
-        :class:`ReproError` the query raised, ``coalesced`` says whether
-        this request piggybacked on an identical in-flight one, and
-        ``queue_depth`` is the number of distinct in-flight specs at
-        admission time.
+        Returns ``(payload_or_error, coalesced, batch_size, queue_depth,
+        exec_seconds)`` where ``payload_or_error`` is the service payload
+        dict or the :class:`ReproError` the query raised, ``coalesced``
+        says whether this request piggybacked on an identical in-flight
+        one, ``queue_depth`` is the number of distinct in-flight specs at
+        admission time, and ``exec_seconds`` is the worker-thread time of
+        the batch that answered it (shared across its members — the queue
+        wait is the caller's elapsed time minus this).
         """
         depth = len(self._inflight)
         existing = self._inflight.get(prepared.fingerprint)
         if existing is not None:
             self._counters_for(key)["coalesced"] += 1
-            payload, batch_size = await asyncio.shield(existing)
-            return payload, True, batch_size, depth
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "repro_coalesced_total",
+                    "Requests answered by an identical in-flight spec",
+                    index=key).inc()
+            payload, batch_size, exec_s = await asyncio.shield(existing)
+            return payload, True, batch_size, depth, exec_s
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
         self._inflight[prepared.fingerprint] = future
@@ -115,8 +150,8 @@ class RequestCoalescer:
             # tick (e.g. 32 clients whose reads completed together) forms
             # one batch
             self._drain_handles[key] = loop.call_soon(self._drain, key)
-        payload, batch_size = await asyncio.shield(future)
-        return payload, False, batch_size, depth
+        payload, batch_size, exec_s = await asyncio.shield(future)
+        return payload, False, batch_size, depth, exec_s
 
     # ------------------------------------------------------------------
     def _drain(self, key: str) -> None:
@@ -142,17 +177,31 @@ class RequestCoalescer:
         counters["batched_requests"] += len(batch)
         counters["max_batch_size"] = max(counters["max_batch_size"],
                                          len(batch))
+        if self._metrics is not None:
+            self._metrics.counter(
+                "repro_batches_total", "Executed coalescer batches",
+                index=key).inc()
+            self._metrics.histogram(
+                "repro_batch_size", "Requests per executed batch",
+                buckets=_BATCH_BUCKETS, index=key).observe(len(batch))
         service = batch[0][0]
         prepared_list = [prepared for _, prepared, _ in batch]
         loop = asyncio.get_running_loop()
-        task = loop.run_in_executor(self._executor, execute_prepared_batch,
-                                    service, prepared_list)
+
+        def _timed_execute():
+            # timed on the worker thread so batch members can split their
+            # end-to-end latency into queue wait vs execution
+            start = time.perf_counter()
+            results = execute_prepared_batch(service, prepared_list)
+            return results, time.perf_counter() - start
+
+        task = loop.run_in_executor(self._executor, _timed_execute)
 
         def _finish(done: "asyncio.Future") -> None:
             for _, prepared, _future in batch:
                 self._inflight.pop(prepared.fingerprint, None)
             try:
-                results = done.result()
+                results, exec_s = done.result()
             except BaseException as error:  # executor died / shutdown race
                 for _, _prepared, future in batch:
                     if not future.done():
@@ -160,9 +209,17 @@ class RequestCoalescer:
                 return
             counters["executed"] += sum(
                 1 for r in results if not isinstance(r, ReproError))
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    "repro_batch_exec_seconds",
+                    "Worker-thread execution time per batch",
+                    index=key).observe(exec_s)
+            log_event(_LOG, logging.DEBUG, "batch-executed",
+                      index=key, batch_size=len(batch),
+                      exec_ms=round(exec_s * 1000.0, 3))
             for (_, _prepared, future), result in zip(batch, results):
                 if not future.done():
-                    future.set_result((result, len(batch)))
+                    future.set_result((result, len(batch), exec_s))
 
         task.add_done_callback(_finish)
 

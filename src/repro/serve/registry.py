@@ -27,18 +27,40 @@ Memory discipline:
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.allocation import Allocation
 from repro.api.specs import RunSpec, WorkloadSpec
 from repro.exceptions import IndexStoreError
 from repro.index.frozen import FrozenRRIndex, index_paths
 from repro.index.service import AllocationService
+from repro.obs.logging import get_logger, log_event
 from repro.utility.configs import CONFIGURATIONS, configuration_model
+
+_LOG = get_logger("repro.serve.registry")
+
+
+def cache_hit_rate(cache: Mapping[str, Any]) -> float:
+    """Hit fraction of a ``{"hits": ..., "misses": ...}`` stats dict."""
+    hits = int(cache.get("hits", 0))
+    misses = int(cache.get("misses", 0))
+    total = hits + misses
+    return round(hits / total, 4) if total else 0.0
 
 
 @dataclass
@@ -197,6 +219,8 @@ class IndexRegistry:
                 if explicit:
                     raise
                 skipped.append(key)
+                log_event(_LOG, logging.WARNING, "manifest-skipped",
+                          index=key, path=str(manifest_path))
                 continue
             found[key] = (stem, manifest, manifest_path.stat().st_mtime)
         self._skipped = skipped
@@ -245,6 +269,9 @@ class IndexRegistry:
             self._reloads += 1
             summary["indexes"] = sorted(self._entries)
             summary["reloads"] = self._reloads
+        log_event(_LOG, logging.INFO, "registry-reloaded",
+                  added=summary["added"], removed=summary["removed"],
+                  changed=summary["changed"], reloads=summary["reloads"])
         return summary
 
     # ------------------------------------------------------------------
@@ -290,6 +317,9 @@ class IndexRegistry:
                 cache_size=self._cache_size,
                 selection_strategy=self._selection_strategy,
                 mmap=self._mmap)
+            result: Optional[LoadedService] = None
+            installed = False
+            evicted: List[str] = []
             with self._lock:
                 current = self._entries.get(key)
                 if current is None:  # removed by a concurrent reload
@@ -302,6 +332,7 @@ class IndexRegistry:
                         current.loaded = loaded
                         current.loads += 1
                         self._loads += 1
+                        installed = True
                     self._lru[key] = None
                     self._lru.move_to_end(key)
                     while len(self._lru) > self._capacity or (
@@ -315,7 +346,18 @@ class IndexRegistry:
                             victim_entry.loaded = None
                         self._evictions += 1
                         self._eviction_log.append(victim)
-                    return current.loaded
+                        evicted.append(victim)
+                    result = current.loaded
+            # log outside the lock: handlers may block on I/O
+            if installed:
+                log_event(_LOG, logging.INFO, "index-loaded", index=key,
+                          num_rr_sets=entry.num_sets,
+                          num_nodes=entry.num_nodes)
+            for victim in evicted:
+                log_event(_LOG, logging.INFO, "index-evicted",
+                          index=victim, evicted_by=key)
+            if result is not None:
+                return result
             # the manifest changed while we were loading: what we loaded
             # is a stale build — rescan so the entry reflects the disk
             # state, then retry rather than installing old arrays under
@@ -381,7 +423,14 @@ class IndexRegistry:
                 }
                 if entry.loaded is not None:
                     service = entry.loaded.service
-                    row["cache"] = service.cache_stats
+                    cache = dict(service.cache_stats)
+                    cache["hit_rate"] = cache_hit_rate(cache)
+                    spec_cache = cache.get("spec_cache")
+                    if isinstance(spec_cache, Mapping):
+                        spec_cache = dict(spec_cache)
+                        spec_cache["hit_rate"] = cache_hit_rate(spec_cache)
+                        cache["spec_cache"] = spec_cache
+                    row["cache"] = cache
                     row.update(service.memory_stats)
                 per_index[key] = row
             return {
@@ -400,4 +449,5 @@ class IndexRegistry:
             }
 
 
-__all__ = ["LoadedService", "RegistryEntry", "IndexRegistry", "load_service"]
+__all__ = ["LoadedService", "RegistryEntry", "IndexRegistry",
+           "cache_hit_rate", "load_service"]

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -42,6 +43,7 @@ from typing import (
     Any,
     AsyncIterator,
     Dict,
+    List,
     Mapping,
     Optional,
     TextIO,
@@ -59,8 +61,13 @@ from repro.api.protocol import (
 )
 from repro.api.specs import RunSpec
 from repro.exceptions import ReproError, SpecError
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import Trace
 from repro.serve.coalescer import RequestCoalescer
-from repro.serve.registry import IndexRegistry, LoadedService
+from repro.serve.registry import IndexRegistry, LoadedService, cache_hit_rate
+
+_LOG = get_logger("repro.serve.server")
 
 #: default cap on one JSON-lines frame (1 MiB)
 DEFAULT_MAX_LINE_BYTES = 1_048_576
@@ -85,19 +92,27 @@ class AllocationServer:
         "coalesced vs not" axis); dedup/batching is on by default.
     max_batch:
         Forwarded to :class:`RequestCoalescer`.
+    metrics:
+        The :class:`MetricsRegistry` this server records into (a fresh
+        enabled one by default).  Pass a disabled registry
+        (``MetricsRegistry(enabled=False)``) to reduce all recording to
+        no-ops; responses stay bit-identical either way.
     """
 
     def __init__(self, registry: IndexRegistry, *,
                  max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
                  coalesce: bool = True,
-                 max_batch: int = 64) -> None:
+                 max_batch: int = 64,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._registry = registry
         self._max_line_bytes = int(max_line_bytes)
         self._coalesce = bool(coalesce)
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve")
         self._coalescer = RequestCoalescer(self._executor,
-                                           max_batch=max_batch)
+                                           max_batch=max_batch,
+                                           metrics=self._metrics)
         self._servers: list = []
         self._unix_paths: list = []
         self._conn_tasks: set = set()
@@ -108,6 +123,74 @@ class AllocationServer:
         self._requests = 0
         self._errors = 0
         self._connections = 0
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        m = self._metrics
+        # hot-path handles, bound once
+        self._m_latency = m.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency (frame receipt to response)")
+        self._m_unserializable = m.counter(
+            "repro_unserializable_responses_total",
+            "Responses that needed the default=str JSON fallback")
+        self._m_connections = m.counter(
+            "repro_connections_total", "Accepted client connections")
+        # live state as callback gauges: zero cost on the request path
+        m.gauge_fn("repro_queue_depth",
+                   lambda: self._coalescer.queue_depth,
+                   "Distinct in-flight specs awaiting execution")
+        m.gauge_fn("repro_in_flight_requests", lambda: self._busy,
+                   "Requests being handled (including response write)")
+        m.gauge_fn("repro_active_connections",
+                   lambda: len(self._conn_tasks),
+                   "Open client connections")
+        m.gauge_fn("repro_uptime_seconds",
+                   lambda: time.time() - self._started,
+                   "Seconds since the server object was created")
+        m.register_collector(self._registry_families)
+
+    def _registry_families(self):
+        """Render-time metric families for registry/per-index state."""
+        stats = self._registry.stats()
+        totals = [
+            ("repro_registry_loads_total", "counter",
+             "Index loads since start", [({}, stats["loads"])]),
+            ("repro_registry_evictions_total", "counter",
+             "LRU/memory-budget evictions", [({}, stats["evictions"])]),
+            ("repro_registry_reloads_total", "counter",
+             "Hot reloads (SIGHUP or reload op)", [({}, stats["reloads"])]),
+            ("repro_registry_resident_bytes", "gauge",
+             "Resident (non-mmap) index array bytes",
+             [({}, stats["resident_bytes"])]),
+        ]
+        requests_rows: List[Tuple[Dict[str, str], float]] = []
+        loaded_rows: List[Tuple[Dict[str, str], float]] = []
+        hit_rows: List[Tuple[Dict[str, str], float]] = []
+        miss_rows: List[Tuple[Dict[str, str], float]] = []
+        rate_rows: List[Tuple[Dict[str, str], float]] = []
+        for key, row in stats["indexes"].items():
+            labels = {"index": key}
+            requests_rows.append((labels, row["requests"]))
+            loaded_rows.append((labels, 1.0 if row["loaded"] else 0.0))
+            cache = row.get("cache")
+            if cache:
+                hit_rows.append((labels, cache.get("hits", 0)))
+                miss_rows.append((labels, cache.get("misses", 0)))
+                rate_rows.append((labels, cache_hit_rate(cache)))
+        return totals + [
+            ("repro_index_requests_total", "counter",
+             "Requests routed per index", requests_rows),
+            ("repro_index_loaded", "gauge",
+             "Whether the index is resident (1) or manifest-only (0)",
+             loaded_rows),
+            ("repro_index_cache_hits_total", "counter",
+             "Allocation-cache hits per index", hit_rows),
+            ("repro_index_cache_misses_total", "counter",
+             "Allocation-cache misses per index", miss_rows),
+            ("repro_index_cache_hit_rate", "gauge",
+             "Allocation-cache hit fraction per index", rate_rows),
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -119,8 +202,49 @@ class AllocationServer:
         return self._coalescer
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
     def max_line_bytes(self) -> int:
         return self._max_line_bytes
+
+    # ------------------------------------------------------------------
+    # recording (the one funnel every answered frame goes through)
+    # ------------------------------------------------------------------
+    def _record_response(self, dialect: str, response: Mapping[str, Any],
+                         latency_s: float,
+                         trace: Optional[Trace] = None) -> None:
+        if not self._metrics.enabled:
+            return
+        outcome = "ok" if response.get("ok", True) else "error"
+        self._metrics.counter(
+            "repro_requests_total", "Requests answered, by dialect/outcome",
+            dialect=dialect, outcome=outcome).inc()
+        self._m_latency.observe(latency_s)
+        if trace is not None:
+            for name, seconds in trace.spans():
+                self._metrics.histogram(
+                    "repro_span_seconds", "Per-stage request span timings",
+                    stage=name).observe(seconds)
+
+    def encode_response(self, response: Mapping[str, Any]) -> str:
+        """Serialize one response frame.
+
+        A well-formed response is plain JSON; if serialization fails the
+        event is recorded (``repro_unserializable_responses_total`` + a
+        structured warning — this masks a type bug somewhere upstream)
+        and the frame falls back to ``default=str`` so the client still
+        gets an answer.
+        """
+        try:
+            return json.dumps(response)
+        except (TypeError, ValueError):
+            self._m_unserializable.inc()
+            log_event(_LOG, logging.WARNING, "response-unserializable",
+                      "response payload needed default=str serialization",
+                      id=response.get("id"), keys=sorted(response))
+            return json.dumps(response, default=str)
 
     # ------------------------------------------------------------------
     # framing / parsing (shared by stdio and the async endpoints)
@@ -272,7 +396,8 @@ class AllocationServer:
     # stats / reload ops
     # ------------------------------------------------------------------
     def stats_payload(self) -> Dict[str, Any]:
-        """Server + registry + coalescer statistics (the ``stats`` op)."""
+        """Server + registry + coalescer + metrics statistics (the
+        ``stats`` op)."""
         return {
             "server": {
                 "uptime_s": round(time.time() - self._started, 3),
@@ -285,10 +410,27 @@ class AllocationServer:
                 "max_line_bytes": self._max_line_bytes,
                 "coalescing": self._coalesce,
                 "draining": self._draining,
+                "metrics_enabled": self._metrics.enabled,
             },
             "coalescer": self._coalescer.counters(),
             "registry": self._registry.stats(),
+            "metrics": self._metrics.summary(),
         }
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        """Server + process metric summaries (the ``metrics`` op)."""
+        return {
+            "server": self._metrics.summary(),
+            "process": get_metrics().summary(),
+        }
+
+    def _handle_metrics_op(self, request: Mapping[str, Any]
+                           ) -> Dict[str, Any]:
+        response: Dict[str, Any] = {}
+        if "id" in request:
+            response["id"] = request["id"]
+        response.update(ok=True, metrics=self.metrics_payload())
+        return response
 
     def _handle_stats_op(self, request: Mapping[str, Any]
                          ) -> Dict[str, Any]:
@@ -330,27 +472,34 @@ class AllocationServer:
     # ------------------------------------------------------------------
     # synchronous dispatch (stdio loop)
     # ------------------------------------------------------------------
-    def dispatch(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+    def dispatch(self, request: Mapping[str, Any],
+                 trace: Optional[Trace] = None) -> Dict[str, Any]:
         """Answer one parsed request synchronously (no coalescing)."""
         self._requests += 1
         if "v" in request:
             started = time.perf_counter()
-            resolved = self._resolve_versioned(request)
-            if isinstance(resolved, dict):
-                self._errors += 1
-                return resolved
-            key, loaded, spec = resolved
-            prepared = prepare_request(loaded.service, request, spec=spec)
+            if trace is None:
+                trace = Trace()
+            with trace.span("validate"):
+                resolved = self._resolve_versioned(request)
+                if isinstance(resolved, dict):
+                    self._errors += 1
+                    return resolved
+                key, loaded, spec = resolved
+                prepared = prepare_request(loaded.service, request,
+                                           spec=spec)
             if isinstance(prepared, dict):
                 self._errors += 1
                 return prepared
             try:
-                payload = execute_prepared(loaded.service, prepared)
+                with trace.span("execute"):
+                    payload = execute_prepared(loaded.service, prepared)
             except ReproError as error:
                 self._errors += 1
                 return error_response("invalid-spec", str(error),
                                       prepared.request_id)
-            response = build_response(prepared, payload, started)
+            response = build_response(prepared, payload, started,
+                                      trace=trace)
             response["server"] = self._server_meta(key)
             return response
         op = str(request.get("op", "query")).strip().lower()
@@ -362,6 +511,8 @@ class AllocationServer:
             return response
         if op == "stats":
             return self._handle_stats_op(request)
+        if op == "metrics":
+            return self._handle_metrics_op(request)
         if op == "reload":
             return self._handle_reload_op(request)
         target = self._legacy_target(request)
@@ -379,20 +530,42 @@ class AllocationServer:
     def dispatch_line(self, raw: Union[str, bytes]
                       ) -> Optional[Dict[str, Any]]:
         """Parse + dispatch one frame; ``None`` for blank lines."""
-        request, envelope = self.parse_line(raw)
+        trace = Trace()
+        with trace.span("parse"):
+            request, envelope = self.parse_line(raw)
         if envelope is not None:
             self._requests += 1
             self._errors += 1
+            self._record_resync(envelope)
+            self._record_response("invalid", envelope, trace.elapsed())
             return envelope
         if request is None:
             return None
-        return self.dispatch(request)
+        response = self.dispatch(request, trace=trace)
+        dialect = "v1" if "v" in request else "legacy"
+        self._record_response(dialect, response, trace.elapsed(),
+                              trace=trace)
+        return response
+
+    def _record_resync(self, envelope: Mapping[str, Any]) -> None:
+        """Count + log one malformed/oversized frame resynchronization."""
+        error = envelope.get("error") or {}
+        code = str(error.get("code", "")) if isinstance(error, Mapping) \
+            else str(error)
+        reason = "oversized" if code == "oversized-request" else "malformed"
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "repro_resync_total",
+                "Frames discarded to resynchronize the stream",
+                reason=reason).inc()
+        log_event(_LOG, logging.WARNING, "frame-resync", reason=reason,
+                  code=code)
 
     # ------------------------------------------------------------------
     # async dispatch (TCP / unix endpoints)
     # ------------------------------------------------------------------
-    async def handle_async(self, request: Mapping[str, Any]
-                           ) -> Dict[str, Any]:
+    async def handle_async(self, request: Mapping[str, Any],
+                           trace: Optional[Trace] = None) -> Dict[str, Any]:
         """Answer one parsed request with coalescing and batching."""
         loop = asyncio.get_running_loop()
         if "v" not in request:
@@ -401,32 +574,46 @@ class AllocationServer:
             return await loop.run_in_executor(self._executor,
                                               self.dispatch, request)
         self._requests += 1
+        if trace is None:
+            trace = Trace()
         started = time.perf_counter()
+        validate_started = time.perf_counter()
         outcome = await loop.run_in_executor(
             self._executor, self._resolve_and_prepare, request)
+        # includes the executor hop — what the request actually waited
+        trace.add("validate", time.perf_counter() - validate_started)
         if isinstance(outcome, dict):
             self._errors += 1
             return outcome
         key, loaded, prepared = outcome
         if not self._coalesce:
             try:
+                exec_started = time.perf_counter()
                 payload = await loop.run_in_executor(
                     self._executor, execute_prepared, loaded.service,
                     prepared)
+                trace.add("execute", time.perf_counter() - exec_started)
             except ReproError as error:
                 self._errors += 1
                 return error_response("invalid-spec", str(error),
                                       prepared.request_id)
-            response = build_response(prepared, payload, started)
+            response = build_response(prepared, payload, started,
+                                      trace=trace)
             response["server"] = self._server_meta(key)
             return response
-        payload, coalesced, batch_size, depth = await self._coalescer.submit(
-            key, loaded.service, prepared)
+        submit_started = time.perf_counter()
+        payload, coalesced, batch_size, depth, exec_s = \
+            await self._coalescer.submit(key, loaded.service, prepared)
+        waited = time.perf_counter() - submit_started
+        # the batch's worker-thread time is shared by its members; the
+        # rest of the wait is queueing (tick gather + executor backlog)
+        trace.add("queue", max(0.0, waited - exec_s))
+        trace.add("execute", exec_s)
         if isinstance(payload, ReproError):
             self._errors += 1
             return error_response("invalid-spec", str(payload),
                                   prepared.request_id)
-        response = build_response(prepared, payload, started)
+        response = build_response(prepared, payload, started, trace=trace)
         response["server"] = self._server_meta(
             key, coalesced=coalesced, batch_size=batch_size,
             queue_depth=depth)
@@ -476,6 +663,11 @@ class AllocationServer:
     async def _client_connected(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         self._connections += 1
+        self._m_connections.inc()
+        peer = writer.get_extra_info("peername")
+        log_event(_LOG, logging.DEBUG, "connection-opened",
+                  peer=str(peer) if peer else None)
+        frames = 0
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
@@ -483,19 +675,26 @@ class AllocationServer:
             async for frame, oversized in self._frames(reader):
                 if self._draining:
                     break
+                frames += 1
+                trace = Trace()  # minted at frame receipt
                 if oversized:
                     self._requests += 1
                     self._errors += 1
                     response: Optional[Dict[str, Any]] = \
                         self._oversized_envelope()
-                    writer.write((json.dumps(response) + "\n")
+                    self._record_resync(response)
+                    self._record_response("invalid", response,
+                                          trace.elapsed())
+                    writer.write((self.encode_response(response) + "\n")
                                  .encode("utf-8"))
                     await writer.drain()
                     continue
-                request, envelope = self.parse_line(frame)
+                with trace.span("parse"):
+                    request, envelope = self.parse_line(frame)
                 if envelope is not None:
                     self._requests += 1
                     self._errors += 1
+                    self._record_resync(envelope)
                     response = envelope
                 elif request is None:
                     continue
@@ -506,17 +705,24 @@ class AllocationServer:
                     if self._idle is not None:
                         self._idle.clear()
                     try:
-                        response = await self.handle_async(request)
-                        writer.write((json.dumps(response, default=str)
-                                      + "\n").encode("utf-8"))
-                        await writer.drain()
+                        response = await self.handle_async(request,
+                                                           trace=trace)
+                        with trace.span("respond"):
+                            writer.write(
+                                (self.encode_response(response) + "\n")
+                                .encode("utf-8"))
+                            await writer.drain()
+                        dialect = "v1" if "v" in request else "legacy"
+                        self._record_response(dialect, response,
+                                              trace.elapsed(), trace=trace)
                     finally:
                         self._busy -= 1
                         if self._busy == 0 and self._idle is not None:
                             self._idle.set()
                     continue
-                writer.write((json.dumps(response, default=str)
-                              + "\n").encode("utf-8"))
+                self._record_response("invalid", response, trace.elapsed())
+                writer.write((self.encode_response(response) + "\n")
+                             .encode("utf-8"))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.CancelledError):
@@ -524,6 +730,8 @@ class AllocationServer:
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
+            log_event(_LOG, logging.DEBUG, "connection-closed",
+                      peer=str(peer) if peer else None, frames=frames)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -596,23 +804,43 @@ class AllocationServer:
 
     async def serve_forever(self, *, tcp: Optional[Tuple[str, int]] = None,
                             unix: Optional[Union[str, Path]] = None,
+                            metrics_tcp: Optional[Tuple[str, int]] = None,
                             ready=None) -> None:
         """Run until SIGINT/SIGTERM; SIGHUP hot-reloads the registry.
 
-        ``ready`` (optional callable) receives the bound endpoint
-        descriptions once listening — the CLI prints them to stderr.
+        ``metrics_tcp`` starts the Prometheus/healthz HTTP exporter on a
+        separate listener (it exposes this server's registry plus the
+        process-global build metrics).  ``ready`` (optional callable)
+        receives the bound endpoint descriptions once listening — the
+        CLI prints them to stderr.
         """
         import signal
 
+        from repro.obs.httpexp import MetricsExporter
+
         endpoints = []
+        exporter: Optional[MetricsExporter] = None
         if tcp is not None:
             host, port = await self.start_tcp(*tcp)
             endpoints.append(f"tcp://{host}:{port}")
         if unix is not None:
             path = await self.start_unix(unix)
             endpoints.append(f"unix://{path}")
+        if metrics_tcp is not None:
+            exporter = MetricsExporter(
+                [self._metrics, get_metrics()],
+                health=lambda: {"uptime_s": round(
+                    time.time() - self._started, 3),
+                    "indexes": len(self._registry.keys()),
+                    "draining": self._draining})
+            await exporter.start(*metrics_tcp)
+            for host, port in exporter.addresses:
+                endpoints.append(f"http://{host}:{port}/metrics")
         if ready is not None:
             ready(endpoints)
+        log_event(_LOG, logging.INFO, "server-started",
+                  endpoints=endpoints,
+                  indexes=list(self._registry.keys()))
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -627,7 +855,11 @@ class AllocationServer:
                 AttributeError):  # pragma: no cover - non-unix
             pass
         await stop.wait()
+        if exporter is not None:
+            await exporter.close()
         await self.shutdown(drain=True)
+        log_event(_LOG, logging.INFO, "server-drained",
+                  requests=self._requests, errors=self._errors)
 
 
 def run_stdio(server: AllocationServer,
@@ -645,7 +877,7 @@ def run_stdio(server: AllocationServer,
         response = server.dispatch_line(line)
         if response is None:
             continue
-        print(json.dumps(response, default=str), file=stdout, flush=True)
+        print(server.encode_response(response), file=stdout, flush=True)
     return 0
 
 

@@ -1,16 +1,124 @@
-"""Wall-clock timing helper used by the experiment harness."""
+"""Wall-clock timing helpers and the shared quantile implementation.
+
+:class:`Timer` is the accumulating timer the experiment harness wraps
+around its phases.  Individual measurements ("laps") are kept in a
+:class:`Reservoir` — a *bounded*, deterministically decimated sample —
+so a long-lived process (the serving loop measures every request) never
+grows without bound, while totals and counts stay exact.
+
+:func:`percentile` / :func:`percentile_from_counts` are the one quantile
+implementation shared by the harness and the observability layer: the
+fixed-bucket histograms in :mod:`repro.obs.metrics` feed their bucket
+bounds and counts through the same nearest-rank rule the reservoir uses,
+so a p99 reported by ``repro metrics`` and a p99 computed from a
+:class:`Timer` agree on semantics.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 from contextlib import contextmanager
+
+#: default bound on retained measurements per label
+DEFAULT_RESERVOIR = 1024
+
+
+def percentile_from_counts(values: Sequence[float], counts: Sequence[int],
+                           q: float) -> float:
+    """Nearest-rank percentile over ``values`` with multiplicities.
+
+    ``values`` must be sorted ascending and ``counts[i]`` is how many
+    observations ``values[i]`` stands for (for a histogram: the bucket
+    upper bound and its count).  ``q`` is in ``[0, 100]``.  The
+    nearest-rank rule returns the smallest value whose cumulative count
+    reaches ``ceil(q/100 * N)`` — exact for raw samples, a conservative
+    (upper-bound) estimate for bucketed ones.
+    """
+    if len(values) != len(counts):
+        raise ValueError("values and counts must have equal length")
+    total = 0
+    for count in counts:
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        total += count
+    if total == 0:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    rank = max(1, -(-int(q * total) // 100))  # ceil(q/100 * total), >= 1
+    cumulative = 0
+    for value, count in zip(values, counts):
+        cumulative += count
+        if cumulative >= rank:
+            return float(value)
+    return float(values[-1])
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of raw ``samples`` (order-independent)."""
+    ordered = sorted(float(v) for v in samples)
+    return percentile_from_counts(ordered, [1] * len(ordered), q)
+
+
+class Reservoir:
+    """A bounded, deterministically decimated sample of a measurement
+    stream.
+
+    Appends are O(1) amortized.  When ``capacity`` is reached the retained
+    samples are halved by keeping every other one (an evenly spaced
+    subsample of the stream so far) and the keep-stride doubles, so the
+    reservoir always spans the whole stream with at most ``capacity``
+    points.  No randomness is involved: the same stream always retains
+    the same samples.
+    """
+
+    __slots__ = ("_capacity", "_values", "_stride", "_seen")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR) -> None:
+        self._capacity = max(2, int(capacity))
+        self._values: List[float] = []
+        self._stride = 1
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        """Record one measurement (retained only on the current stride)."""
+        if self._seen % self._stride == 0:
+            if len(self._values) >= self._capacity:
+                self._values = self._values[::2]
+                self._stride *= 2
+                if self._seen % self._stride != 0:
+                    self._seen += 1
+                    return
+            self._values.append(float(value))
+        self._seen += 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def seen(self) -> int:
+        """Total measurements offered (retained or not)."""
+        return self._seen
+
+    def values(self) -> List[float]:
+        """The retained samples, in arrival order."""
+        return list(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the retained samples."""
+        return percentile(self._values, q)
 
 
 @dataclass
 class Timer:
-    """Accumulating wall-clock timer.
+    """Accumulating wall-clock timer with bounded per-label laps.
+
+    Totals and counts are exact for every measurement ever recorded;
+    per-measurement laps are retained in a bounded deterministic
+    :class:`Reservoir` (``reservoir_size`` per label), so percentile
+    queries stay available without unbounded memory growth.
 
     Example
     -------
@@ -23,7 +131,8 @@ class Timer:
 
     _totals: Dict[str, float] = field(default_factory=dict)
     _counts: Dict[str, int] = field(default_factory=dict)
-    _laps: Dict[str, List[float]] = field(default_factory=dict)
+    _laps: Dict[str, Reservoir] = field(default_factory=dict)
+    reservoir_size: int = DEFAULT_RESERVOIR
 
     @contextmanager
     def measure(self, label: str) -> Iterator[None]:
@@ -39,7 +148,10 @@ class Timer:
         """Record ``seconds`` of elapsed time under ``label``."""
         self._totals[label] = self._totals.get(label, 0.0) + seconds
         self._counts[label] = self._counts.get(label, 0) + 1
-        self._laps.setdefault(label, []).append(seconds)
+        reservoir = self._laps.get(label)
+        if reservoir is None:
+            reservoir = self._laps[label] = Reservoir(self.reservoir_size)
+        reservoir.add(seconds)
 
     def total(self, label: Optional[str] = None) -> float:
         """Total seconds recorded for ``label`` (or over all labels)."""
@@ -48,12 +160,22 @@ class Timer:
         return self._totals.get(label, 0.0)
 
     def count(self, label: str) -> int:
-        """Number of measurements recorded under ``label``."""
+        """Number of measurements recorded under ``label`` (exact, even
+        beyond the reservoir bound)."""
         return self._counts.get(label, 0)
 
     def laps(self, label: str) -> List[float]:
-        """Individual measurements recorded under ``label``."""
-        return list(self._laps.get(label, []))
+        """Retained measurements for ``label`` (all of them below the
+        reservoir bound; an evenly spaced subsample beyond it)."""
+        reservoir = self._laps.get(label)
+        return reservoir.values() if reservoir is not None else []
+
+    def percentile(self, label: str, q: float) -> float:
+        """Nearest-rank percentile of the retained laps for ``label``."""
+        reservoir = self._laps.get(label)
+        if reservoir is None or not len(reservoir):
+            return float("nan")
+        return reservoir.percentile(q)
 
     def as_dict(self) -> Dict[str, float]:
         """Mapping of label to total seconds."""
@@ -64,4 +186,5 @@ class Timer:
         return f"Timer({parts})"
 
 
-__all__ = ["Timer"]
+__all__ = ["DEFAULT_RESERVOIR", "percentile", "percentile_from_counts",
+           "Reservoir", "Timer"]

@@ -178,6 +178,28 @@ class TestIndexCommands:
         payload = json.loads(capsys.readouterr().out)
         assert len(payload["allocation"]["seeds"]) == 1
 
+    def test_index_info_json_is_enriched(self, tmp_path, capsys):
+        out = tmp_path / "idx"
+        assert main(self.BUILD + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["index", "info", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_sets"] > 0 and payload["num_nodes"] > 0
+        assert payload["network"] == "nethept"
+        assert payload["scale"] == 0.01
+        assert payload["fingerprint"]
+        # build provenance surfaced for ops tooling
+        assert payload["budgets"] == {"i": 2, "j": 2}
+        assert "engine" in payload and "workers" in payload
+        assert "options" in payload
+
+    def test_index_info_text_mentions_budgets(self, tmp_path, capsys):
+        out = tmp_path / "idx"
+        assert main(self.BUILD + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["index", "info", str(out)]) == 0
+        assert "budgets" in capsys.readouterr().out
+
     def test_serve_loop_round_trip(self, tmp_path, capsys, monkeypatch):
         import io
 
@@ -223,6 +245,23 @@ class TestTcpAddressArgument:
     def test_serve_requires_an_index_source(self, capsys):
         assert main(["serve"]) == 2
         assert "--index" in capsys.readouterr().err
+
+
+class TestMetricsCli:
+    def test_metrics_requires_an_endpoint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["metrics"])
+        assert excinfo.value.code == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_unreachable_server_is_exit_code_2(self, tmp_path, capsys):
+        assert main(["metrics", "--unix", str(tmp_path / "nope.sock")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_metrics_tcp_needs_concurrent_endpoint(self, capsys):
+        assert main(["serve", "--index", "whatever",
+                     "--metrics-tcp", "127.0.0.1:0"]) == 2
+        assert "--metrics-tcp" in capsys.readouterr().err
 
 
 class TestBudgetsArgument:

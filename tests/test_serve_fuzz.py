@@ -90,6 +90,10 @@ def fuzz_corpus(seed: int, count: int = 120):
         ("unknown-algorithm", b'{"v": 1, "spec": {"algorithm": "Nope"}}'),
         ("unknown-op", b'{"op": "explode"}'),
         ("op-wrong-type", b'{"op": [1, 2]}'),
+        ("metrics-op", b'{"op": "metrics"}'),
+        ("metrics-op-with-id", b'{"op": "metrics", "id": 1}'),
+        ("metrics-op-weird-id", b'{"op": "metrics", "id": [1, {"a": 2}]}'),
+        ("metrics-op-extra-keys", b'{"op": "metrics", "spec": 7, "x": null}'),
         ("oversized", b"x" * (MAX_LINE + 1024)),
         ("oversized-json", b'{"pad": "' + b"y" * (MAX_LINE + 64)
                            + b'"}'),
@@ -302,3 +306,69 @@ class TestTcpFuzz:
         response = self._run(scenario())
         assert response["error"]["code"] == "malformed-request"
         assert "UTF-8" in response["error"]["message"]
+
+
+def http_fuzz_corpus(seed: int, count: int = 40):
+    """Seeded adversarial HTTP requests for the metrics exporter."""
+    rng = random.Random(seed)
+    corpus = [
+        ("empty-line", b"\r\n"),
+        ("bare-newline", b"\n"),
+        ("no-version", b"GET /metrics\r\n\r\n"),
+        ("bad-version", b"GET /metrics JUNK/9\r\n\r\n"),
+        ("post", b"POST /metrics HTTP/1.1\r\n\r\n"),
+        ("put", b"PUT / HTTP/1.0\r\n\r\n"),
+        ("unknown-path", b"GET /secrets HTTP/1.1\r\n\r\n"),
+        ("query-string", b"GET /metrics?x=1 HTTP/1.1\r\n\r\n"),
+        ("extra-tokens", b"GET /metrics HTTP/1.1 junk\r\n\r\n"),
+        ("binary", b"\xff\xfe\x80\x00garbage\r\n\r\n"),
+        ("long-uri", b"GET /" + b"a" * 4096 + b" HTTP/1.1\r\n\r\n"),
+        ("many-headers", b"GET /metrics HTTP/1.1\r\n"
+                         + b"X-Pad: y\r\n" * 64 + b"\r\n"),
+    ]
+    yield from corpus
+    for i in range(count - len(corpus)):
+        frame = bytes(rng.randrange(256)
+                      for _ in range(rng.randrange(1, 120)))
+        yield f"http-generated-{i}", frame.replace(b"\n", b"?") + b"\r\n\r\n"
+
+
+class TestMetricsHttpFuzz:
+    """The Prometheus exporter must answer garbage with an HTTP status
+    and keep scraping after every adversarial connection."""
+
+    def _run(self, coro):
+        return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+    async def _request(self, host, port, raw):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(raw)
+        await writer.drain()
+        body = await asyncio.wait_for(reader.read(), 30)
+        writer.close()
+        return body
+
+    def test_exporter_survives_http_garbage(self, server):
+        from repro.obs.httpexp import MetricsExporter
+
+        async def scenario():
+            exporter = MetricsExporter([server.metrics])
+            await exporter.start("127.0.0.1", 0)
+            host, port = exporter.addresses[0]
+            # a serve request so the scrape has nonzero counters
+            server.dispatch_line('{"op": "ping"}')
+            try:
+                for label, frame in http_fuzz_corpus(seed=2022):
+                    body = await self._request(host, port, frame)
+                    assert body.startswith(b"HTTP/1.1 "), (label, body[:60])
+                    status = int(body.split(b" ", 2)[1])
+                    assert status in (200, 400, 404, 405, 408), (label, status)
+                # the exporter still serves a clean scrape afterwards
+                scrape = await self._request(
+                    host, port, b"GET /metrics HTTP/1.1\r\n\r\n")
+                assert scrape.startswith(b"HTTP/1.1 200 OK"), scrape[:60]
+                assert b"repro_requests_total" in scrape
+            finally:
+                await exporter.close()
+
+        self._run(scenario())
