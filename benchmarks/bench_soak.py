@@ -1,0 +1,292 @@
+"""Benchmark: 1000-client overload soak with the resilient client.
+
+Pins the overload-hardening acceptance criteria of the serving stack:
+
+* **1000 concurrent clients**, each a :class:`repro.serve.ResilientClient`
+  with seeded full-jitter backoff, stream requests over a sweep of
+  distinct budget points against a server whose admission queue is
+  deliberately small — so the server *must* shed;
+* **> 0 requests are shed**, and every shed response is a typed
+  ``overloaded`` envelope carrying ``queue_depth`` and ``retry_after_ms``
+  (audited verbatim via the client's ``on_retryable`` hook);
+* **zero errors and zero hangs** — every request resolves to a bit-exact
+  correct allocation or an audited retryable envelope, and the retrying
+  client completes **>= 99%** of requests;
+* **bounded p99** end-to-end latency for completed requests (retries and
+  backoff included);
+* the disarmed :mod:`repro.faults` hooks cost **<= 1%** of a warm
+  request (measured: per-call hook time x hook sites per request vs the
+  warm single-request latency).
+
+Results are written to ``benchmarks/BENCH_soak.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import report
+
+from repro import faults
+from repro.api import EngineConfig, RunSpec, WorkloadSpec, make_request
+from repro.api import run as run_spec
+from repro.index import build_index
+from repro.serve import AllocationServer, IndexRegistry
+from repro.serve.client import ResilientClient, RetriesExhausted, RetryPolicy
+from repro.utility.configs import configuration_model
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_soak.json"
+
+NETWORK, CONFIGURATION = "nethept", "C1"
+_NETWORK_SCALE = {"smoke": 0.01, "default": 0.05, "large": 0.1}
+_MAX_RR_SETS = {"smoke": 4000, "default": 20_000, "large": 60_000}
+
+NUM_CLIENTS = 1000
+REQUESTS_PER_CLIENT = 2
+#: small on purpose: the soak must overflow it to exercise shedding
+MAX_QUEUE_DEPTH = 4
+#: distinct budget points -> distinct fingerprints competing for the queue
+BUDGET_SWEEP = tuple({"i": i, "j": j}
+                     for i in range(1, 5) for j in range(1, 5))
+
+#: disarmed-hook call sites on a served request's warm path
+#: (admission, slow-selection, stall-write, disconnect)
+HOOK_SITES_PER_REQUEST = 4
+
+
+def _specs(scale):
+    engine = EngineConfig(
+        seed=scale.seed, samples=10,
+        max_rr_sets=_MAX_RR_SETS.get(scale.name, 4000))
+    base = RunSpec(
+        algorithm="SeqGRD-NM",
+        workload=WorkloadSpec(network=NETWORK,
+                              scale=_NETWORK_SCALE.get(scale.name, 0.01),
+                              configuration=CONFIGURATION,
+                              budgets=dict(BUDGET_SWEEP[-1])),
+        engine=engine)
+    return [dataclasses.replace(
+        base, workload=dataclasses.replace(base.workload, budgets=dict(b)))
+        for b in BUDGET_SWEEP]
+
+
+def _build_index_dir(tmp_path, scale, spec):
+    from repro.api.runner import load_graph
+
+    graph = load_graph(spec.workload, spec.engine.seed)
+    model = configuration_model(CONFIGURATION)
+    index = build_index(
+        graph, model, sampler="marginal",
+        budgets=dict(spec.workload.budgets),
+        options=spec.engine.imm_options(), seed=spec.engine.seed,
+        meta_extra={"network": NETWORK,
+                    "scale": spec.workload.scale,
+                    "configuration": CONFIGURATION,
+                    "graph_seed": spec.engine.seed,
+                    "fixed_imm_item": None, "fixed_imm_budget": 50})
+    index.save(tmp_path / "bench-soak-idx")
+    return graph, model, index
+
+
+def _percentile(values, q):
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def _hook_overhead(warm_request_s):
+    """Disarmed fault-hook cost per request as a % of a warm request."""
+    faults.disarm()
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        faults.fires("slow-selection")
+    fires_s = (time.perf_counter() - start) / calls
+    start = time.perf_counter()
+    for _ in range(calls):
+        faults.delay("stall-write")
+    delay_s = (time.perf_counter() - start) / calls
+    per_call_s = max(fires_s, delay_s)
+    per_request_s = HOOK_SITES_PER_REQUEST * per_call_s
+    return {
+        "per_call_ns": round(per_call_s * 1e9, 1),
+        "per_request_ns": round(per_request_s * 1e9, 1),
+        "warm_request_ms": round(warm_request_s * 1000.0, 3),
+        "overhead_pct": round(100.0 * per_request_s / warm_request_s, 5),
+    }
+
+
+async def _soak(server, specs, direct_by_fingerprint):
+    host, port = await server.start_tcp("127.0.0.1", 0)
+    shed_envelopes = []
+
+    async def one_client(client_id):
+        policy = RetryPolicy(max_attempts=12, seed=client_id,
+                             base_delay_s=0.05, max_delay_s=2.0)
+        outcomes = []
+        async with ResilientClient(
+                tcp=(host, port), policy=policy, request_timeout_s=120,
+                on_retryable=shed_envelopes.append) as client:
+            for round_no in range(REQUESTS_PER_CLIENT):
+                spec = specs[(client_id + round_no) % len(specs)]
+                request = make_request(
+                    spec, request_id=f"{client_id}-{round_no}")
+                started = time.perf_counter()
+                try:
+                    response = await client.request(request)
+                except RetriesExhausted:
+                    outcomes.append(("exhausted", None, 0.0))
+                    continue
+                elapsed = time.perf_counter() - started
+                if response.get("ok"):
+                    oracle = direct_by_fingerprint.get(spec.fingerprint())
+                    if oracle is not None:
+                        assert response["allocation"] == oracle, \
+                            "soak allocation diverged from the direct run"
+                    outcomes.append(("ok", response, elapsed))
+                else:
+                    outcomes.append(("error", response, elapsed))
+        return outcomes, dict(client.stats)
+
+    start = time.perf_counter()
+    results = await asyncio.gather(
+        *[one_client(i) for i in range(NUM_CLIENTS)])
+    elapsed = time.perf_counter() - start
+    stats = server.stats_payload()
+    await server.shutdown(drain=True)
+    return results, shed_envelopes, stats, elapsed
+
+
+def test_soak_1000_clients(scale, tmp_path):
+    faults.disarm()  # the soak measures overload handling, not chaos
+    specs = _specs(scale)
+    graph, model, index = _build_index_dir(tmp_path, scale, specs[-1])
+
+    # --- acceptance oracle: the direct run of the build-matching spec
+    # (the bit-identity contract is per built index, as in the serving
+    # equivalence suite; other sweep points just assert ok)
+    record = run_spec(specs[-1], graph=graph, model=model)
+    direct_by_fingerprint = {specs[-1].fingerprint(): {
+        item: list(nodes) for item, nodes
+        in record.result.allocation.as_dict().items()}}
+
+    # --- warm single-request latency (for the hook-overhead budget) ----
+    warm_server = AllocationServer(
+        IndexRegistry(directory=tmp_path, capacity=2, cache_size=0))
+    line = json.dumps(make_request(specs[0]))
+    warm_server.dispatch_line(line)                     # warm the index
+    start = time.perf_counter()
+    warm_rounds = 5
+    for _ in range(warm_rounds):
+        assert warm_server.dispatch_line(line)["ok"]
+    warm_request_s = (time.perf_counter() - start) / warm_rounds
+    overhead = _hook_overhead(warm_request_s)
+
+    # --- the soak -------------------------------------------------------
+    registry = IndexRegistry(directory=tmp_path, capacity=2, cache_size=0)
+    server = AllocationServer(registry, max_queue_depth=MAX_QUEUE_DEPTH)
+    results, shed_envelopes, stats, elapsed = asyncio.run(
+        _soak(server, specs, direct_by_fingerprint))
+
+    completed, exhausted, hard_errors = 0, 0, []
+    latencies = []
+    total_retries = total_shed_seen = 0
+    for outcomes, client_stats in results:
+        assert len(outcomes) == REQUESTS_PER_CLIENT, "a request hung"
+        total_retries += client_stats["retries"]
+        total_shed_seen += client_stats.get("overloaded", 0)
+        for kind, response, latency in outcomes:
+            if kind == "ok":
+                completed += 1
+                latencies.append(latency)
+            elif kind == "exhausted":
+                exhausted += 1
+            else:
+                hard_errors.append(response)
+
+    total_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+    completion_rate = completed / total_requests
+
+    # --- acceptance: sheds happened and were typed ----------------------
+    assert not hard_errors, f"non-retryable errors: {hard_errors[:3]}"
+    assert shed_envelopes, \
+        "the soak must overflow the admission queue at least once"
+    for envelope in shed_envelopes:
+        error = envelope["error"]
+        assert error["code"] in ("overloaded", "deadline-exceeded",
+                                 "shutting-down"), envelope
+        if error["code"] == "overloaded":
+            assert error["queue_depth"] >= 1
+            assert error["retry_after_ms"] > 0
+    overloaded_seen = sum(1 for e in shed_envelopes
+                          if e["error"]["code"] == "overloaded")
+    assert overloaded_seen > 0
+    assert stats["server"]["shed"]["total"] >= overloaded_seen
+
+    # --- acceptance: completion + bounded tail --------------------------
+    assert completion_rate >= 0.99, (
+        f"retrying clients completed only {completion_rate:.2%} "
+        f"of {total_requests} requests")
+    p50 = _percentile(latencies, 50)
+    p99 = _percentile(latencies, 99)
+    assert p99 < 60.0, f"p99 end-to-end latency unbounded: {p99:.1f}s"
+
+    # --- acceptance: disarmed hooks are free ----------------------------
+    assert overhead["overhead_pct"] <= 1.0, (
+        f"disarmed fault hooks cost {overhead['overhead_pct']}% of a "
+        f"warm request (budget: 1%)")
+
+    report(
+        f"Overload soak — {NUM_CLIENTS} resilient clients x "
+        f"{REQUESTS_PER_CLIENT} requests, queue bound {MAX_QUEUE_DEPTH}, "
+        f"{graph.name} ({graph.num_nodes} nodes)",
+        [{"metric": "completed", "value": completed},
+         {"metric": "completion_rate",
+          "value": round(completion_rate, 4)},
+         {"metric": "shed (server)",
+          "value": stats["server"]["shed"]["total"]},
+         {"metric": "shed envelopes audited",
+          "value": len(shed_envelopes)},
+         {"metric": "client retries", "value": total_retries},
+         {"metric": "p50_s", "value": round(p50, 3)},
+         {"metric": "p99_s", "value": round(p99, 3)},
+         {"metric": "soak wall clock s", "value": round(elapsed, 1)},
+         {"metric": "disarmed hook overhead %",
+          "value": overhead["overhead_pct"]}],
+        columns=["metric", "value"])
+
+    ARTIFACT.write_text(json.dumps({
+        "benchmark": "soak",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale.name,
+        "graph": {"name": graph.name, "nodes": graph.num_nodes,
+                  "edges": graph.num_edges},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "num_rr_sets": index.num_sets,
+        "clients": NUM_CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "max_queue_depth": MAX_QUEUE_DEPTH,
+        "budget_sweep_size": len(BUDGET_SWEEP),
+        "soak_wall_clock_s": round(elapsed, 2),
+        "completed": completed,
+        "exhausted": exhausted,
+        "completion_rate": round(completion_rate, 5),
+        "latency_s": {"p50": round(p50, 4), "p99": round(p99, 4),
+                      "max": round(max(latencies), 4)},
+        "shed": {
+            "server_total": stats["server"]["shed"]["total"],
+            "server_by_reason": stats["server"]["shed"]["by_reason"],
+            "client_overloaded_seen": total_shed_seen,
+            "envelopes_audited": len(shed_envelopes),
+        },
+        "client_retries": total_retries,
+        "deadline_expired": stats["server"]["deadline_expired"],
+        "health_at_end": stats["server"]["health"],
+        "fault_hook_overhead": overhead,
+    }, indent=2) + "\n")

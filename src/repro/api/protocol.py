@@ -13,13 +13,24 @@ and the response round-trips the spec (``RunSpec.from_dict(response["spec"])
      "welfare": 123.4, "cached": false,
      "timings": {"latency_ms": 0.8}}
 
+A request may also carry ``deadline_ms`` (milliseconds from frame
+receipt); an expired request is answered ``deadline-exceeded`` before any
+selection work runs — the deadline is **not** part of the spec or its
+fingerprint, so deadline-carrying requests still coalesce and cache like
+their plain twins.
+
 Errors never kill the serving loop; they come back as an envelope::
 
     {"v": 1, "ok": false,
      "error": {"code": "unsupported-version" | "malformed-request" |
                "oversized-request" | "invalid-spec" | "incompatible-spec" |
-               "unsupported-algorithm",
+               "unsupported-algorithm" | "overloaded" |
+               "deadline-exceeded" | "shutting-down",
                "message": "..."}}
+
+The last three (:data:`RETRYABLE_ERROR_CODES`) are the overload/lifecycle
+envelopes a well-behaved client retries with backoff; ``overloaded``
+additionally carries ``queue_depth`` and a ``retry_after_ms`` hint.
 
 The served allocation is **bit-identical** to a direct ``repro run`` of the
 same spec, provided the loaded index was built for that spec — which is
@@ -55,8 +66,9 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro import faults
 from repro.api.specs import RunSpec
-from repro.exceptions import ReproError, SpecError
+from repro.exceptions import DeadlineExceeded, ReproError, SpecError
 
 #: the protocol version this build speaks
 PROTOCOL_VERSION = 1
@@ -72,7 +84,15 @@ ERROR_CODES = (
     "invalid-spec",
     "incompatible-spec",
     "unsupported-algorithm",
+    "overloaded",
+    "deadline-exceeded",
+    "shutting-down",
 )
+
+#: codes a well-behaved client may retry (the shed/lifecycle envelopes;
+#: ``overloaded`` additionally carries a ``retry_after_ms`` hint)
+RETRYABLE_ERROR_CODES = ("overloaded", "deadline-exceeded",
+                         "shutting-down")
 
 
 def make_request(spec: RunSpec,
@@ -85,12 +105,19 @@ def make_request(spec: RunSpec,
 
 
 def error_response(code: str, message: str,
-                   request_id: Optional[Any] = None) -> Dict[str, Any]:
-    """Build a v1 error envelope."""
+                   request_id: Optional[Any] = None,
+                   **details: Any) -> Dict[str, Any]:
+    """Build a v1 error envelope.
+
+    ``details`` are folded into the ``error`` object — the ``overloaded``
+    envelope carries ``queue_depth`` and ``retry_after_ms`` this way.
+    """
+    error: Dict[str, Any] = {"code": code, "message": message}
+    error.update(details)
     response: Dict[str, Any] = {
         "v": PROTOCOL_VERSION,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "error": error,
     }
     if request_id is not None:
         response["id"] = request_id
@@ -157,17 +184,32 @@ def index_mismatch(spec: RunSpec, meta: Mapping[str, Any]) -> Optional[str]:
 
 @dataclass(frozen=True)
 class PreparedRequest:
-    """A validated v1 request, ready for (possibly batched) execution."""
+    """A validated v1 request, ready for (possibly batched) execution.
+
+    ``deadline`` is an absolute ``time.perf_counter()`` instant (not part
+    of the spec or its fingerprint): execution stages check it *before*
+    starting work and answer ``deadline-exceeded`` instead of burning
+    worker time on a request nobody is waiting for.
+    """
 
     request_id: Optional[Any]
     spec: RunSpec
     fingerprint: str
     algorithm: str
     budgets: Dict[str, int]
+    deadline: Optional[float] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the deadline passed (``False`` without a deadline)."""
+        if self.deadline is None:
+            return False
+        return (time.perf_counter() if now is None else now) \
+            >= self.deadline
 
 
 def prepare_request(service, request: Mapping[str, Any],
-                    spec: Optional[RunSpec] = None
+                    spec: Optional[RunSpec] = None,
+                    deadline: Optional[float] = None
                     ) -> Union[PreparedRequest, Dict[str, Any]]:
     """Validate one versioned request against ``service``.
 
@@ -231,7 +273,14 @@ def prepare_request(service, request: Mapping[str, Any],
             budgets, spec.workload.superior_item)
     return PreparedRequest(request_id=request_id, spec=spec,
                            fingerprint=spec.fingerprint(),
-                           algorithm=spec.algorithm, budgets=budgets)
+                           algorithm=spec.algorithm, budgets=budgets,
+                           deadline=deadline)
+
+
+def _deadline_error(prepared: PreparedRequest) -> DeadlineExceeded:
+    return DeadlineExceeded(
+        f"deadline expired before execution started "
+        f"(fingerprint {prepared.fingerprint[:12]}…)")
 
 
 def execute_prepared(service, prepared: PreparedRequest) -> Dict[str, Any]:
@@ -239,8 +288,15 @@ def execute_prepared(service, prepared: PreparedRequest) -> Dict[str, Any]:
 
     Must run on the service's execution thread (the caches and the greedy
     order are not thread-safe).  Raises :class:`ReproError` on degenerate
-    queries; the caller maps it to an ``invalid-spec`` envelope.
+    queries (mapped to an ``invalid-spec`` envelope by the caller) and
+    :class:`DeadlineExceeded` when the request's deadline passed before
+    work started (mapped to ``deadline-exceeded``).
     """
+    if prepared.expired():
+        raise _deadline_error(prepared)
+    slow = faults.delay("slow-selection")
+    if slow > 0.0:
+        time.sleep(slow)
     cached = service.cached_spec_response(prepared.fingerprint)
     if cached is not None:
         return dict(cached, cached=True)
@@ -258,11 +314,21 @@ def execute_prepared_batch(service, batch: Sequence[PreparedRequest]
     through :meth:`AllocationService.query_batch` so they share the LRU
     and the incrementally-extended greedy order.  Failures are isolated
     per request: a degenerate query yields its :class:`ReproError` in the
-    result slot instead of poisoning the whole batch.
+    result slot instead of poisoning the whole batch, and a request whose
+    deadline expired while queued yields :class:`DeadlineExceeded` —
+    checked here, at execution start on the worker thread, so expired
+    requests never cost selection time.
     """
+    slow = faults.delay("slow-selection")
+    if slow > 0.0:
+        time.sleep(slow)
+    now = time.perf_counter()
     results: List[Union[Dict[str, Any], None, ReproError]] = [None] * len(batch)
     pending: List[int] = []
     for i, prepared in enumerate(batch):
+        if prepared.expired(now):
+            results[i] = _deadline_error(prepared)
+            continue
         cached = service.cached_spec_response(prepared.fingerprint)
         if cached is not None:
             results[i] = dict(cached, cached=True)
@@ -337,6 +403,9 @@ def handle_versioned_request(service, request: Mapping[str, Any]
         return prepared
     try:
         payload = execute_prepared(service, prepared)
+    except DeadlineExceeded as error:
+        return error_response("deadline-exceeded", str(error),
+                              prepared.request_id)
     except ReproError as error:
         return error_response("invalid-spec", str(error),
                               prepared.request_id)
@@ -347,6 +416,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "SERVABLE_ALGORITHMS",
     "ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
     "PreparedRequest",
     "make_request",
     "error_response",

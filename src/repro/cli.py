@@ -228,6 +228,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "this resident-byte budget (mmap-served "
                             "arrays count zero)")
     serve.add_argument("--no-verify", action="store_true")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       metavar="N",
+                       help="admission bound on distinct in-flight specs; "
+                            "beyond it new work is shed with a typed "
+                            "'overloaded' envelope carrying queue_depth "
+                            "and retry_after_ms (default 256; 0 disables "
+                            "admission control)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       metavar="RPS",
+                       help="per-connection token-bucket rate limit in "
+                            "requests/second (ping/stats/metrics/reload "
+                            "stay exempt; default: unlimited)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       metavar="N",
+                       help="token-bucket burst size (default: 2x the "
+                            "rate limit)")
+    serve.add_argument("--default-deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="deadline applied to requests that carry no "
+                            "deadline_ms of their own")
+    serve.add_argument("--max-deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="ceiling client deadline_ms values are "
+                            "clamped to")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="graceful-shutdown drain budget; connections "
+                            "still busy when it expires get a typed "
+                            "'shutting-down' envelope before the close "
+                            "(default 10)")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="arm deterministic fault injection, e.g. "
+                            "'registry-load:0.3,stall-write:0.2:50' "
+                            "(sites: registry-load, slow-selection, "
+                            "stall-write, disconnect); also via "
+                            "REPRO_FAULTS")
+    serve.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                       help="seed for the fault-injection RNG streams "
+                            "(default 0; also via REPRO_FAULT_SEED)")
     serve.add_argument("--metrics-tcp", type=tcp_address_argument,
                        default=None, metavar="HOST:PORT",
                        help="expose GET /metrics (Prometheus text format) "
@@ -627,6 +666,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     configure_logging(level=args.log_level, json_output=args.log_json)
     if args.no_metrics:
         set_global_metrics_enabled(False)
+    from repro import faults
+    try:
+        if args.faults is not None:
+            faults.configure(args.faults,
+                             seed=args.fault_seed
+                             if args.fault_seed is not None else 0)
+        else:
+            faults.configure_from_env()
+    except (faults.FaultSpecError, ValueError) as error:
+        print(f"error: bad fault spec: {error}", file=sys.stderr)
+        return 2
+    if faults.active() is not None:
+        print(f"WARNING: fault injection armed "
+              f"(spec={faults.active().spec!r}, "
+              f"seed={faults.active().seed}) — responses will be "
+              f"deliberately failed/stalled/truncated",
+              file=sys.stderr, flush=True)
     registry = IndexRegistry(
         paths=args.index, directory=args.index_dir,
         capacity=args.max_indexes, cache_size=args.cache_size,
@@ -634,12 +690,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verify=not args.no_verify, mmap=not args.no_mmap,
         memory_budget=(int(args.memory_budget_mb * 2 ** 20)
                        if args.memory_budget_mb is not None else None))
+    from repro.serve.server import (
+        DEFAULT_DRAIN_TIMEOUT,
+        DEFAULT_MAX_QUEUE_DEPTH,
+    )
+    if args.max_queue_depth is None:
+        max_queue_depth: "int | None" = DEFAULT_MAX_QUEUE_DEPTH
+    elif args.max_queue_depth <= 0:
+        max_queue_depth = None
+    else:
+        max_queue_depth = args.max_queue_depth
     server = AllocationServer(
         registry,
         max_line_bytes=(args.max_line_bytes if args.max_line_bytes
                         else DEFAULT_MAX_LINE_BYTES),
         coalesce=not args.no_coalesce,
-        metrics=MetricsRegistry(enabled=not args.no_metrics))
+        metrics=MetricsRegistry(enabled=not args.no_metrics),
+        max_queue_depth=max_queue_depth,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        default_deadline_ms=args.default_deadline_ms,
+        max_deadline_ms=args.max_deadline_ms,
+        drain_timeout=(args.drain_timeout if args.drain_timeout is not None
+                       else DEFAULT_DRAIN_TIMEOUT))
     hosted = ", ".join(registry.keys()) or "(empty registry)"
     if args.tcp is None and args.unix is None:
         print(f"serving indexes [{hosted}] — one JSON request per line on "

@@ -45,6 +45,12 @@ class ConvergenceError(ReproError):
     configured iteration limit."""
 
 
+class DeadlineExceeded(ReproError):
+    """Raised (or returned as a batch result slot) when a served request's
+    deadline expired before its execution started; the server answers a
+    ``deadline-exceeded`` envelope instead of burning worker time."""
+
+
 class IndexStoreError(ReproError):
     """Raised by the persistent RR-set index store: missing or corrupt index
     files, format-version mismatches, or a fingerprint mismatch (the stored

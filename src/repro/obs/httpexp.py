@@ -6,7 +6,10 @@ Serves exactly two routes on a dedicated listener
 * ``GET /metrics``  — Prometheus text exposition
   (``text/plain; version=0.0.4``) rendered from one or more
   :class:`~repro.obs.metrics.MetricsRegistry` instances;
-* ``GET /healthz``  — a small JSON liveness document.
+* ``GET /healthz``  — a small JSON health document; answers 200 only
+  when the server reports ``state: ok`` and 503 for ``degraded`` /
+  ``draining``, so load balancers stop routing to an overloaded or
+  shutting-down replica.
 
 This is deliberately not a web framework: one request per connection
 (``Connection: close``), headers are read and discarded, anything that
@@ -125,8 +128,14 @@ class MetricsExporter:
                 try:
                     payload.update(self._health())
                 except Exception:
-                    payload = {"ok": False}
-            return _http_response(200, "OK", _CONTENT_TYPE_JSON,
+                    payload = {"ok": False, "state": "error"}
+            # load balancers key on the status line: only an "ok" server
+            # should receive traffic, so degraded/draining answer 503
+            state = payload.get("state")
+            healthy = payload.get("ok", True) and state in (None, "ok")
+            status, reason = (200, "OK") if healthy \
+                else (503, "Service Unavailable")
+            return _http_response(status, reason, _CONTENT_TYPE_JSON,
                                   json.dumps(payload).encode("utf-8"))
         return _http_response(404, "Not Found", _CONTENT_TYPE_JSON,
                               b'{"error":"not found"}')

@@ -17,8 +17,16 @@ loop into a serving subsystem:
   JSON-lines server (TCP and unix socket) speaking the versioned
   :mod:`repro.api.protocol` plus the legacy ``{"op": ...}`` dialect, with
   typed error envelopes for malformed/oversized frames, ``server``
-  response metadata, a ``stats`` op and graceful drain on shutdown;
-  :func:`run_stdio` is the synchronous stdin loop over the same core.
+  response metadata, a ``stats`` op, admission control (bounded queue +
+  per-connection rate limits, shed with ``overloaded`` envelopes),
+  per-request deadlines, derived health (``ok``/``degraded``/
+  ``draining``) and graceful drain on shutdown (stragglers answered
+  ``shutting-down``); :func:`run_stdio` is the synchronous stdin loop
+  over the same core.
+* :mod:`repro.serve.client` — :class:`ResilientClient`, the asyncio
+  JSON-lines client with capped exponential backoff + full jitter that
+  honors ``retry_after_ms`` hints and retries the typed retryable
+  envelopes and connection drops.
 
 Serving stays **bit-identical** to ``repro run``: the registry only
 routes a spec to an index whose manifest passes
@@ -26,6 +34,11 @@ routes a spec to an index whose manifest passes
 with the same RNG discipline as the direct executor.
 """
 
+from repro.serve.client import (
+    ResilientClient,
+    RetriesExhausted,
+    RetryPolicy,
+)
 from repro.serve.coalescer import RequestCoalescer
 from repro.serve.registry import (
     IndexRegistry,
@@ -34,18 +47,27 @@ from repro.serve.registry import (
     load_service,
 )
 from repro.serve.server import (
+    DEFAULT_DRAIN_TIMEOUT,
     DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    HEALTH_STATES,
     AllocationServer,
     run_stdio,
 )
 
 __all__ = [
+    "DEFAULT_DRAIN_TIMEOUT",
     "DEFAULT_MAX_LINE_BYTES",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "HEALTH_STATES",
     "AllocationServer",
     "IndexRegistry",
     "LoadedService",
     "RegistryEntry",
     "RequestCoalescer",
+    "ResilientClient",
+    "RetriesExhausted",
+    "RetryPolicy",
     "load_service",
     "run_stdio",
 ]

@@ -1,0 +1,267 @@
+"""Resilient JSON-lines client for the allocation server.
+
+:class:`ResilientClient` is the client half of the overload contract the
+server publishes: the server answers shed/lifecycle conditions with
+*typed retryable envelopes* (``overloaded``, ``deadline-exceeded``,
+``shutting-down`` — :data:`repro.api.protocol.RETRYABLE_ERROR_CODES`)
+instead of dropping frames, and a well-behaved client turns those into
+**capped exponential backoff with full jitter** instead of a retry storm:
+
+* each retryable failure waits ``uniform(0, min(cap, base * 2**attempt))``
+  (the "full jitter" scheme — decorrelates a thundering herd of clients
+  that were all shed at the same instant);
+* an ``overloaded`` envelope's ``retry_after_ms`` hint is honored as the
+  floor of that wait — the server knows its backlog better than the
+  client's exponential guess;
+* connection failures (refused, reset, truncated frame, mid-frame EOF —
+  exactly what the ``disconnect`` fault site manufactures) reconnect and
+  retry under the same budget;
+* non-retryable error envelopes (``invalid-spec``, ``malformed-request``,
+  ...) are returned immediately — retrying a request the server has
+  deterministically rejected is wasted load.
+
+The retry RNG is seeded per client, so soak tests replay identical
+backoff schedules.
+
+Example::
+
+    async with ResilientClient(tcp=("127.0.0.1", 7411), seed=7) as client:
+        response = await client.request(
+            {"v": 1, "spec": {...}, "deadline_ms": 500})
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.api.protocol import RETRYABLE_ERROR_CODES
+from repro.exceptions import ReproError
+
+#: connection-level failures that trigger a reconnect + retry
+_CONN_ERRORS = (ConnectionError, BrokenPipeError, EOFError, OSError,
+                asyncio.IncompleteReadError)
+
+
+class RetriesExhausted(ReproError):
+    """Raised when a request stays retryable past the attempt budget.
+
+    ``last_response`` is the final retryable envelope (``None`` when the
+    budget was spent on connection failures).
+    """
+
+    def __init__(self, message: str,
+                 last_response: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.last_response = last_response
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    ``delay(attempt)`` draws ``uniform(0, min(max_delay_s,
+    base_delay_s * 2**attempt))``; a server ``retry_after_ms`` hint
+    becomes the floor of the draw.
+    """
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.05
+    max_delay_s: float = 5.0
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def delay(self, attempt: int,
+              retry_after_ms: Optional[float] = None) -> float:
+        cap = min(self.max_delay_s,
+                  self.base_delay_s * (2.0 ** max(0, attempt)))
+        wait = self._rng.uniform(0.0, cap)
+        if retry_after_ms is not None:
+            wait = max(wait, float(retry_after_ms) / 1000.0)
+        return min(wait, self.max_delay_s)
+
+
+def retryable_code(response: Mapping[str, Any]) -> Optional[str]:
+    """The retryable error code of ``response``, or ``None``."""
+    if response.get("ok", True):
+        return None
+    error = response.get("error")
+    if not isinstance(error, Mapping):
+        return None
+    code = error.get("code")
+    return code if code in RETRYABLE_ERROR_CODES else None
+
+
+class ResilientClient:
+    """One JSON-lines connection with reconnect + typed-envelope retries.
+
+    Parameters
+    ----------
+    tcp:
+        ``(host, port)`` of the server's TCP endpoint.
+    unix:
+        Path of the server's unix socket (mutually exclusive with
+        ``tcp``).
+    policy:
+        The :class:`RetryPolicy`; a default one is built from ``seed``.
+    seed:
+        Seeds the default policy's jitter RNG (ignored when ``policy``
+        is given).
+    request_timeout_s:
+        Budget for one attempt's write + response read; a timeout counts
+        as a connection failure (reconnect + retry).
+    on_retryable:
+        Optional callback invoked with each retryable envelope before
+        the backoff sleep (soak harnesses use it to audit shed
+        responses).
+    """
+
+    def __init__(self, tcp: Optional[Tuple[str, int]] = None,
+                 unix: Optional[Union[str, Path]] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 seed: Optional[int] = None,
+                 request_timeout_s: float = 30.0,
+                 on_retryable: Optional[Any] = None) -> None:
+        if (tcp is None) == (unix is None):
+            raise ValueError("pass exactly one of tcp=(host, port) or "
+                             "unix=path")
+        self._tcp = tcp
+        self._unix = Path(unix) if unix is not None else None
+        self.policy = policy if policy is not None \
+            else RetryPolicy(seed=seed)
+        self._request_timeout_s = float(request_timeout_s)
+        self._on_retryable = on_retryable
+        #: serializes attempts: the connection carries one request at a
+        #: time, so concurrent request() callers can't cross-read frames
+        self._io_lock = asyncio.Lock()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        #: observable retry accounting (soak tests assert on these)
+        self.stats: Dict[str, int] = {
+            "requests": 0, "attempts": 0, "retries": 0,
+            "reconnects": 0, "overloaded": 0, "deadline_exceeded": 0,
+            "shutting_down": 0, "conn_failures": 0,
+        }
+
+    # -- connection lifecycle ------------------------------------------
+    async def _connect(self) -> None:
+        if self._tcp is not None:
+            self._reader, self._writer = await asyncio.open_connection(
+                *self._tcp)
+        else:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                str(self._unix))
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            await self._drop()
+            await self._connect()
+
+    async def _drop(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except _CONN_ERRORS:
+                pass
+
+    async def close(self) -> None:
+        await self._drop()
+
+    async def __aenter__(self) -> "ResilientClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- the request path ----------------------------------------------
+    async def _attempt(self, payload: bytes) -> Dict[str, Any]:
+        """One write + one response line on the live connection."""
+        async with self._io_lock:
+            return await self._attempt_locked(payload)
+
+    async def _attempt_locked(self, payload: bytes) -> Dict[str, Any]:
+        await self._ensure_connected()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(payload)
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line or not line.endswith(b"\n"):
+            # EOF or a truncated frame (the `disconnect` fault site)
+            raise EOFError("connection closed mid-response")
+        response = json.loads(line.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise EOFError(f"expected a JSON object response, got "
+                           f"{type(response).__name__}")
+        return response
+
+    async def request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one request, retrying until a non-retryable answer.
+
+        Returns the server's response dict (which may still be a
+        *non-retryable* error envelope — the caller distinguishes via
+        ``response["ok"]``).  Raises :class:`RetriesExhausted` when the
+        attempt budget runs out on retryable conditions.
+        """
+        payload = (json.dumps(dict(request)) + "\n").encode("utf-8")
+        self.stats["requests"] += 1
+        last_retryable: Optional[Dict[str, Any]] = None
+        for attempt in range(self.policy.max_attempts):
+            self.stats["attempts"] += 1
+            retry_after_ms: Optional[float] = None
+            try:
+                response = await asyncio.wait_for(
+                    self._attempt(payload), self._request_timeout_s)
+            except asyncio.TimeoutError:
+                self.stats["conn_failures"] += 1
+                self.stats["reconnects"] += 1
+                await self._drop()
+            except json.JSONDecodeError:
+                self.stats["conn_failures"] += 1
+                self.stats["reconnects"] += 1
+                await self._drop()
+            except _CONN_ERRORS:
+                self.stats["conn_failures"] += 1
+                self.stats["reconnects"] += 1
+                await self._drop()
+            else:
+                code = retryable_code(response)
+                if code is None:
+                    return response
+                last_retryable = response
+                self.stats[code.replace("-", "_")] = \
+                    self.stats.get(code.replace("-", "_"), 0) + 1
+                if self._on_retryable is not None:
+                    self._on_retryable(response)
+                error = response.get("error")
+                if isinstance(error, Mapping):
+                    hint = error.get("retry_after_ms")
+                    if isinstance(hint, (int, float)) \
+                            and not isinstance(hint, bool):
+                        retry_after_ms = float(hint)
+                if code == "shutting-down":
+                    # the peer is draining: this connection is dead weight
+                    self.stats["reconnects"] += 1
+                    await self._drop()
+            self.stats["retries"] += 1
+            await asyncio.sleep(self.policy.delay(attempt, retry_after_ms))
+        raise RetriesExhausted(
+            f"request still retryable after "
+            f"{self.policy.max_attempts} attempts",
+            last_response=last_retryable)
+
+
+__all__ = [
+    "ResilientClient",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "retryable_code",
+]

@@ -44,6 +44,7 @@ from typing import (
     Union,
 )
 
+from repro import faults
 from repro.allocation import Allocation
 from repro.api.specs import RunSpec, WorkloadSpec
 from repro.exceptions import IndexStoreError
@@ -309,6 +310,10 @@ class IndexRegistry:
                     self._lru.move_to_end(key)
                     return entry.loaded
                 expected = entry.meta.get("fingerprint")
+            if faults.fires("registry-load"):
+                raise IndexStoreError(
+                    f"injected fault: registry load of {key!r} failed "
+                    f"(repro.faults site 'registry-load')")
             # load outside the lock (slow: npz + graph rebuild); worst
             # case two threads both load and one result wins — loads are
             # idempotent for an unchanged manifest

@@ -16,6 +16,25 @@
 * malformed input — bad JSON, invalid UTF-8, oversized (> 1 MiB by
   default) or truncated frames — is answered with a typed error envelope
   and never crashes or hangs the loop;
+* **admission control** keeps overload survivable instead of letting the
+  queue grow without bound: when the coalescer holds ``max_queue_depth``
+  distinct in-flight specs, new work is *shed* with a typed
+  ``overloaded`` envelope carrying the observed ``queue_depth`` and a
+  ``retry_after_ms`` backoff hint; a per-connection token bucket
+  (``rate_limit`` requests/s, ``rate_burst`` burst) sheds abusive
+  clients the same way (``ping``/``stats``/``metrics``/``reload`` stay
+  exempt so the ops surface works *during* overload);
+* **deadlines**: a request may carry ``deadline_ms`` (milliseconds from
+  frame receipt; clamped to ``max_deadline_ms``, defaulted from
+  ``default_deadline_ms``), propagated through coalescer batching into
+  :func:`~repro.api.protocol.execute_prepared_batch` — an expired
+  request is answered ``deadline-exceeded`` *before* burning worker
+  time;
+* **health** is derived, not asserted: ``ok`` → ``degraded`` (queue near
+  capacity or recent sheds) → ``draining``, surfaced by
+  :meth:`AllocationServer.health` (the ``/healthz`` exporter answers 503
+  for ``degraded``/``draining``), the ``stats`` op and the
+  ``repro_health_state`` gauge;
 * successful responses carry a ``"server"`` object::
 
       {"...": "...", "server": {"index": "nethept-c1", "queue_depth": 3,
@@ -23,7 +42,13 @@
                                 "in_flight": 12}}
 
 * :meth:`AllocationServer.shutdown` drains: accepting stops, in-flight
-  requests finish and flush their responses, then connections close.
+  requests finish and flush their responses, then connections close;
+  connections still busy when ``drain_timeout`` expires are answered
+  with a typed ``shutting-down`` envelope before the close (never
+  silently abandoned), as are frames that arrive while draining.
+
+The :mod:`repro.faults` sites ``stall-write`` and ``disconnect`` hook the
+response-write path (chaos testing); disarmed they cost one global read.
 
 The same dispatch core backs the synchronous stdio loop
 (:func:`run_stdio`), so ``repro serve --stdio`` and the concurrent
@@ -37,6 +62,7 @@ import json
 import logging
 import sys
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import (
@@ -51,6 +77,7 @@ from typing import (
     Union,
 )
 
+from repro import faults
 from repro.api.protocol import (
     PROTOCOL_VERSION,
     SERVABLE_ALGORITHMS,
@@ -60,7 +87,7 @@ from repro.api.protocol import (
     prepare_request,
 )
 from repro.api.specs import RunSpec
-from repro.exceptions import ReproError, SpecError
+from repro.exceptions import DeadlineExceeded, ReproError, SpecError
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.trace import Trace
@@ -74,6 +101,45 @@ DEFAULT_MAX_LINE_BYTES = 1_048_576
 
 #: chunk size for the connection read loop
 _READ_CHUNK = 65536
+
+#: default bound on distinct in-flight specs before new work is shed
+DEFAULT_MAX_QUEUE_DEPTH = 256
+
+#: default drain budget (seconds) for a graceful shutdown
+DEFAULT_DRAIN_TIMEOUT = 10.0
+
+#: sliding window (seconds) over which recent sheds mark health degraded
+_HEALTH_WINDOW_S = 10.0
+
+#: legacy ops exempt from admission control — the ops surface must keep
+#: answering while the serving path is shedding
+_OPS_EXEMPT = frozenset({"ping", "stats", "metrics", "reload"})
+
+#: health states in severity order (gauge value = index)
+HEALTH_STATES = ("ok", "degraded", "draining")
+
+
+class _TokenBucket:
+    """Per-connection request rate limiter (tokens/s with a burst cap)."""
+
+    __slots__ = ("rate", "burst", "tokens", "last")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.last = time.monotonic()
+
+    def try_acquire(self) -> float:
+        """Admit one request: 0.0, or seconds until a token frees up."""
+        now = time.monotonic()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.last) * self.rate)
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
 
 
 class AllocationServer:
@@ -97,13 +163,36 @@ class AllocationServer:
         enabled one by default).  Pass a disabled registry
         (``MetricsRegistry(enabled=False)``) to reduce all recording to
         no-ops; responses stay bit-identical either way.
+    max_queue_depth:
+        Bound on distinct in-flight specs before new serving work is shed
+        with an ``overloaded`` envelope (``None`` disables admission
+        control — the pre-PR unbounded behaviour).
+    rate_limit, rate_burst:
+        Per-connection token-bucket admission (requests/second and burst
+        size; ``rate_limit=None`` disables).  Shed requests get an
+        ``overloaded`` envelope whose ``retry_after_ms`` is the time
+        until the next token.
+    default_deadline_ms, max_deadline_ms:
+        Server-side deadline defaults: requests without ``deadline_ms``
+        get the default (when set); client deadlines are clamped to the
+        ceiling (when set).
+    drain_timeout:
+        Seconds a graceful :meth:`shutdown` waits for in-flight requests
+        before answering the stragglers' connections with a
+        ``shutting-down`` envelope and closing them.
     """
 
     def __init__(self, registry: IndexRegistry, *,
                  max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
                  coalesce: bool = True,
                  max_batch: int = 64,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_queue_depth: Optional[int] = DEFAULT_MAX_QUEUE_DEPTH,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None,
+                 default_deadline_ms: Optional[float] = None,
+                 max_deadline_ms: Optional[float] = None,
+                 drain_timeout: float = DEFAULT_DRAIN_TIMEOUT) -> None:
         self._registry = registry
         self._max_line_bytes = int(max_line_bytes)
         self._coalesce = bool(coalesce)
@@ -113,9 +202,23 @@ class AllocationServer:
         self._coalescer = RequestCoalescer(self._executor,
                                            max_batch=max_batch,
                                            metrics=self._metrics)
+        self._max_queue_depth = (None if max_queue_depth is None
+                                 else max(1, int(max_queue_depth)))
+        self._rate_limit = (None if rate_limit is None
+                            else max(0.001, float(rate_limit)))
+        self._rate_burst = (float(rate_burst) if rate_burst is not None
+                            else (self._rate_limit * 2
+                                  if self._rate_limit else 1.0))
+        self._default_deadline_ms = (
+            None if default_deadline_ms is None
+            else max(0.0, float(default_deadline_ms)))
+        self._max_deadline_ms = (None if max_deadline_ms is None
+                                 else max(0.0, float(max_deadline_ms)))
+        self._drain_timeout = max(0.0, float(drain_timeout))
         self._servers: list = []
         self._unix_paths: list = []
         self._conn_tasks: set = set()
+        self._conn_writers: Dict[Any, asyncio.StreamWriter] = {}
         self._draining = False
         self._busy = 0
         self._idle: Optional[asyncio.Event] = None
@@ -123,6 +226,13 @@ class AllocationServer:
         self._requests = 0
         self._errors = 0
         self._connections = 0
+        #: plain (metrics-independent) admission bookkeeping
+        self._shed_counts = {"queue-full": 0, "rate-limit": 0,
+                             "shutting-down": 0}
+        self._shed_recent: deque = deque(maxlen=256)
+        self._deadline_expired = 0
+        #: EWMA of worker-thread execution seconds — the retry_after hint
+        self._avg_exec_s = 0.05
         self._register_instruments()
 
     def _register_instruments(self) -> None:
@@ -136,6 +246,21 @@ class AllocationServer:
             "Responses that needed the default=str JSON fallback")
         self._m_connections = m.counter(
             "repro_connections_total", "Accepted client connections")
+        # admission-control instruments, pre-registered so the metric
+        # families exist (at zero) before the first shed — the golden
+        # stats-schema test depends on a deterministic family set
+        self._m_shed = {
+            reason: m.counter(
+                "repro_shed_total",
+                "Requests shed by admission control, by reason",
+                reason=reason)
+            for reason in ("queue-full", "rate-limit", "shutting-down")}
+        self._m_deadline = m.counter(
+            "repro_deadline_expired_total",
+            "Requests answered deadline-exceeded without executing")
+        m.gauge_fn("repro_health_state",
+                   lambda: float(HEALTH_STATES.index(self.health_state())),
+                   "Derived health (0=ok, 1=degraded, 2=draining)")
         # live state as callback gauges: zero cost on the request path
         m.gauge_fn("repro_queue_depth",
                    lambda: self._coalescer.queue_depth,
@@ -341,7 +466,8 @@ class AllocationServer:
                 request_id)
         return key, loaded, spec
 
-    def _resolve_and_prepare(self, request: Mapping[str, Any]):
+    def _resolve_and_prepare(self, request: Mapping[str, Any],
+                             deadline: Optional[float] = None):
         """Resolve + validate one versioned request (worker thread).
 
         Returns ``(key, loaded, prepared)`` or an error envelope.  Lives
@@ -352,7 +478,8 @@ class AllocationServer:
         if isinstance(resolved, dict):
             return resolved
         key, loaded, spec = resolved
-        prepared = prepare_request(loaded.service, request, spec=spec)
+        prepared = prepare_request(loaded.service, request, spec=spec,
+                                   deadline=deadline)
         if isinstance(prepared, dict):
             return prepared
         return key, loaded, prepared
@@ -398,7 +525,7 @@ class AllocationServer:
     def stats_payload(self) -> Dict[str, Any]:
         """Server + registry + coalescer + metrics statistics (the
         ``stats`` op)."""
-        return {
+        payload = {
             "server": {
                 "uptime_s": round(time.time() - self._started, 3),
                 "requests": self._requests,
@@ -411,11 +538,31 @@ class AllocationServer:
                 "coalescing": self._coalesce,
                 "draining": self._draining,
                 "metrics_enabled": self._metrics.enabled,
+                "health": self.health_state(),
+                "shed": {
+                    "total": sum(self._shed_counts.values()),
+                    "by_reason": dict(self._shed_counts),
+                },
+                "deadline_expired": self._deadline_expired,
+                "admission": {
+                    "max_queue_depth": self._max_queue_depth,
+                    "rate_limit": self._rate_limit,
+                    "rate_burst": (self._rate_burst
+                                   if self._rate_limit is not None
+                                   else None),
+                    "default_deadline_ms": self._default_deadline_ms,
+                    "max_deadline_ms": self._max_deadline_ms,
+                    "drain_timeout_s": self._drain_timeout,
+                },
             },
             "coalescer": self._coalescer.counters(),
             "registry": self._registry.stats(),
             "metrics": self._metrics.summary(),
         }
+        fault_stats = faults.stats()
+        if fault_stats is not None:
+            payload["faults"] = fault_stats
+        return payload
 
     def metrics_payload(self) -> Dict[str, Any]:
         """Server + process metric summaries (the ``metrics`` op)."""
@@ -470,6 +617,107 @@ class AllocationServer:
                 "in_flight": self._busy}
 
     # ------------------------------------------------------------------
+    # admission control / deadlines / health
+    # ------------------------------------------------------------------
+    def _note_shed(self, reason: str) -> None:
+        self._errors += 1
+        self._shed_counts[reason] = self._shed_counts.get(reason, 0) + 1
+        self._shed_recent.append(time.monotonic())
+        metric = self._m_shed.get(reason)
+        if metric is not None:
+            metric.inc()
+        log_event(_LOG, logging.WARNING, "request-shed", reason=reason,
+                  queue_depth=self._coalescer.queue_depth)
+
+    def _note_deadline_expired(self) -> None:
+        self._errors += 1
+        self._deadline_expired += 1
+        self._m_deadline.inc()
+
+    def _recent_sheds(self) -> int:
+        """Sheds within the last :data:`_HEALTH_WINDOW_S` seconds."""
+        cutoff = time.monotonic() - _HEALTH_WINDOW_S
+        return sum(1 for stamp in self._shed_recent if stamp >= cutoff)
+
+    def _retry_after_ms(self, depth: int) -> int:
+        """Backoff hint for a queue-full shed: roughly how long the
+        current backlog needs to clear, clamped to [50 ms, 5 s]."""
+        eta = depth * max(self._avg_exec_s, 0.005)
+        return int(1000.0 * min(5.0, max(0.05, eta)))
+
+    def _admission_shed(self, request_id: Any) -> Optional[Dict[str, Any]]:
+        """The ``overloaded`` envelope when the queue is full, else
+        ``None`` (admit)."""
+        if self._max_queue_depth is None:
+            return None
+        depth = self._coalescer.queue_depth if self._coalesce else self._busy
+        if depth < self._max_queue_depth:
+            return None
+        self._requests += 1
+        self._note_shed("queue-full")
+        return error_response(
+            "overloaded",
+            f"server is at capacity ({depth} in-flight specs); "
+            f"retry with backoff", request_id,
+            queue_depth=depth,
+            retry_after_ms=self._retry_after_ms(depth))
+
+    def _resolve_deadline(self, request: Mapping[str, Any], trace: Trace
+                          ) -> Tuple[Optional[float],
+                                     Optional[Dict[str, Any]]]:
+        """``(absolute deadline, None)`` or ``(None, error envelope)``.
+
+        ``deadline_ms`` counts from frame receipt (the trace's birth), is
+        defaulted from ``default_deadline_ms`` and clamped to
+        ``max_deadline_ms`` when those are configured.
+        """
+        raw = request.get("deadline_ms")
+        if raw is None:
+            ms = self._default_deadline_ms
+        elif isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            return None, error_response(
+                "malformed-request",
+                f"'deadline_ms' must be a positive number of "
+                f"milliseconds, got {raw!r}", request.get("id"))
+        else:
+            ms = float(raw)
+            if not (ms > 0.0) or ms != ms or ms == float("inf"):
+                return None, error_response(
+                    "malformed-request",
+                    f"'deadline_ms' must be a positive finite number of "
+                    f"milliseconds, got {raw!r}", request.get("id"))
+        if ms is None:
+            return None, None
+        if self._max_deadline_ms is not None:
+            ms = min(ms, self._max_deadline_ms)
+        return trace.started + ms / 1000.0, None
+
+    def health_state(self) -> str:
+        """Derived health: ``ok`` | ``degraded`` | ``draining``."""
+        if self._draining:
+            return "draining"
+        if self._max_queue_depth is not None:
+            if self._coalescer.queue_depth >= 0.8 * self._max_queue_depth:
+                return "degraded"
+        if self._recent_sheds() > 0:
+            return "degraded"
+        return "ok"
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload (state + the signals behind it)."""
+        state = self.health_state()
+        return {
+            "state": state,
+            "ok": state == "ok",
+            "uptime_s": round(time.time() - self._started, 3),
+            "queue_depth": self._coalescer.queue_depth,
+            "in_flight": self._busy,
+            "recent_sheds": self._recent_sheds(),
+            "draining": self._draining,
+            "indexes": len(self._registry.keys()),
+        }
+
+    # ------------------------------------------------------------------
     # synchronous dispatch (stdio loop)
     # ------------------------------------------------------------------
     def dispatch(self, request: Mapping[str, Any],
@@ -480,6 +728,10 @@ class AllocationServer:
             started = time.perf_counter()
             if trace is None:
                 trace = Trace()
+            deadline, envelope = self._resolve_deadline(request, trace)
+            if envelope is not None:
+                self._errors += 1
+                return envelope
             with trace.span("validate"):
                 resolved = self._resolve_versioned(request)
                 if isinstance(resolved, dict):
@@ -487,13 +739,17 @@ class AllocationServer:
                     return resolved
                 key, loaded, spec = resolved
                 prepared = prepare_request(loaded.service, request,
-                                           spec=spec)
+                                           spec=spec, deadline=deadline)
             if isinstance(prepared, dict):
                 self._errors += 1
                 return prepared
             try:
                 with trace.span("execute"):
                     payload = execute_prepared(loaded.service, prepared)
+            except DeadlineExceeded as error:
+                self._note_deadline_expired()
+                return error_response("deadline-exceeded", str(error),
+                                      prepared.request_id)
             except ReproError as error:
                 self._errors += 1
                 return error_response("invalid-spec", str(error),
@@ -569,17 +825,29 @@ class AllocationServer:
         """Answer one parsed request with coalescing and batching."""
         loop = asyncio.get_running_loop()
         if "v" not in request:
+            op = str(request.get("op", "query")).strip().lower()
+            if op not in _OPS_EXEMPT:
+                shed = self._admission_shed(request.get("id"))
+                if shed is not None:
+                    return shed
             # legacy ops run whole on the worker thread (they may load an
             # index or run a query; either would block the loop)
             return await loop.run_in_executor(self._executor,
                                               self.dispatch, request)
+        shed = self._admission_shed(request.get("id"))
+        if shed is not None:
+            return shed
         self._requests += 1
         if trace is None:
             trace = Trace()
+        deadline, envelope = self._resolve_deadline(request, trace)
+        if envelope is not None:
+            self._errors += 1
+            return envelope
         started = time.perf_counter()
         validate_started = time.perf_counter()
         outcome = await loop.run_in_executor(
-            self._executor, self._resolve_and_prepare, request)
+            self._executor, self._resolve_and_prepare, request, deadline)
         # includes the executor hop — what the request actually waited
         trace.add("validate", time.perf_counter() - validate_started)
         if isinstance(outcome, dict):
@@ -593,6 +861,10 @@ class AllocationServer:
                     self._executor, execute_prepared, loaded.service,
                     prepared)
                 trace.add("execute", time.perf_counter() - exec_started)
+            except DeadlineExceeded as error:
+                self._note_deadline_expired()
+                return error_response("deadline-exceeded", str(error),
+                                      prepared.request_id)
             except ReproError as error:
                 self._errors += 1
                 return error_response("invalid-spec", str(error),
@@ -609,6 +881,13 @@ class AllocationServer:
         # rest of the wait is queueing (tick gather + executor backlog)
         trace.add("queue", max(0.0, waited - exec_s))
         trace.add("execute", exec_s)
+        if exec_s > 0.0:
+            # EWMA of per-batch worker time — feeds retry_after_ms hints
+            self._avg_exec_s += 0.2 * (exec_s - self._avg_exec_s)
+        if isinstance(payload, DeadlineExceeded):
+            self._note_deadline_expired()
+            return error_response("deadline-exceeded", str(payload),
+                                  prepared.request_id)
         if isinstance(payload, ReproError):
             self._errors += 1
             return error_response("invalid-spec", str(payload),
@@ -660,6 +939,35 @@ class AllocationServer:
                 else:
                     yield frame, False
 
+    async def _write_frame(self, writer: asyncio.StreamWriter,
+                           response: Mapping[str, Any]) -> bool:
+        """Write one response frame; ``False`` if the connection was torn
+        down by the ``disconnect`` fault site.
+
+        The ``stall-write`` site sleeps (async — the event loop keeps
+        serving other connections) before the write; the ``disconnect``
+        site writes only a prefix of the frame and aborts the transport,
+        so chaos tests see a truncated frame + EOF.
+        """
+        stall = faults.delay("stall-write")
+        if stall > 0.0:
+            await asyncio.sleep(stall)
+        data = (self.encode_response(response) + "\n").encode("utf-8")
+        if faults.fires("disconnect"):
+            writer.write(data[:max(1, len(data) // 2)])
+            writer.transport.abort()
+            return False
+        writer.write(data)
+        await writer.drain()
+        return True
+
+    def _shutting_down_envelope(self, request_id: Any = None
+                                ) -> Dict[str, Any]:
+        return error_response(
+            "shutting-down",
+            "server is draining and no longer accepts work; reconnect "
+            "and retry elsewhere", request_id)
+
     async def _client_connected(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         self._connections += 1
@@ -671,10 +979,11 @@ class AllocationServer:
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
+            self._conn_writers[task] = writer
+        bucket = (_TokenBucket(self._rate_limit, self._rate_burst)
+                  if self._rate_limit is not None else None)
         try:
             async for frame, oversized in self._frames(reader):
-                if self._draining:
-                    break
                 frames += 1
                 trace = Trace()  # minted at frame receipt
                 if oversized:
@@ -685,9 +994,8 @@ class AllocationServer:
                     self._record_resync(response)
                     self._record_response("invalid", response,
                                           trace.elapsed())
-                    writer.write((self.encode_response(response) + "\n")
-                                 .encode("utf-8"))
-                    await writer.drain()
+                    if not await self._write_frame(writer, response):
+                        break
                     continue
                 with trace.span("parse"):
                     request, envelope = self.parse_line(frame)
@@ -699,6 +1007,40 @@ class AllocationServer:
                 elif request is None:
                     continue
                 else:
+                    if self._draining:
+                        # answer, don't abandon: a typed envelope tells
+                        # the client to retry against another replica
+                        self._requests += 1
+                        self._note_shed("shutting-down")
+                        response = self._shutting_down_envelope(
+                            request.get("id"))
+                        self._record_response(
+                            "v1" if "v" in request else "legacy",
+                            response, trace.elapsed())
+                        await self._write_frame(writer, response)
+                        break
+                    if bucket is not None and not (
+                            "v" not in request
+                            and str(request.get("op", "query")).strip()
+                            .lower() in _OPS_EXEMPT):
+                        wait_s = bucket.try_acquire()
+                        if wait_s > 0.0:
+                            self._requests += 1
+                            self._note_shed("rate-limit")
+                            response = error_response(
+                                "overloaded",
+                                f"connection exceeded its "
+                                f"{self._rate_limit:g} req/s budget",
+                                request.get("id"),
+                                queue_depth=self._coalescer.queue_depth,
+                                retry_after_ms=int(wait_s * 1000.0) + 1)
+                            self._record_response(
+                                "v1" if "v" in request else "legacy",
+                                response, trace.elapsed())
+                            if not await self._write_frame(writer,
+                                                           response):
+                                break
+                            continue
                     # busy covers handling AND the response write, so a
                     # draining shutdown never drops a computed response
                     self._busy += 1
@@ -708,10 +1050,8 @@ class AllocationServer:
                         response = await self.handle_async(request,
                                                            trace=trace)
                         with trace.span("respond"):
-                            writer.write(
-                                (self.encode_response(response) + "\n")
-                                .encode("utf-8"))
-                            await writer.drain()
+                            alive = await self._write_frame(writer,
+                                                            response)
                         dialect = "v1" if "v" in request else "legacy"
                         self._record_response(dialect, response,
                                               trace.elapsed(), trace=trace)
@@ -719,17 +1059,19 @@ class AllocationServer:
                         self._busy -= 1
                         if self._busy == 0 and self._idle is not None:
                             self._idle.set()
+                    if not alive:
+                        break
                     continue
                 self._record_response("invalid", response, trace.elapsed())
-                writer.write((self.encode_response(response) + "\n")
-                             .encode("utf-8"))
-                await writer.drain()
+                if not await self._write_frame(writer, response):
+                    break
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.CancelledError):
             pass
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
+                self._conn_writers.pop(task, None)
             log_event(_LOG, logging.DEBUG, "connection-closed",
                       peer=str(peer) if peer else None, frames=frames)
             try:
@@ -767,23 +1109,44 @@ class AllocationServer:
         return path
 
     async def shutdown(self, drain: bool = True,
-                       timeout: float = 10.0) -> None:
+                       timeout: Optional[float] = None) -> None:
         """Stop accepting, optionally drain in-flight requests, close.
 
         With ``drain=True`` every request already being processed finishes
         and flushes its response before its connection closes; idle
-        connections are then closed.  ``timeout`` bounds the drain.
+        connections are then closed.  ``timeout`` bounds the drain
+        (default: the server's ``drain_timeout``); connections still busy
+        when it expires are answered with a ``shutting-down`` envelope
+        before being cancelled — never silently abandoned.
         """
+        if timeout is None:
+            timeout = self._drain_timeout
         self._draining = True
         for server in self._servers:
             server.close()
+        drained = True
         if drain and self._busy and self._idle is not None:
             try:
                 await asyncio.wait_for(self._idle.wait(), timeout)
             except asyncio.TimeoutError:
-                pass
+                drained = False
             # one tick so drained responses reach their transports
             await asyncio.sleep(0)
+        if not drained:
+            # the drain budget ran out with requests still in flight:
+            # tell each lingering connection before cutting it off
+            envelope = self._shutting_down_envelope()
+            for task, writer in list(self._conn_writers.items()):
+                if task.done():
+                    continue
+                self._note_shed("shutting-down")
+                try:
+                    writer.write((self.encode_response(envelope) + "\n")
+                                 .encode("utf-8"))
+                    await asyncio.wait_for(writer.drain(), 1.0)
+                except (ConnectionResetError, BrokenPipeError, OSError,
+                        asyncio.TimeoutError):
+                    pass
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -820,46 +1183,48 @@ class AllocationServer:
 
         endpoints = []
         exporter: Optional[MetricsExporter] = None
-        if tcp is not None:
-            host, port = await self.start_tcp(*tcp)
-            endpoints.append(f"tcp://{host}:{port}")
-        if unix is not None:
-            path = await self.start_unix(unix)
-            endpoints.append(f"unix://{path}")
-        if metrics_tcp is not None:
-            exporter = MetricsExporter(
-                [self._metrics, get_metrics()],
-                health=lambda: {"uptime_s": round(
-                    time.time() - self._started, 3),
-                    "indexes": len(self._registry.keys()),
-                    "draining": self._draining})
-            await exporter.start(*metrics_tcp)
-            for host, port in exporter.addresses:
-                endpoints.append(f"http://{host}:{port}/metrics")
-        if ready is not None:
-            ready(endpoints)
-        log_event(_LOG, logging.INFO, "server-started",
-                  endpoints=endpoints,
-                  indexes=list(self._registry.keys()))
-        stop = asyncio.Event()
-        loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(sig, stop.set)
-            except (NotImplementedError, RuntimeError):  # pragma: no cover
-                pass
         try:
-            loop.add_signal_handler(signal.SIGHUP,
-                                    lambda: self._registry.reload())
-        except (NotImplementedError, RuntimeError,
-                AttributeError):  # pragma: no cover - non-unix
-            pass
-        await stop.wait()
-        if exporter is not None:
-            await exporter.close()
-        await self.shutdown(drain=True)
-        log_event(_LOG, logging.INFO, "server-drained",
-                  requests=self._requests, errors=self._errors)
+            if tcp is not None:
+                host, port = await self.start_tcp(*tcp)
+                endpoints.append(f"tcp://{host}:{port}")
+            if unix is not None:
+                path = await self.start_unix(unix)
+                endpoints.append(f"unix://{path}")
+            if metrics_tcp is not None:
+                exporter = MetricsExporter(
+                    [self._metrics, get_metrics()], health=self.health)
+                await exporter.start(*metrics_tcp)
+                for host, port in exporter.addresses:
+                    endpoints.append(f"http://{host}:{port}/metrics")
+            if ready is not None:
+                ready(endpoints)
+            log_event(_LOG, logging.INFO, "server-started",
+                      endpoints=endpoints,
+                      indexes=list(self._registry.keys()))
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError,
+                        RuntimeError):  # pragma: no cover
+                    pass
+            try:
+                loop.add_signal_handler(signal.SIGHUP,
+                                        lambda: self._registry.reload())
+            except (NotImplementedError, RuntimeError,
+                    AttributeError):  # pragma: no cover - non-unix
+                pass
+            await stop.wait()
+        finally:
+            # runs on normal stop AND on cancellation/error, so an
+            # aborted serve still unlinks its unix socket and closes the
+            # exporter instead of leaking them
+            if exporter is not None:
+                await exporter.close()
+            await self.shutdown(drain=True)
+            log_event(_LOG, logging.INFO, "server-drained",
+                      requests=self._requests, errors=self._errors)
 
 
 def run_stdio(server: AllocationServer,
@@ -881,4 +1246,11 @@ def run_stdio(server: AllocationServer,
     return 0
 
 
-__all__ = ["DEFAULT_MAX_LINE_BYTES", "AllocationServer", "run_stdio"]
+__all__ = [
+    "DEFAULT_DRAIN_TIMEOUT",
+    "DEFAULT_MAX_LINE_BYTES",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "HEALTH_STATES",
+    "AllocationServer",
+    "run_stdio",
+]

@@ -543,8 +543,45 @@ class TestMetricsExporter:
     def test_healthz_route(self):
         body = self.run(lambda host, port: _http_get(
             host, port, b"GET /healthz HTTP/1.0\r\n\r\n"))
+        assert body.startswith(b"HTTP/1.1 200 OK")
         payload = json.loads(body.partition(b"\r\n\r\n")[2])
         assert payload == {"ok": True, "uptime": 1}
+
+    def _healthz_with(self, health):
+        async def wrapper():
+            exporter = MetricsExporter([MetricsRegistry()], health=health)
+            await exporter.start("127.0.0.1", 0)
+            host, port = exporter.addresses[0]
+            try:
+                return await asyncio.wait_for(_http_get(
+                    host, port, b"GET /healthz HTTP/1.0\r\n\r\n"), 60)
+            finally:
+                await exporter.close()
+        return asyncio.run(wrapper())
+
+    def test_healthz_ok_state_is_200(self):
+        body = self._healthz_with(lambda: {"state": "ok", "ok": True})
+        assert body.startswith(b"HTTP/1.1 200 OK")
+
+    def test_healthz_degraded_is_503(self):
+        body = self._healthz_with(
+            lambda: {"state": "degraded", "ok": False})
+        assert body.startswith(b"HTTP/1.1 503 Service Unavailable")
+        payload = json.loads(body.partition(b"\r\n\r\n")[2])
+        assert payload["state"] == "degraded"
+
+    def test_healthz_draining_is_503(self):
+        body = self._healthz_with(
+            lambda: {"state": "draining", "ok": False})
+        assert body.startswith(b"HTTP/1.1 503 Service Unavailable")
+
+    def test_healthz_failing_callback_is_503(self):
+        def boom():
+            raise RuntimeError("health probe exploded")
+        body = self._healthz_with(boom)
+        assert body.startswith(b"HTTP/1.1 503 Service Unavailable")
+        payload = json.loads(body.partition(b"\r\n\r\n")[2])
+        assert payload == {"ok": False, "state": "error"}
 
     def test_unknown_route_is_404(self):
         body = self.run(lambda host, port: _http_get(
