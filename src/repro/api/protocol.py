@@ -40,6 +40,34 @@ of :meth:`AllocationService.handle_request` remains available for raw
 budget queries).  Responses are LRU-cached on
 :meth:`RunSpec.fingerprint`.
 
+Dynamic graphs ride the legacy dialect.  A *repairable* index (built with
+the keyed engine, ``meta["keyed"] == true`` — see :mod:`repro.dynamic`)
+accepts an in-place graph-delta repair::
+
+    {"op": "apply-delta", "index": "<name>",          # index optional
+     "delta": {"add_nodes": 0,
+               "remove_nodes": [...],
+               "add_edges": [[u, v, p], ...],
+               "remove_edges": [[u, v], ...],
+               "update_edges": [[u, v, p], ...]}}
+
+    -> {"ok": true, "index": "<name>",
+        "repair": {"epoch": 3, "delta_ops": 12, "touched_sets": ...,
+                   "rerooted_sets": ..., "repaired_sets": ...,
+                   "repaired_fraction": 0.04, "zero_delta": false, ...},
+        "scan": {...}, "latency_ms": 1.9}
+
+The repaired index is persisted atomically and hot-swapped without a
+restart (same semantics as a SIGHUP rescan); a zero-op delta is a no-op
+that leaves the on-disk artifact untouched.  Repairable indexes are
+never routed by v1 specs — the keyed coin stream is not bit-identical to
+the stream-RNG engines — so the bit-identity contract above is
+unaffected.  Manifest ``meta["dynamic"]["staleness"]`` accumulates
+``{"epoch", "deltas_applied", "repaired_sets", "repaired_fraction",
+"cumulative_repaired_fraction"}`` across repairs;
+:meth:`repro.serve.IndexRegistry.stats` flags indexes whose cumulative
+repaired fraction exceeds the registry's staleness bound.
+
 Handling is split into three stages so the concurrent server in
 :mod:`repro.serve` can coalesce and batch between them:
 
@@ -154,6 +182,12 @@ def index_mismatch(spec: RunSpec, meta: Mapping[str, Any]) -> Optional[str]:
          meta.get("fixed_imm_item")),
         ("sharded sampling", engine.workers is not None,
          meta.get("workers") is not None),
+        # repairable indexes sample with the keyed engine
+        # (repro.dynamic), whose coin stream is not bit-identical to the
+        # stream-RNG engines — no v1 spec ever routes to one, which is
+        # what keeps served ≡ direct bit-identity intact; named legacy
+        # ops still serve them
+        ("keyed sampling", False, bool(meta.get("keyed", False))),
     )
     for label, requested, built in checks:
         if built is None and label in ("scale", "fixed_imm_item"):

@@ -155,7 +155,27 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--chunk-sets", type=int, default=None,
                        help="with --stream: RR sets per spilled chunk "
                             "(rounded up to a shard multiple)")
+    build.add_argument("--repairable", action="store_true",
+                       help="standard sampler only: sample with keyed "
+                            "per-(set, edge) coins so the index supports "
+                            "incremental 'repro index repair' after graph "
+                            "deltas (requires --rr-sets: adaptive θ would "
+                            "break set identity)")
     build.add_argument("--json", action="store_true")
+
+    repair = index_sub.add_parser(
+        "repair", help="apply a graph-delta batch to a repairable index "
+                       "in place (resamples only the touched RR sets; a "
+                       "zero-op delta is fingerprint-identical)")
+    repair.add_argument("--index", type=Path, required=True,
+                        help="index path stem (or its .npz/.manifest.json)")
+    repair.add_argument("--delta", type=Path, required=True,
+                        help="JSON file with {add_nodes, remove_nodes, "
+                             "add_edges, remove_edges, update_edges}")
+    repair.add_argument("--no-verify", action="store_true",
+                        help="skip the fingerprint check against the "
+                             "freshly rebuilt graph/configuration")
+    repair.add_argument("--json", action="store_true")
 
     info = index_sub.add_parser(
         "info", help="describe a persisted index from its manifest "
@@ -303,6 +323,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the raw stats payload as JSON")
     metrics.add_argument("--timeout", type=float, default=10.0,
                          help="socket timeout in seconds")
+
+    # replay -------------------------------------------------------------
+    replay = sub.add_parser(
+        "replay", help="replay a seeded query/delta trace against a "
+                       "repairable index served in-process (throughput, "
+                       "repair latency and staleness over time)")
+    replay.add_argument("--index", type=Path, required=True,
+                        help="repairable index path stem (or its "
+                             ".npz/.manifest.json)")
+    replay.add_argument("--queries", type=int, default=50,
+                        help="number of legacy query requests in the trace")
+    replay.add_argument("--deltas", type=int, default=5,
+                        help="number of interleaved graph-delta batches")
+    replay.add_argument("--fraction", type=float, default=0.01,
+                        help="edge fraction each delta touches")
+    replay.add_argument("--seed", type=int, default=2020,
+                        help="trace-generation seed")
+    replay.add_argument("--budgets", default=(5, 10, 20),
+                        type=lambda s: tuple(int(b) for b in s.split(",")),
+                        metavar="K1,K2,...",
+                        help="query budget pool (default 5,10,20)")
+    replay.add_argument("--in-place", action="store_true",
+                        help="repair the index where it lives instead of "
+                             "replaying against a temporary copy")
+    replay.add_argument("--no-verify", action="store_true")
+    replay.add_argument("--out", type=Path, default=None,
+                        help="also write the summary JSON to this path")
+    replay.add_argument("--json", action="store_true")
 
     # experiment ---------------------------------------------------------
     experiment = sub.add_parser("experiment",
@@ -458,7 +506,27 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         "fixed_imm_item": workload.fixed_imm_item,
         "fixed_imm_budget": workload.fixed_imm_budget,
     }
-    if getattr(args, "stream", False):
+    if getattr(args, "repairable", False):
+        if args.sampler != "standard":
+            print("error: --repairable supports the standard sampler only",
+                  file=sys.stderr)
+            return 2
+        if getattr(args, "stream", False):
+            print("error: --repairable cannot be combined with --stream",
+                  file=sys.stderr)
+            return 2
+        if not args.rr_sets:
+            print("error: --repairable needs an explicit --rr-sets "
+                  "(adaptive θ would break keyed set identity)",
+                  file=sys.stderr)
+            return 2
+        from repro.dynamic import build_repairable_index
+
+        index = build_repairable_index(
+            graph, model, sampler="standard", rr_sets=args.rr_sets,
+            base_seed=engine.seed, meta_extra=meta_extra)
+        npz_path, manifest_path = index.save(args.out)
+    elif getattr(args, "stream", False):
         if args.sampler != "standard":
             print("error: --stream supports the standard sampler only",
                   file=sys.stderr)
@@ -495,6 +563,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
         "num_nodes": index.num_nodes,
         "size_bytes": npz_path.stat().st_size,
         "fingerprint": index.fingerprint,
+        "repairable": bool(index.meta.get("keyed", False)),
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -563,6 +632,46 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_repair(args: argparse.Namespace) -> int:
+    from repro.dynamic import GraphDelta, RRRepairEngine, save_repaired
+    from repro.index import index_paths
+    from repro.serve import load_service
+
+    npz_path, _ = index_paths(args.index)
+    stem = npz_path.with_suffix("")
+    delta = GraphDelta.from_dict(
+        json.loads(args.delta.read_text(encoding="utf-8")))
+    loaded = load_service(stem, verify=not args.no_verify)
+    engine = RRRepairEngine(loaded.service.index, loaded.graph,
+                            loaded.model)
+    outcome = engine.repair(delta)
+    if not outcome.report.zero_delta:
+        save_repaired(outcome.index, stem)
+    payload = {"index": str(npz_path), **outcome.report.to_dict(),
+               "fingerprint": outcome.index.fingerprint,
+               "staleness": outcome.index.meta["dynamic"]["staleness"]}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    report = outcome.report
+    if report.zero_delta:
+        print("zero-op delta: index untouched "
+              f"(epoch {report.epoch}, fingerprint unchanged)")
+        return 0
+    print(f"repaired {report.repaired_sets}/{report.num_sets} RR sets "
+          f"({report.repaired_fraction:.1%}) in {report.duration_ms:.1f} ms")
+    print(f"  delta      : {report.delta_ops} ops "
+          f"({report.num_nodes_before} -> {report.num_nodes_after} nodes)")
+    print(f"  epoch      : {report.epoch}")
+    print(f"  touched    : {report.touched_sets} sets by reachability, "
+          f"{report.rerooted_sets} re-rooted")
+    staleness = payload["staleness"]
+    print(f"  staleness  : {staleness['cumulative_repaired_fraction']:.1%} "
+          f"cumulative over {staleness['deltas_applied']} delta ops")
+    print(f"  fingerprint: {payload['fingerprint'][:16]}…")
+    return 0
+
+
 def _cmd_index_info(args: argparse.Namespace) -> int:
     from repro.index import FrozenRRIndex, index_paths
 
@@ -593,7 +702,12 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
         "workers": meta.get("workers"),
         "options": meta.get("options"),
         "streamed": bool(meta.get("streamed", False)),
+        "repairable": bool(meta.get("keyed", False)),
     }
+    dynamic = meta.get("dynamic") or {}
+    if dynamic:
+        payload["staleness"] = dynamic.get("staleness")
+        payload["epoch"] = dynamic.get("epoch")
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -625,6 +739,15 @@ def _cmd_index_info(args: argparse.Namespace) -> int:
           f"{', streamed' if payload['streamed'] else ''})")
     if payload["budgets"]:
         print(f"budgets    : {payload['budgets']}")
+    if payload["repairable"]:
+        staleness = payload.get("staleness") or {}
+        print(f"repairable : keyed coins, epoch {payload.get('epoch', 0)}")
+        print(f"staleness  : "
+              f"{staleness.get('cumulative_repaired_fraction', 0.0):.1%} "
+              f"of sets repaired cumulatively "
+              f"({staleness.get('deltas_applied', 0)} delta ops, last "
+              f"repair touched "
+              f"{staleness.get('repaired_fraction', 0.0):.1%})")
     return 0
 
 
@@ -633,6 +756,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
         return _cmd_index_build(args)
     if args.index_command == "info":
         return _cmd_index_info(args)
+    if args.index_command == "repair":
+        return _cmd_index_repair(args)
     return _cmd_index_query(args)
 
 
@@ -812,6 +937,84 @@ def _format_metrics(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.dynamic.replay import make_replay_trace, replay_events
+    from repro.index import index_paths
+    from repro.serve import AllocationServer, IndexRegistry, load_service
+    from repro.serve.client import ResilientClient, RetryPolicy
+
+    npz_path, manifest_path = index_paths(args.index)
+    stem = npz_path.with_suffix("")
+    loaded = load_service(stem, verify=not args.no_verify)
+    meta = loaded.service.index.meta
+    if not meta.get("keyed"):
+        print("error: replay needs a repairable index "
+              "(build with `repro index build --repairable`)",
+              file=sys.stderr)
+        return 2
+    events = make_replay_trace(
+        loaded.graph, num_queries=args.queries, num_deltas=args.deltas,
+        fraction=args.fraction, seed=args.seed, budgets=args.budgets)
+
+    async def _drive(directory: Path, key: str) -> dict:
+        registry = IndexRegistry(directory=directory, capacity=2,
+                                 verify=not args.no_verify)
+        server = AllocationServer(registry)
+        host, port = await server.start_tcp("127.0.0.1", 0)
+        try:
+            async with ResilientClient(
+                    tcp=(host, port),
+                    policy=RetryPolicy(seed=args.seed)) as client:
+                return await replay_events(client, events, index=key)
+        finally:
+            await server.shutdown(drain=True)
+
+    if args.in_place:
+        summary = asyncio.run(_drive(stem.parent, stem.name))
+    else:
+        # replay is a measurement harness: run against a throwaway copy
+        # so the trace's repairs don't mutate the source index
+        with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmp:
+            scratch = Path(tmp)
+            shutil.copy2(npz_path, scratch / npz_path.name)
+            shutil.copy2(manifest_path, scratch / manifest_path.name)
+            summary = asyncio.run(_drive(scratch, stem.name))
+    summary = {"index": str(npz_path), "trace": {
+        "queries": args.queries, "deltas": args.deltas,
+        "fraction": args.fraction, "seed": args.seed,
+        "budgets": list(args.budgets), "in_place": bool(args.in_place),
+    }, **summary}
+    if args.out is not None:
+        args.out.write_text(json.dumps(summary, indent=2) + "\n",
+                            encoding="utf-8")
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    query, repair = summary["query"], summary["repair"]
+    print(f"replayed {summary['events']} events against {stem.name}: "
+          f"{summary['queries']} queries, {summary['deltas']} deltas, "
+          f"{summary['errors']} errors in {summary['wall_s']:.2f} s")
+    print(f"  queries : {query['throughput_rps']:.1f} req/s, "
+          f"p50 {query['latency_s']['p50'] * 1000:.2f} ms, "
+          f"p95 {query['latency_s']['p95'] * 1000:.2f} ms")
+    if repair["count"]:
+        fractions = [f for f in repair["repaired_fraction"]
+                     if f is not None]
+        print(f"  repairs : {repair['count']}, "
+              f"p50 {repair['latency_s']['p50'] * 1000:.1f} ms, "
+              f"mean repaired fraction "
+              f"{sum(fractions) / len(fractions):.1%}")
+        last = summary["staleness_over_time"][-1]
+        print(f"  staleness: "
+              f"{last['cumulative_repaired_fraction']:.1%} cumulative at "
+              f"epoch {last['epoch']}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.http is not None:
         from urllib.request import urlopen
@@ -848,6 +1051,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "learn": _cmd_learn,
         "index": _cmd_index,
         "serve": _cmd_serve,
+        "replay": _cmd_replay,
         "metrics": _cmd_metrics,
     }
     try:

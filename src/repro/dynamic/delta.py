@@ -1,0 +1,311 @@
+"""Batched graph deltas for the dynamic-graph subsystem.
+
+A :class:`GraphDelta` describes one batch of mutations against a
+:class:`~repro.graphs.graph.DirectedGraph`: edge insertions, edge
+deletions, edge probability updates, node insertions and node deletions.
+Deltas are **immutable** and **auditable** — ``apply`` validates every
+operation against the graph it is applied to and raises
+:class:`~repro.exceptions.GraphError` on anything ambiguous (removing an
+edge that does not exist, adding one that already does, duplicate
+operations on the same edge) rather than silently resolving it.
+
+Two semantic choices matter for incremental RR-set repair
+(:mod:`repro.dynamic.repair`):
+
+* **Node deletions are tombstones.**  Removing node ``d`` removes every
+  edge incident to ``d`` but keeps the id allocated: ``num_nodes`` does
+  not shrink and no other node is renumbered.  ``d`` becomes an isolated
+  node — an RR set rooted at ``d`` degenerates to ``{d}``, and the
+  uniform-root distribution keeps ranging over all ids (matching how a
+  root landing on any other zero-in-degree node behaves).
+* **Node insertions append ids.**  ``add_nodes=c`` allocates ids
+  ``n .. n+c-1``.  Edges referencing the new ids may be added in the
+  same batch.
+
+``touched_targets`` is the repair engine's work-list oracle: the set of
+nodes whose *in-edge coin sequence* changed.  A reverse BFS queries the
+in-edges of a node only when it expands that node, so an RR set can only
+be affected by the delta if one of these targets is among its members —
+that is what makes repairing only the touched sets exact rather than
+approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import DirectedGraph
+
+
+def _as_edge_pairs(pairs: Iterable[Sequence[int]]) -> Tuple[Tuple[int, int], ...]:
+    return tuple((int(u), int(v)) for u, v in pairs)
+
+
+def _as_edge_triples(triples: Iterable[Sequence[float]]
+                     ) -> Tuple[Tuple[int, int, float], ...]:
+    return tuple((int(u), int(v), float(p)) for u, v, p in triples)
+
+
+def _edge_keys(n: int, pairs: Sequence[Tuple[int, ...]]) -> np.ndarray:
+    if not pairs:
+        return np.empty(0, dtype=np.int64)
+    arr = np.asarray([(u, v) for u, v, *_ in pairs], dtype=np.int64)
+    return arr[:, 0] * np.int64(n) + arr[:, 1]
+
+
+def _missing_mask(sorted_keys: np.ndarray, probes: np.ndarray) -> np.ndarray:
+    """Which ``probes`` are absent from ``sorted_keys``."""
+    if sorted_keys.size == 0:
+        return np.ones(probes.size, dtype=bool)
+    pos = np.searchsorted(sorted_keys, probes)
+    return (pos >= sorted_keys.size) | \
+        (sorted_keys[np.minimum(pos, sorted_keys.size - 1)] != probes)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One immutable batch of graph mutations.
+
+    Parameters
+    ----------
+    add_nodes:
+        Number of new node ids to allocate (appended after the current
+        ``num_nodes``).
+    remove_nodes:
+        Node ids to tombstone: all incident edges are dropped, the ids
+        stay allocated and isolated.
+    add_edges:
+        ``(source, target, prob)`` edges to insert.  Each must not exist
+        after removals are applied (use ``update_edges`` to change a
+        probability, or remove + add to redraw an edge's coin).
+    remove_edges:
+        ``(source, target)`` edges to delete; each must exist.
+    update_edges:
+        ``(source, target, prob)`` probability updates; each edge must
+        exist and must not also be removed (directly or via a removed
+        endpoint).
+    """
+
+    add_nodes: int = 0
+    remove_nodes: Tuple[int, ...] = field(default_factory=tuple)
+    add_edges: Tuple[Tuple[int, int, float], ...] = field(
+        default_factory=tuple)
+    remove_edges: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+    update_edges: Tuple[Tuple[int, int, float], ...] = field(
+        default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add_nodes", int(self.add_nodes))
+        object.__setattr__(self, "remove_nodes",
+                           tuple(int(d) for d in self.remove_nodes))
+        object.__setattr__(self, "add_edges",
+                           _as_edge_triples(self.add_edges))
+        object.__setattr__(self, "remove_edges",
+                           _as_edge_pairs(self.remove_edges))
+        object.__setattr__(self, "update_edges",
+                           _as_edge_triples(self.update_edges))
+        if self.add_nodes < 0:
+            raise GraphError(
+                f"add_nodes must be >= 0, got {self.add_nodes}")
+        if len(set(self.remove_nodes)) != len(self.remove_nodes):
+            raise GraphError("duplicate node ids in remove_nodes")
+        for label, ops in (("add_edges", self.add_edges),
+                           ("remove_edges", self.remove_edges),
+                           ("update_edges", self.update_edges)):
+            pairs = [(op[0], op[1]) for op in ops]
+            if len(set(pairs)) != len(pairs):
+                raise GraphError(f"duplicate edges in {label}")
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def num_ops(self) -> int:
+        """Total number of mutations in the batch."""
+        return (self.add_nodes + len(self.remove_nodes)
+                + len(self.add_edges) + len(self.remove_edges)
+                + len(self.update_edges))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta mutates nothing (a zero-delta)."""
+        return self.num_ops == 0
+
+    # -- application ---------------------------------------------------
+    def apply(self, graph: DirectedGraph) -> DirectedGraph:
+        """Apply the batch to ``graph``, returning a new graph.
+
+        Every operation is validated against ``graph``; the result keeps
+        the graph's name (the manifest's delta history, not the name,
+        records the drift).
+        """
+        n = graph.num_nodes
+        n_new = n + self.add_nodes
+        sources, targets, probs = graph.edge_arrays()
+        # edge_arrays order is sorted by (source, target), so keys over
+        # any fixed stride >= n are sorted too
+        keys = sources * np.int64(n_new) + targets
+
+        removed_nodes = np.asarray(self.remove_nodes, dtype=np.int64)
+        if removed_nodes.size and (removed_nodes.min() < 0
+                                   or removed_nodes.max() >= n):
+            raise GraphError(
+                f"remove_nodes ids must lie in [0, {n})")
+        removed_set = set(self.remove_nodes)
+
+        # probability updates resolve against the original edge list
+        upd_keys = _edge_keys(n_new, self.update_edges)
+        if upd_keys.size:
+            pos = np.searchsorted(keys, upd_keys)
+            missing = _missing_mask(keys, upd_keys)
+            if missing.any():
+                bad = self.update_edges[int(np.flatnonzero(missing)[0])]
+                raise GraphError(
+                    f"update_edges: edge {bad[0]}->{bad[1]} does not exist")
+            for (u, v, p) in self.update_edges:
+                if u in removed_set or v in removed_set:
+                    raise GraphError(
+                        f"update_edges: edge {u}->{v} touches a removed "
+                        f"node")
+                if not 0.0 <= p <= 1.0:
+                    raise GraphError(
+                        f"update_edges: probability {p} for {u}->{v} "
+                        f"outside [0, 1]")
+            probs = probs.copy()
+            probs[pos] = [p for (_, _, p) in self.update_edges]
+
+        # explicit edge removals must name existing edges
+        rm_keys = _edge_keys(n_new, self.remove_edges)
+        keep = np.ones(keys.size, dtype=bool)
+        if rm_keys.size:
+            pos = np.searchsorted(keys, rm_keys)
+            missing = _missing_mask(keys, rm_keys)
+            if missing.any():
+                bad = self.remove_edges[int(np.flatnonzero(missing)[0])]
+                raise GraphError(
+                    f"remove_edges: edge {bad[0]}->{bad[1]} does not exist")
+            overlap = set(self.remove_edges) & {
+                (u, v) for (u, v, _) in self.update_edges}
+            if overlap:
+                u, v = sorted(overlap)[0]
+                raise GraphError(
+                    f"edge {u}->{v} both removed and updated")
+            keep[pos] = False
+        if removed_set:
+            keep &= ~np.isin(sources, removed_nodes)
+            keep &= ~np.isin(targets, removed_nodes)
+
+        sources, targets, probs = sources[keep], targets[keep], probs[keep]
+        surviving_keys = keys[keep]  # mask preserves the sorted order
+
+        # insertions land on top of the surviving edge set
+        if self.add_edges:
+            for (u, v, p) in self.add_edges:
+                if not (0 <= u < n_new and 0 <= v < n_new):
+                    raise GraphError(
+                        f"add_edges: endpoint of {u}->{v} outside "
+                        f"[0, {n_new})")
+                if u in removed_set or v in removed_set:
+                    raise GraphError(
+                        f"add_edges: edge {u}->{v} touches a removed node")
+            add = np.asarray([(u, v) for (u, v, _) in self.add_edges],
+                             dtype=np.int64)
+            add_probs = np.asarray([p for (_, _, p) in self.add_edges],
+                                   dtype=np.float64)
+            add_keys = add[:, 0] * np.int64(n_new) + add[:, 1]
+            clash = ~_missing_mask(surviving_keys, add_keys)
+            if clash.any():
+                u, v, _ = self.add_edges[int(np.flatnonzero(clash)[0])]
+                raise GraphError(
+                    f"add_edges: edge {u}->{v} already exists "
+                    f"(use update_edges to reweight it)")
+            sources = np.concatenate([sources, add[:, 0]])
+            targets = np.concatenate([targets, add[:, 1]])
+            probs = np.concatenate([probs, add_probs])
+
+        return DirectedGraph(n_new, sources, targets, probs,
+                             name=graph.name)
+
+    def touched_targets(self, graph: DirectedGraph) -> np.ndarray:
+        """Node ids whose in-edge coin sequence this delta changes.
+
+        Sorted unique int64 ids.  An RR set sampled before the delta can
+        only replay differently if one of these ids is among its members
+        (a reverse BFS queries a node's in-edges only when it expands
+        that node) — so membership against this array is an exact
+        touched-set criterion for fully-expanded RR sets and a
+        conservative one for early-stopped (marginal/weighted) sets.
+        """
+        touched = [np.asarray([v for (_, v) in self.remove_edges]
+                              + [v for (_, v, _) in self.update_edges]
+                              + [v for (_, v, _) in self.add_edges],
+                              dtype=np.int64)]
+        if self.remove_nodes:
+            removed = np.asarray(self.remove_nodes, dtype=np.int64)
+            # the tombstone loses its in-list; each out-neighbour y of a
+            # removed node loses the edge d->y from *its* in-list
+            touched.append(removed)
+            indptr, indices, _ = graph.out_csr()
+            for d in self.remove_nodes:
+                touched.append(
+                    indices[indptr[d]:indptr[d + 1]].astype(np.int64))
+        merged = np.concatenate(touched) if touched else \
+            np.empty(0, dtype=np.int64)
+        return np.unique(merged)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the CLI / ``apply-delta`` op payload)."""
+        return {
+            "add_nodes": self.add_nodes,
+            "remove_nodes": list(self.remove_nodes),
+            "add_edges": [[u, v, p] for (u, v, p) in self.add_edges],
+            "remove_edges": [[u, v] for (u, v) in self.remove_edges],
+            "update_edges": [[u, v, p] for (u, v, p) in self.update_edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GraphDelta":
+        """Inverse of :meth:`to_dict` (tolerates missing keys)."""
+        if not isinstance(payload, Mapping):
+            raise GraphError(
+                f"delta payload must be an object, got "
+                f"{type(payload).__name__}")
+        known = {"add_nodes", "remove_nodes", "add_edges", "remove_edges",
+                 "update_edges"}
+        unknown = set(payload) - known
+        if unknown:
+            raise GraphError(
+                f"unknown delta fields: {sorted(unknown)} "
+                f"(expected {sorted(known)})")
+        try:
+            return cls(
+                add_nodes=payload.get("add_nodes", 0),
+                remove_nodes=tuple(payload.get("remove_nodes", ())),
+                add_edges=_as_edge_triples(payload.get("add_edges", ())),
+                remove_edges=_as_edge_pairs(payload.get("remove_edges", ())),
+                update_edges=_as_edge_triples(
+                    payload.get("update_edges", ())),
+            )
+        except (TypeError, ValueError) as exc:
+            raise GraphError(f"malformed delta payload: {exc}") from exc
+
+
+def compose_touched(deltas: Iterable[GraphDelta],
+                    graphs: Iterable[DirectedGraph]) -> np.ndarray:
+    """Union of ``touched_targets`` over a delta sequence.
+
+    ``graphs[i]`` must be the graph ``deltas[i]`` applies to (each
+    delta's removed-node out-neighbourhoods are resolved against its own
+    pre-state).
+    """
+    parts = [delta.touched_targets(graph)
+             for delta, graph in zip(deltas, graphs)]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+__all__ = ["GraphDelta", "compose_touched"]

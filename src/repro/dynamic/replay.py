@@ -1,0 +1,238 @@
+"""Seeded query/delta traces and the replay driver.
+
+A *trace* is a JSON-able list of events — legacy ``query`` requests
+interleaved with ``apply-delta`` batches — generated deterministically
+from a seed against the *evolving* graph (each delta is drawn against
+the graph produced by the previous one, like a real edit stream).  The
+async driver pushes a trace through a live server via
+:class:`~repro.serve.client.ResilientClient` and collects throughput,
+repair latency and staleness over time.  Both the ``repro replay`` CLI
+verb and ``benchmarks/bench_replay.py`` run on this module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.dynamic.delta import GraphDelta
+from repro.exceptions import GraphError
+from repro.graphs.graph import DirectedGraph
+
+RngLike = Union[int, np.random.Generator]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(int(seed))
+
+
+def random_edge_delta(graph: DirectedGraph, fraction: float,
+                      seed: RngLike = 0, *,
+                      removals: float = 0.4, insertions: float = 0.4,
+                      updates: float = 0.2) -> GraphDelta:
+    """A seeded delta touching ``fraction`` of the graph's edges.
+
+    The op budget ``max(1, round(fraction * num_edges))`` is split
+    between edge removals, insertions and probability updates by the
+    given weights.  Inserted edges are drawn uniformly among absent
+    non-loop pairs; inserted/updated probabilities are resampled from
+    the graph's own probability distribution so the edit stream stays
+    in-distribution.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise GraphError(f"delta fraction must be in (0, 1], got {fraction}")
+    weights = np.asarray([removals, insertions, updates], dtype=float)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise GraphError("delta mix weights must be non-negative, not all 0")
+    weights = weights / weights.sum()
+    rng = _rng(seed)
+    sources, targets, probs = graph.edge_arrays()
+    num_edges, n = len(sources), graph.num_nodes
+    ops = max(1, int(round(fraction * num_edges)))
+    n_rem = int(round(ops * weights[0]))
+    n_upd = int(round(ops * weights[2]))
+    n_rem = min(n_rem, num_edges)
+    n_upd = min(n_upd, num_edges - n_rem)
+    n_add = max(0, ops - n_rem - n_upd)
+
+    picks = rng.choice(num_edges, size=n_rem + n_upd, replace=False) \
+        if n_rem + n_upd else np.empty(0, dtype=np.int64)
+    rem, upd = picks[:n_rem], picks[n_rem:]
+    remove_edges = tuple((int(sources[i]), int(targets[i])) for i in rem)
+    update_edges = tuple(
+        (int(sources[i]), int(targets[i]),
+         float(min(1.0, probs[i] * rng.uniform(0.5, 1.5))))
+        for i in upd)
+
+    # insertions: uniform absent non-loop pairs (rejection-sampled
+    # against the sorted key set), probabilities resampled from the
+    # existing distribution
+    keys = sources.astype(np.int64) * np.int64(n) + targets.astype(np.int64)
+    added: List[tuple] = []
+    seen = set()
+    attempts = 0
+    while len(added) < n_add and attempts < 16:
+        attempts += 1
+        want = n_add - len(added)
+        cand_u = rng.integers(0, n, size=4 * want, dtype=np.int64)
+        cand_v = rng.integers(0, n, size=4 * want, dtype=np.int64)
+        ok = cand_u != cand_v
+        cand_u, cand_v = cand_u[ok], cand_v[ok]
+        cand_keys = cand_u * np.int64(n) + cand_v
+        pos = np.searchsorted(keys, cand_keys)
+        if keys.size:
+            exists = (pos < keys.size) & \
+                (keys[np.minimum(pos, keys.size - 1)] == cand_keys)
+        else:
+            exists = np.zeros(len(cand_keys), dtype=bool)
+        for u, v, key in zip(cand_u[~exists], cand_v[~exists],
+                             cand_keys[~exists]):
+            if key in seen:
+                continue
+            seen.add(int(key))
+            p = float(rng.choice(probs)) if num_edges else \
+                float(rng.uniform(0.05, 0.5))
+            added.append((int(u), int(v), p))
+            if len(added) == n_add:
+                break
+    return GraphDelta(remove_edges=remove_edges,
+                      update_edges=update_edges,
+                      add_edges=tuple(added))
+
+
+def make_replay_trace(graph: DirectedGraph, *, num_queries: int = 50,
+                      num_deltas: int = 5, fraction: float = 0.01,
+                      seed: int = 0,
+                      budgets: Sequence[int] = (5, 10, 20),
+                      **delta_kwargs: float) -> List[Dict[str, Any]]:
+    """Deterministic interleaved query/delta event list.
+
+    Deltas are spaced evenly through the query stream and generated
+    sequentially against the evolving graph, so replaying the events in
+    order is always valid.  Events are plain JSON dicts::
+
+        {"kind": "query", "budget": 10}
+        {"kind": "delta", "delta": {...GraphDelta.to_dict()...}}
+    """
+    if num_queries < 0 or num_deltas < 0:
+        raise GraphError("num_queries / num_deltas must be >= 0")
+    rng = _rng(seed)
+    total = num_queries + num_deltas
+    delta_slots = set()
+    if num_deltas:
+        spacing = total / (num_deltas + 1)
+        delta_slots = {int(round(spacing * (i + 1)))
+                       for i in range(num_deltas)}
+        while len(delta_slots) < num_deltas:  # collisions at tiny totals
+            delta_slots.add(rng.integers(0, total))
+    events: List[Dict[str, Any]] = []
+    current = graph
+    budgets = tuple(int(b) for b in budgets) or (10,)
+    for slot in range(total):
+        if slot in delta_slots:
+            delta = random_edge_delta(current, fraction, rng,
+                                      **delta_kwargs)
+            current = delta.apply(current)
+            events.append({"kind": "delta", "delta": delta.to_dict()})
+        else:
+            events.append({"kind": "query",
+                           "budget": budgets[rng.integers(len(budgets))]})
+    return events
+
+
+async def replay_events(client: Any, events: Sequence[Mapping[str, Any]],
+                        *, index: Optional[str] = None,
+                        algorithm: str = "select") -> Dict[str, Any]:
+    """Drive ``events`` in order through ``client`` and summarize.
+
+    ``client`` is anything with an async ``request(mapping)`` —
+    normally a :class:`~repro.serve.client.ResilientClient`.  Queries
+    use the legacy ``{"op": "query"}`` dialect, deltas the
+    ``{"op": "apply-delta"}`` op; ``index`` (when given) names the
+    hosted index for both.  Returns the replay summary recorded by
+    ``BENCH_replay.json``: query throughput and latency percentiles,
+    per-repair latency and repaired fractions, and the staleness
+    trajectory (epoch / cumulative repaired fraction per delta).
+    """
+    query_lat: List[float] = []
+    repair_lat: List[float] = []
+    repairs: List[Dict[str, Any]] = []
+    staleness: List[Dict[str, Any]] = []
+    errors: List[Dict[str, Any]] = []
+    started = time.perf_counter()
+    for event in events:
+        kind = event.get("kind")
+        if kind == "query":
+            request = {"op": "query", "algorithm": algorithm,
+                       "k": int(event["budget"])}
+            if index is not None:
+                request["index"] = index
+            t0 = time.perf_counter()
+            response = await client.request(request)
+            query_lat.append(time.perf_counter() - t0)
+            if not response.get("ok"):
+                errors.append(response)
+        elif kind == "delta":
+            request = {"op": "apply-delta", "delta": dict(event["delta"])}
+            if index is not None:
+                request["index"] = index
+            t0 = time.perf_counter()
+            response = await client.request(request)
+            elapsed = time.perf_counter() - t0
+            if not response.get("ok"):
+                errors.append(response)
+                continue
+            repair_lat.append(elapsed)
+            report = dict(response.get("repair") or {})
+            repairs.append(report)
+            cumulative = staleness[-1]["cumulative_repaired_fraction"] \
+                if staleness else 0.0
+            cumulative = min(
+                1.0, cumulative + report.get("repaired_fraction", 0.0))
+            staleness.append({
+                "epoch": report.get("epoch"),
+                "t_s": round(time.perf_counter() - started, 4),
+                "repaired_fraction": report.get("repaired_fraction"),
+                "cumulative_repaired_fraction": round(cumulative, 6),
+                "repair_latency_s": round(elapsed, 4),
+            })
+        else:
+            raise GraphError(f"unknown replay event kind: {kind!r}")
+    wall_s = time.perf_counter() - started
+
+    def _pct(values: List[float], q: float) -> float:
+        return float(np.percentile(np.asarray(values), q)) if values \
+            else 0.0
+
+    return {
+        "events": len(events),
+        "queries": len(query_lat),
+        "deltas": sum(1 for e in events if e.get("kind") == "delta"),
+        "errors": len(errors),
+        "error_samples": errors[:3],
+        "wall_s": round(wall_s, 4),
+        "query": {
+            "throughput_rps": round(len(query_lat) / wall_s, 2)
+            if wall_s > 0 else 0.0,
+            "latency_s": {"p50": round(_pct(query_lat, 50), 5),
+                          "p95": round(_pct(query_lat, 95), 5),
+                          "max": round(max(query_lat), 5)
+                          if query_lat else 0.0},
+        },
+        "repair": {
+            "count": len(repair_lat),
+            "latency_s": {"p50": round(_pct(repair_lat, 50), 5),
+                          "max": round(max(repair_lat), 5)
+                          if repair_lat else 0.0},
+            "repaired_fraction": [r.get("repaired_fraction")
+                                  for r in repairs],
+        },
+        "staleness_over_time": staleness,
+    }
+
+
+__all__ = ["random_edge_delta", "make_replay_trace", "replay_events"]

@@ -228,6 +228,10 @@ class FrozenRRIndex(PackedCoverage):
             self._inv_offsets, self._inv_sets = build_inverted_csr(
                 self._offsets, self._nodes, self._weights, self._num_nodes)
         self._gains0: Optional[np.ndarray] = None  # initial_gains cache
+        #: per-set root node ids — carried only by repairable (keyed)
+        #: indexes, where re-rooting after node insertions makes roots
+        #: non-derivable from the base seed (see repro.dynamic)
+        self._roots: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -286,6 +290,20 @@ class FrozenRRIndex(PackedCoverage):
         value = self._meta.get("fingerprint")
         return str(value) if value is not None else None
 
+    @property
+    def roots(self) -> Optional[np.ndarray]:
+        """Per-set root node ids (repairable indexes only)."""
+        return self._roots
+
+    @roots.setter
+    def roots(self, roots: Optional[np.ndarray]) -> None:
+        if roots is not None:
+            roots = _int_array(roots, widen_to_int64=True)
+            if len(roots) != self.num_sets:
+                raise IndexStoreError(
+                    f"expected {self.num_sets} roots, got {len(roots)}")
+        self._roots = roots
+
     # ------------------------------------------------------------------
     # memory accounting
     # ------------------------------------------------------------------
@@ -295,6 +313,8 @@ class FrozenRRIndex(PackedCoverage):
                   "inv_sets": self._inv_sets}
         if self._gains0 is not None:
             arrays["gains0"] = self._gains0
+        if self._roots is not None:
+            arrays["roots"] = self._roots
         return arrays
 
     def array_nbytes(self) -> int:
@@ -327,9 +347,13 @@ class FrozenRRIndex(PackedCoverage):
         npz_path, manifest_path = index_paths(path)
         npz_path.parent.mkdir(parents=True, exist_ok=True)
         gains0 = self.initial_gains()
-        np.savez(npz_path, offsets=self._offsets, nodes=self._nodes,
-                 weights=self._weights, inv_offsets=self._inv_offsets,
-                 inv_sets=self._inv_sets, gains0=gains0)
+        members = {"offsets": self._offsets, "nodes": self._nodes,
+                   "weights": self._weights,
+                   "inv_offsets": self._inv_offsets,
+                   "inv_sets": self._inv_sets, "gains0": gains0}
+        if self._roots is not None:
+            members["roots"] = self._roots
+        np.savez(npz_path, **members)
         manifest = {
             "format_version": FORMAT_VERSION,
             "num_nodes": self._num_nodes,
@@ -437,13 +461,19 @@ class FrozenRRIndex(PackedCoverage):
         total_weight = manifest.get("total_weight")
         try:
             if version >= 2 and mmap:
-                arrays = _mmap_npz_arrays(npz_path, _V2_ARRAYS)
+                names = _V2_ARRAYS
+                with zipfile.ZipFile(npz_path) as archive:
+                    if "roots.npy" in archive.namelist():
+                        names = _V2_ARRAYS + ("roots",)
+                arrays = _mmap_npz_arrays(npz_path, names)
                 index = cls(num_nodes, arrays["offsets"], arrays["nodes"],
                             arrays["weights"], meta=meta,
                             inverted=(arrays["inv_offsets"],
                                       arrays["inv_sets"]),
                             validate=False, total_weight=total_weight)
                 index._gains0 = arrays["gains0"]
+                if "roots" in arrays:
+                    index._roots = arrays["roots"]
             else:
                 with np.load(npz_path) as data:
                     inverted = None
@@ -455,6 +485,8 @@ class FrozenRRIndex(PackedCoverage):
                                 total_weight=total_weight)
                     if "gains0" in data:
                         index._gains0 = data["gains0"]
+                    if "roots" in data:
+                        index._roots = data["roots"]
         except (KeyError, TypeError, ValueError, OSError,
                 zipfile.BadZipFile) as error:
             raise IndexStoreError(

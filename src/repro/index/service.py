@@ -308,6 +308,41 @@ class AllocationService:
                 f"rebuilds them from the index manifest)")
 
     # ------------------------------------------------------------------
+    # dynamic graphs: in-memory repair
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: Any) -> Dict[str, Any]:
+        """Repair the hosted index under a graph delta, in memory.
+
+        ``delta`` is a :class:`repro.dynamic.GraphDelta` or its dict
+        form.  The hosted index must be repairable (built keyed, see
+        :func:`repro.dynamic.build_repairable_index`) and the service
+        must hold its graph.  On success the service swaps to the
+        repaired index + drifted graph and drops every cache (query,
+        spec and incremental-selection state all keyed the old arrays).
+        Returns the repair report.  The swap is in-memory only — the
+        registry's ``apply_delta`` adds the persist-and-rescan step for
+        disk-backed indexes.
+        """
+        from repro.dynamic.delta import GraphDelta
+        from repro.dynamic.repair import RRRepairEngine
+
+        if self._graph is None:
+            raise AlgorithmError(
+                "apply-delta needs the graph; construct the "
+                "AllocationService with one (repro serve rebuilds it "
+                "from the index manifest)")
+        if not isinstance(delta, GraphDelta):
+            delta = GraphDelta.from_dict(delta)
+        engine = RRRepairEngine(self._index, self._graph, self._model)
+        outcome = engine.repair(delta)
+        self._index = outcome.index
+        self._graph = outcome.graph
+        self._cache.clear()
+        self._spec_cache.clear()
+        self._selection = None
+        return outcome.report.to_dict()
+
+    # ------------------------------------------------------------------
     # the `repro serve` JSON-lines dialect
     # ------------------------------------------------------------------
     def handle_request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
@@ -347,9 +382,13 @@ class AllocationService:
                     budgets=request.get("budgets"),
                     k=request.get("k", request.get("budget")))
                 response.update(ok=True, **payload)
+            elif op == "apply-delta":
+                report = self.apply_delta(request.get("delta") or {})
+                response.update(ok=True, repair=report)
             else:
                 raise AlgorithmError(
-                    f"unknown op {op!r}; expected query, stats or ping")
+                    f"unknown op {op!r}; expected query, apply-delta, "
+                    f"stats or ping")
         except ReproError as error:
             response.update(ok=False, error=str(error))
         except (TypeError, ValueError, AttributeError, KeyError) as error:

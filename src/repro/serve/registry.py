@@ -107,6 +107,13 @@ def load_service(index_path: Union[str, Path], *, verify: bool = True,
     graph = load_graph(
         WorkloadSpec(network=str(network), scale=meta.get("scale")),
         seed=int(meta.get("graph_seed", meta.get("seed", 0))))
+    if meta.get("dynamic"):
+        # a repaired index reflects the workload graph *plus* its
+        # manifest's recorded delta history — replay it so fingerprint
+        # verification and serving see the drifted graph
+        from repro.dynamic.repair import replay_deltas
+
+        graph = replay_deltas(graph, meta)
     model = configuration_model(str(configuration))
     if verify:
         expected = expected_index_fingerprint(graph, model, meta)
@@ -164,6 +171,13 @@ class IndexRegistry:
         count zero).  When exceeded, least-recently-used services are
         evicted beyond the entry-count LRU until the total fits (the
         most-recent service always stays loaded).
+    staleness_bound:
+        Repairable indexes whose manifest ``staleness`` block records a
+        cumulative repaired fraction above this bound are flagged
+        ``stale`` in :meth:`stats` — the operator signal that the drift
+        has outgrown repair and the index should be rebuilt (which
+        re-derives θ for the current graph).  ``None`` disables the
+        flagging.
     """
 
     def __init__(self, paths: Sequence[Union[str, Path]] = (),
@@ -173,7 +187,8 @@ class IndexRegistry:
                  selection_strategy: Optional[str] = None,
                  verify: bool = True,
                  mmap: bool = True,
-                 memory_budget: Optional[int] = None) -> None:
+                 memory_budget: Optional[int] = None,
+                 staleness_bound: Optional[float] = 0.5) -> None:
         self._paths = [Path(p) for p in paths]
         self._directory = Path(directory) if directory is not None else None
         self._capacity = max(1, int(capacity))
@@ -183,6 +198,8 @@ class IndexRegistry:
         self._mmap = bool(mmap)
         self._memory_budget = (None if memory_budget is None
                                else max(0, int(memory_budget)))
+        self._staleness_bound = (None if staleness_bound is None
+                                 else float(staleness_bound))
         self._entries: Dict[str, RegistryEntry] = {}
         #: keys of loaded entries, least-recently-used first
         self._lru: "OrderedDict[str, None]" = OrderedDict()
@@ -372,6 +389,41 @@ class IndexRegistry:
             f"index {key!r} kept changing on disk while loading; "
             f"retry once the rebuild settles")
 
+    def apply_delta(self, key: str, delta: Any) -> Dict[str, Any]:
+        """Repair a hosted index under a graph delta, without restart.
+
+        The disk-backed counterpart of
+        :meth:`repro.index.AllocationService.apply_delta` (the
+        ``{"op": "apply-delta"}`` server op lands here): loads the index
+        if needed, repairs it against the delta, atomically rewrites the
+        on-disk pair, then rescans — the scan sees the changed manifest
+        and drops the stale loaded service, so the next request serves
+        the repaired build (exactly the ``SIGHUP``/``reload``
+        semantics).  A zero-delta leaves the files untouched
+        (bit-identical by contract) and skips the rescan.
+        """
+        from repro.dynamic.delta import GraphDelta
+        from repro.dynamic.repair import RRRepairEngine, save_repaired
+
+        if not isinstance(delta, GraphDelta):
+            delta = GraphDelta.from_dict(delta)
+        entry = self.entry(key)
+        loaded = self.get(key)
+        engine = RRRepairEngine(loaded.service.index, loaded.graph,
+                                loaded.model)
+        outcome = engine.repair(delta)
+        summary: Dict[str, Any] = {"index": key,
+                                   "repair": outcome.report.to_dict()}
+        if not outcome.report.zero_delta:
+            save_repaired(outcome.index, entry.stem)
+            summary["scan"] = self.scan()
+        log_event(_LOG, logging.INFO, "index-repaired", index=key,
+                  epoch=outcome.report.epoch,
+                  repaired_sets=outcome.report.repaired_sets,
+                  repaired_fraction=outcome.report.repaired_fraction,
+                  zero_delta=outcome.report.zero_delta)
+        return summary
+
     def resolve_spec(self, spec: RunSpec) -> Tuple[str, LoadedService]:
         """Route a spec to a compatible index (loading it if needed).
 
@@ -426,6 +478,15 @@ class IndexRegistry:
                     "sampler": entry.meta.get("sampler"),
                     "network": entry.meta.get("network"),
                 }
+                staleness = (entry.meta.get("dynamic") or {}).get(
+                    "staleness")
+                if isinstance(staleness, Mapping):
+                    row["staleness"] = dict(staleness)
+                    row["stale"] = bool(
+                        self._staleness_bound is not None
+                        and float(staleness.get(
+                            "cumulative_repaired_fraction", 0.0))
+                        > self._staleness_bound)
                 if entry.loaded is not None:
                     service = entry.loaded.service
                     cache = dict(service.cache_stats)
@@ -440,6 +501,9 @@ class IndexRegistry:
                 per_index[key] = row
             return {
                 "indexes": per_index,
+                "stale": sorted(key for key, row in per_index.items()
+                                if row.get("stale")),
+                "staleness_bound": self._staleness_bound,
                 "entries": len(self._entries),
                 "loaded": [k for k in self._lru],
                 "capacity": self._capacity,

@@ -113,7 +113,8 @@ _HEALTH_WINDOW_S = 10.0
 
 #: legacy ops exempt from admission control — the ops surface must keep
 #: answering while the serving path is shedding
-_OPS_EXEMPT = frozenset({"ping", "stats", "metrics", "reload"})
+_OPS_EXEMPT = frozenset({"ping", "stats", "metrics", "reload",
+                         "apply-delta"})
 
 #: health states in severity order (gauge value = index)
 HEALTH_STATES = ("ok", "degraded", "draining")
@@ -609,6 +610,36 @@ class AllocationServer:
             response.update(ok=False, error=str(error))
         return response
 
+    def _handle_apply_delta_op(self, request: Mapping[str, Any]
+                               ) -> Dict[str, Any]:
+        """Repair a hosted index in place (``{"op": "apply-delta"}``).
+
+        Routes like any legacy op (``index`` key, or the single hosted
+        index), then delegates to :meth:`IndexRegistry.apply_delta`:
+        repair → atomic rewrite → rescan, so the server picks up the
+        repaired build without restart while in-flight queries keep
+        their (still-mapped) old arrays.
+        """
+        target = self._legacy_target(request)
+        if isinstance(target, dict):
+            self._errors += 1
+            return target
+        key, _loaded = target
+        response: Dict[str, Any] = {}
+        if "id" in request:
+            response["id"] = request["id"]
+        started = time.perf_counter()
+        try:
+            summary = self._registry.apply_delta(
+                key, request.get("delta") or {})
+            response.update(ok=True, **summary)
+        except ReproError as error:
+            self._errors += 1
+            response.update(ok=False, error=str(error))
+        response["latency_ms"] = round(
+            (time.perf_counter() - started) * 1e3, 3)
+        return response
+
     def _server_meta(self, key: Optional[str] = None,
                      coalesced: bool = False, batch_size: int = 1,
                      queue_depth: int = 0) -> Dict[str, Any]:
@@ -771,6 +802,8 @@ class AllocationServer:
             return self._handle_metrics_op(request)
         if op == "reload":
             return self._handle_reload_op(request)
+        if op == "apply-delta":
+            return self._handle_apply_delta_op(request)
         target = self._legacy_target(request)
         if isinstance(target, dict):
             self._errors += 1

@@ -92,6 +92,34 @@ class TestDtypeAdaptation:
         total = sum(array.nbytes for array in frozen._arrays().values())
         assert frozen.array_nbytes() == total
 
+    def test_repair_widens_members_across_int32_boundary(self):
+        """Regression: node insertions pushing ``num_nodes`` past 2**31
+        must widen an int32 member store to int64 instead of silently
+        overflowing when a repaired set references a new high node id.
+        ``replace_sets`` never allocates O(num_nodes), so the policy is
+        testable at the exact boundary."""
+        from repro.dynamic import replace_sets
+
+        offsets = np.array([0, 2, 3], dtype=np.int64)
+        nodes = np.array([7, 2 ** 31 - 1, 4], dtype=np.int32)
+        weights = np.ones(2)
+        boundary = 2 ** 31  # first id int32 cannot hold
+        new_offsets, new_nodes, new_weights = replace_sets(
+            offsets, nodes, weights,
+            {1: (np.array([boundary, boundary + 3], dtype=np.int64), 2.0)},
+            num_nodes=boundary + 4)
+        assert new_nodes.dtype == np.dtype(np.int64)
+        assert new_nodes.tolist() == [7, 2 ** 31 - 1, boundary,
+                                      boundary + 3]
+        assert new_offsets.tolist() == [0, 2, 4]
+        assert new_weights[1] == 2.0
+        # narrowing never happens: an int64 store stays int64 even when
+        # num_nodes would fit int32 again
+        _, shrunk_nodes, _ = replace_sets(
+            new_offsets, new_nodes, new_weights,
+            {0: (np.array([1], dtype=np.int64), 1.0)}, num_nodes=100)
+        assert shrunk_nodes.dtype == np.dtype(np.int64)
+
 
 class TestV2Format:
     def test_save_records_format_and_dtypes(self, tmp_path):
