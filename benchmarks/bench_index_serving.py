@@ -13,7 +13,12 @@ weighted-cascade graph:
   acceptance criterion;
 * **parallel build** — index build time at 1/2/4 workers with the sharded
   deterministic builder, asserting all worker counts produce identical
-  index contents.
+  index contents.  Each worker count is timed twice: a **cold** build that
+  pays worker-pool startup (process spawn + shared-graph transport) and a
+  **warm** build that reuses the live pool from the registry, which is the
+  steady state PRIMA+/SeqGRD-NM runs see.  ``speedup_vs_1`` compares warm
+  times; the multi-worker speedup assertions only apply on multi-core
+  hosts (``cpu_count`` is recorded in the artifact).
 
 Results are written to ``benchmarks/BENCH_index.json``.  Scale is
 controlled by ``REPRO_BENCH_SCALE`` like the rest of the suite.
@@ -22,6 +27,7 @@ controlled by ``REPRO_BENCH_SCALE`` like the rest of the suite.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -31,7 +37,12 @@ import numpy as np
 from conftest import report
 
 from repro.graphs import generators, weighting
-from repro.index import AllocationService, FrozenRRIndex, build_index
+from repro.index import (
+    AllocationService,
+    FrozenRRIndex,
+    build_index,
+    shutdown_worker_pools,
+)
 from repro.core import seqgrd_nm
 from repro.rrsets.imm import IMMOptions
 from repro.utility.configs import two_item_config
@@ -104,27 +115,45 @@ def test_index_serving_speedup(scale, tmp_path):
     cached_s, _ = _time(lambda: service.query_batch(
         [{"algorithm": "SeqGRD-NM", "budgets": b} for b in budgets]))
 
-    # --- parallel build: 1/2/4 workers, identical contents --------------
-    build_rows = []
-    reference = None
-    for workers in WORKER_COUNTS:
-        workers_s, built = _time(lambda w=workers: build_index(
+    # --- parallel build: 1/2/4 workers, cold + warm, identical contents -
+    cpu_count = os.cpu_count() or 1
+
+    def parallel_build(workers):
+        return build_index(
             graph, model, sampler="marginal",
             budgets={"i": max(BUDGET_SWEEP), "j": max(BUDGET_SWEEP)},
-            options=options, seed=seed, workers=w))
+            options=options, seed=seed, workers=workers)
+
+    build_rows = []
+    reference = None
+    cold_base_s = warm_base_s = None
+    for workers in WORKER_COUNTS:
+        # cold: pool startup (process spawn + shared-graph transport) is
+        # on the clock; warm: the registry keeps the pool alive between
+        # builds over the same graph, so only sampling is measured
+        shutdown_worker_pools()
+        cold_s_w, built = _time(lambda w=workers: parallel_build(w))
+        warm_s_w, rebuilt = _time(lambda w=workers: parallel_build(w))
         if reference is None:
             reference = built
-            base_s = workers_s
+            cold_base_s, warm_base_s = cold_s_w, warm_s_w
         else:
             np.testing.assert_array_equal(built._offsets,
                                           reference._offsets)
             np.testing.assert_array_equal(built._nodes, reference._nodes)
             np.testing.assert_array_equal(built._weights,
                                           reference._weights)
+        np.testing.assert_array_equal(rebuilt._offsets, reference._offsets)
+        np.testing.assert_array_equal(rebuilt._nodes, reference._nodes)
         build_rows.append({"workers": workers,
-                           "build_s": round(workers_s, 4),
-                           "speedup_vs_1": round(base_s / workers_s, 2),
+                           "cold_build_s": round(cold_s_w, 4),
+                           "warm_build_s": round(warm_s_w, 4),
+                           "cold_speedup_vs_1": round(
+                               cold_base_s / max(cold_s_w, 1e-9), 2),
+                           "speedup_vs_1": round(
+                               warm_base_s / max(warm_s_w, 1e-9), 2),
                            "num_rr_sets": built.num_sets})
+    shutdown_worker_pools()
 
     rows = [
         {"workload": f"cold sweep ({len(BUDGET_SWEEP)} IMM runs)",
@@ -142,8 +171,10 @@ def test_index_serving_speedup(scale, tmp_path):
     report(f"Index serving — {graph.name} ({graph.num_nodes} nodes), "
            f"warm speedup {speedup:.1f}x", rows,
            columns=["workload", "seconds", "per_point_ms"])
-    report("Parallel index build", build_rows,
-           columns=["workers", "build_s", "speedup_vs_1", "num_rr_sets"])
+    report(f"Parallel index build ({cpu_count} CPUs; speedups are warm)",
+           build_rows,
+           columns=["workers", "cold_build_s", "warm_build_s",
+                    "speedup_vs_1", "num_rr_sets"])
 
     ARTIFACT.write_text(json.dumps({
         "benchmark": "index_serving",
@@ -153,6 +184,7 @@ def test_index_serving_speedup(scale, tmp_path):
                   "edges": graph.num_edges},
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": cpu_count,
         "budget_sweep": list(BUDGET_SWEEP),
         "num_rr_sets": index.num_sets,
         "index_bytes": (tmp_path / "bench-index.npz").stat().st_size,
@@ -168,3 +200,16 @@ def test_index_serving_speedup(scale, tmp_path):
     assert speedup >= 5.0, (
         f"a warm index query sweep must be >= 5x faster end-to-end than "
         f"re-running IMM per point, measured {speedup:.1f}x")
+
+    # parallel builds must actually win where parallelism is possible;
+    # on single-core hosts only bit-identity is checked (above)
+    by_workers = {row["workers"]: row for row in build_rows}
+    if cpu_count >= 2 and 4 in by_workers:
+        warm_speedup = by_workers[4]["speedup_vs_1"]
+        assert warm_speedup > 1.0, (
+            f"a warm 4-worker build must beat the 1-worker build on a "
+            f"{cpu_count}-CPU host, measured {warm_speedup:.2f}x")
+        if cpu_count >= 4:
+            assert warm_speedup >= 1.5, (
+                f"a warm 4-worker build should reach >= 1.5x on a "
+                f"{cpu_count}-CPU host, measured {warm_speedup:.2f}x")

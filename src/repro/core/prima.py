@@ -22,6 +22,7 @@ most demanding sample size.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -112,30 +113,33 @@ def prima_plus(graph: DirectedGraph, fixed_seeds: Iterable[int],
     epsilon_prime = math.sqrt(2.0) * epsilon
     ell_adj = adjusted_ell(n, options.ell, num_budgets=len(budget_list))
 
-    parallel_sampler = None
+    sampler_context = contextlib.nullcontext(None)
     if workers is not None:
         from repro.index.builder import ParallelRRSampler, ShardSpec
 
-        parallel_sampler = ParallelRRSampler(
+        sampler_context = ParallelRRSampler(
             ShardSpec(kind="marginal", graph=graph,
                       blocked=frozenset(blocked)),
             seed=derive_seed(rng), workers=workers)
 
-    def sample_into(collection: RRCollection, target: float) -> None:
-        target = int(min(math.ceil(target), options.max_rr_sets))
-        if parallel_sampler is not None:
-            missing = target - collection.num_sets
-            if missing > 0:
-                collection.extend(parallel_sampler(missing))
-            return
-        while collection.num_sets < target:
-            collection.add(marginal_rr_set(graph, blocked, rng), 1.0)
+    # the context manager releases the (registry-warm) worker pool even
+    # when the sampling phase raises
+    with sampler_context as parallel_sampler:
+        def sample_into(collection: RRCollection, target: float) -> None:
+            target = int(min(math.ceil(target), options.max_rr_sets))
+            if parallel_sampler is not None:
+                missing = target - collection.num_sets
+                if missing > 0:
+                    collection.extend(parallel_sampler(missing))
+                return
+            while collection.num_sets < target:
+                collection.add(marginal_rr_set(graph, blocked, rng), 1.0)
 
-    # ------------------------------------------------------------------
-    # sampling phase: one lower-bound search per distinct budget, sharing
-    # the same growing RR collection (Algorithm 4's outer while loop).
-    # ------------------------------------------------------------------
-    try:
+        # --------------------------------------------------------------
+        # sampling phase: one lower-bound search per distinct budget,
+        # sharing the same growing RR collection (Algorithm 4's outer
+        # while loop).
+        # --------------------------------------------------------------
         collection = RRCollection(n)
         lower_bounds: Dict[int, float] = {}
         required_theta = float(options.min_rr_sets)
@@ -167,9 +171,6 @@ def prima_plus(graph: DirectedGraph, fixed_seeds: Iterable[int],
         final_collection = RRCollection(n) if options.fresh_final_sampling \
             else collection
         sample_into(final_collection, required_theta)
-    finally:
-        if parallel_sampler is not None:
-            parallel_sampler.close()
     selection = node_selection(final_collection, num_seeds,
                                strategy=selection_strategy)
     scale = n / max(final_collection.num_sets, 1)

@@ -18,6 +18,7 @@ the best fixed item reaching it to ``i_m``; covering the sampled sets with
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Optional
 
@@ -140,18 +141,20 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
         def batch_sampler(generator: np.random.Generator, count: int):
             return sampler_state.sample_pairs(generator, count)
 
-    parallel_sampler = None
+    sampler_context = contextlib.nullcontext(None)
     if workers is not None:
         from repro.index.builder import ParallelRRSampler, ShardSpec
 
-        parallel_sampler = ParallelRRSampler(
+        sampler_context = ParallelRRSampler(
             ShardSpec(kind="weighted", graph=graph,
                       engine=resolve_engine(engine),
                       node_block_utility=sampler_state.node_block_utility,
                       superior_utility=superior_utility),
             seed=derive_seed(rng), workers=workers)
 
-    try:
+    # context manager: the (registry-warm) pool reference is released even
+    # when the IMM engine raises
+    with sampler_context as parallel_sampler:
         imm_result = run_imm_engine(
             graph.num_nodes, budget, sampler,
             max_value=float(graph.num_nodes) * superior_utility,
@@ -159,9 +162,6 @@ def supgrd(graph: DirectedGraph, model: UtilityModel,
             parallel_sampler=parallel_sampler,
             keep_collection=keep_rr_collection,
             selection_strategy=selection_strategy)
-    finally:
-        if parallel_sampler is not None:
-            parallel_sampler.close()
     allocation = Allocation({superior_item: imm_result.seeds}) \
         if imm_result.seeds else Allocation.empty()
     runtime = time.perf_counter() - start

@@ -62,18 +62,62 @@ def _next_frontier(n: int, sample_ids: np.ndarray,
     return unique_pairs(n, sample_ids, source_ids)
 
 
-def random_rr_sets(graph: DirectedGraph, count: int, rng: RngLike = None,
-                   roots: Optional[Sequence[int]] = None) -> List[np.ndarray]:
-    """Sample ``count`` standard RR sets (each an array of node ids)."""
+def _pack_visited(visited: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract one BFS chunk's sets as ``(per_set_counts, packed_nodes)``.
+
+    ``np.nonzero`` on the C-contiguous ``(chunk, n)`` visited matrix walks
+    row-major — rows in sample order, columns ascending within a row — so
+    the flattened column indices are exactly the concatenation of the
+    per-row ``np.nonzero(visited[k])[0]`` arrays the scalar extraction
+    produced, at a fraction of the Python overhead.
+    """
+    sample_ids, node_ids = np.nonzero(visited)
+    counts = np.bincount(sample_ids, minlength=visited.shape[0])
+    return counts, node_ids.astype(np.int64, copy=False)
+
+
+def _assemble_packed(count: int, counts_parts: List[np.ndarray],
+                     nodes_parts: List[np.ndarray]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate chunk slabs into one set-major ``(offsets, nodes)``."""
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    if counts_parts:
+        np.cumsum(np.concatenate(counts_parts), out=offsets[1:])
+    nodes = np.concatenate(nodes_parts) if nodes_parts \
+        else np.empty(0, dtype=np.int64)
+    return offsets, nodes
+
+
+def _as_views(offsets: np.ndarray, nodes: np.ndarray) -> List[np.ndarray]:
+    """Slice a packed ``(offsets, nodes)`` pair into per-set views."""
+    return [nodes[offsets[k]:offsets[k + 1]]
+            for k in range(len(offsets) - 1)]
+
+
+def random_rr_sets_packed(graph: DirectedGraph, count: int,
+                          rng: RngLike = None,
+                          roots: Optional[Sequence[int]] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` standard RR sets as one packed CSR pair.
+
+    Returns ``(offsets, nodes)`` — set ``k`` occupies
+    ``nodes[offsets[k]:offsets[k + 1]]`` — drawing the identical sets (in
+    the identical order) as :func:`random_rr_sets` from the same RNG
+    state.  The packed layout is what the sharded parallel builder ships
+    between processes: one buffer per shard instead of one array per set.
+    """
     rng = ensure_rng(rng)
     count = int(count)
     if count <= 0:
-        return []
+        return np.zeros(max(count, 0) + 1, dtype=np.int64), \
+            np.empty(0, dtype=np.int64)
     n = graph.num_nodes
     if n == 0:
-        return [np.empty(0, dtype=np.int64) for _ in range(count)]
+        return np.zeros(count + 1, dtype=np.int64), \
+            np.empty(0, dtype=np.int64)
     graph_csr = graph.in_csr()
-    results: List[np.ndarray] = []
+    counts_parts: List[np.ndarray] = []
+    nodes_parts: List[np.ndarray] = []
     done = 0
     while done < count:
         chunk = batch_size(n, count - done)
@@ -93,35 +137,46 @@ def random_rr_sets(graph: DirectedGraph, count: int, rng: RngLike = None,
             visited[sample_ids, source_ids] = True
             front_samples, front_nodes = _next_frontier(
                 n, sample_ids, source_ids)
-        results.extend(np.nonzero(visited[k])[0].astype(np.int64)
-                       for k in range(chunk))
+        counts, packed = _pack_visited(visited)
+        counts_parts.append(counts)
+        nodes_parts.append(packed)
         done += chunk
-    return results
+    return _assemble_packed(count, counts_parts, nodes_parts)
 
 
-def marginal_rr_sets(graph: DirectedGraph, blocked: Set[int], count: int,
-                     rng: RngLike = None,
-                     roots: Optional[Sequence[int]] = None) -> List[np.ndarray]:
-    """Sample ``count`` marginal RR sets w.r.t. the fixed seed set ``blocked``.
+def random_rr_sets(graph: DirectedGraph, count: int, rng: RngLike = None,
+                   roots: Optional[Sequence[int]] = None) -> List[np.ndarray]:
+    """Sample ``count`` standard RR sets (each an array of node ids)."""
+    return _as_views(*random_rr_sets_packed(graph, count, rng, roots))
 
-    A sample that touches ``blocked`` is discarded (returned as an empty
-    array) but still counts towards ``count`` — exactly the Algorithm 3
-    semantics that make coverage estimates marginal.
+
+def marginal_rr_sets_packed(graph: DirectedGraph, blocked: Set[int],
+                            count: int, rng: RngLike = None,
+                            roots: Optional[Sequence[int]] = None
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` marginal RR sets as one packed CSR pair.
+
+    Same sets, same order and same RNG stream as
+    :func:`marginal_rr_sets`; discarded samples appear as zero-length set
+    ranges exactly where the list API returns empty arrays.
     """
     rng = ensure_rng(rng)
     count = int(count)
     if count <= 0:
-        return []
+        return np.zeros(max(count, 0) + 1, dtype=np.int64), \
+            np.empty(0, dtype=np.int64)
     n = graph.num_nodes
     if n == 0:
-        return [np.empty(0, dtype=np.int64) for _ in range(count)]
+        return np.zeros(count + 1, dtype=np.int64), \
+            np.empty(0, dtype=np.int64)
     blocked_mask = np.zeros(n, dtype=bool)
     for node in blocked:
         node = int(node)
         if 0 <= node < n:
             blocked_mask[node] = True
     graph_csr = graph.in_csr()
-    results: List[np.ndarray] = []
+    counts_parts: List[np.ndarray] = []
+    nodes_parts: List[np.ndarray] = []
     done = 0
     while done < count:
         chunk = batch_size(n, count - done)
@@ -147,37 +202,57 @@ def marginal_rr_sets(graph: DirectedGraph, blocked: Set[int], count: int,
             keep = ~dead[sample_ids]
             front_samples, front_nodes = _next_frontier(
                 n, sample_ids[keep], source_ids[keep])
-        for k in range(chunk):
-            if dead[k]:
-                results.append(np.empty(0, dtype=np.int64))
-            else:
-                results.append(np.nonzero(visited[k])[0].astype(np.int64))
+        # discarded samples are emptied, not dropped: zeroing their rows
+        # leaves zero-length ranges in the packed output
+        if dead.any():
+            visited[dead] = False
+        counts, packed = _pack_visited(visited)
+        counts_parts.append(counts)
+        nodes_parts.append(packed)
         done += chunk
-    return results
+    return _assemble_packed(count, counts_parts, nodes_parts)
 
 
-def weighted_rr_sets(graph: DirectedGraph,
-                     node_block_utility: Dict[int, float],
-                     superior_utility: float, count: int,
+def marginal_rr_sets(graph: DirectedGraph, blocked: Set[int], count: int,
                      rng: RngLike = None,
-                     roots: Optional[Sequence[int]] = None
-                     ) -> List[Tuple[np.ndarray, float, int]]:
-    """Sample ``count`` weighted RR sets as ``(nodes, weight, root)`` tuples.
+                     roots: Optional[Sequence[int]] = None) -> List[np.ndarray]:
+    """Sample ``count`` marginal RR sets w.r.t. the fixed seed set ``blocked``.
 
-    Mirrors :meth:`repro.rrsets.rrset.WeightedRRSampler.sample`: the reverse
-    BFS proceeds level by level and stops after the first level containing a
-    node of the fixed seed set; the weight is ``max(0, superior_utility −
-    best block utility hit)`` (0 block utility when no fixed seed reaches
-    the root).
+    A sample that touches ``blocked`` is discarded (returned as an empty
+    array) but still counts towards ``count`` — exactly the Algorithm 3
+    semantics that make coverage estimates marginal.
+    """
+    return _as_views(*marginal_rr_sets_packed(graph, blocked, count, rng,
+                                              roots))
+
+
+def weighted_rr_sets_packed(graph: DirectedGraph,
+                            node_block_utility: Dict[int, float],
+                            superior_utility: float, count: int,
+                            rng: RngLike = None,
+                            roots: Optional[Sequence[int]] = None
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                       np.ndarray]:
+    """Sample ``count`` weighted RR sets as ``(offsets, nodes, weights,
+    roots)`` packed arrays.
+
+    Same sets, weights and roots (in the same order, from the same RNG
+    stream) as :func:`weighted_rr_sets`, in the transport layout of the
+    sharded parallel builder.
     """
     rng = ensure_rng(rng)
     count = int(count)
     if count <= 0:
-        return []
+        return (np.zeros(max(count, 0) + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64))
     n = graph.num_nodes
     if n == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return [(empty.copy(), 0.0, -1) for _ in range(count)]
+        return (np.zeros(count + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.zeros(count, dtype=np.float64),
+                np.full(count, -1, dtype=np.int64))
     blocked_mask = np.zeros(n, dtype=bool)
     block_values = np.full(n, -np.inf)
     for node, value in node_block_utility.items():
@@ -186,7 +261,10 @@ def weighted_rr_sets(graph: DirectedGraph,
             blocked_mask[node] = True
             block_values[node] = float(value)
     graph_csr = graph.in_csr()
-    results: List[Tuple[np.ndarray, float, int]] = []
+    counts_parts: List[np.ndarray] = []
+    nodes_parts: List[np.ndarray] = []
+    weights_parts: List[np.ndarray] = []
+    roots_parts: List[np.ndarray] = []
     done = 0
     while done < count:
         chunk = batch_size(n, count - done)
@@ -222,11 +300,43 @@ def weighted_rr_sets(graph: DirectedGraph,
                 n, sample_ids[keep], source_ids[keep])
         block_utility = np.where(np.isfinite(best_block), best_block, 0.0)
         weights = np.maximum(0.0, float(superior_utility) - block_utility)
-        for k in range(chunk):
-            results.append((np.nonzero(visited[k])[0].astype(np.int64),
-                            float(weights[k]), int(chunk_roots[k])))
+        counts, packed = _pack_visited(visited)
+        counts_parts.append(counts)
+        nodes_parts.append(packed)
+        weights_parts.append(weights.astype(np.float64, copy=False))
+        roots_parts.append(chunk_roots)
         done += chunk
-    return results
+    offsets, nodes = _assemble_packed(count, counts_parts, nodes_parts)
+    return (offsets, nodes, np.concatenate(weights_parts),
+            np.concatenate(roots_parts))
 
 
-__all__ = ["random_rr_sets", "marginal_rr_sets", "weighted_rr_sets"]
+def weighted_rr_sets(graph: DirectedGraph,
+                     node_block_utility: Dict[int, float],
+                     superior_utility: float, count: int,
+                     rng: RngLike = None,
+                     roots: Optional[Sequence[int]] = None
+                     ) -> List[Tuple[np.ndarray, float, int]]:
+    """Sample ``count`` weighted RR sets as ``(nodes, weight, root)`` tuples.
+
+    Mirrors :meth:`repro.rrsets.rrset.WeightedRRSampler.sample`: the reverse
+    BFS proceeds level by level and stops after the first level containing a
+    node of the fixed seed set; the weight is ``max(0, superior_utility −
+    best block utility hit)`` (0 block utility when no fixed seed reaches
+    the root).
+    """
+    offsets, nodes, weights, root_ids = weighted_rr_sets_packed(
+        graph, node_block_utility, superior_utility, count, rng, roots)
+    return [(nodes[offsets[k]:offsets[k + 1]], float(weights[k]),
+             int(root_ids[k]))
+            for k in range(len(weights))]
+
+
+__all__ = [
+    "random_rr_sets",
+    "random_rr_sets_packed",
+    "marginal_rr_sets",
+    "marginal_rr_sets_packed",
+    "weighted_rr_sets",
+    "weighted_rr_sets_packed",
+]

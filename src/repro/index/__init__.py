@@ -35,6 +35,11 @@ from repro.index.fingerprint import (
     index_fingerprint,
     model_fingerprint,
 )
+from repro.index.pool import (
+    SharedGraphView,
+    pool_stats,
+    shutdown_worker_pools,
+)
 from repro.index.frozen import (
     FORMAT_VERSION,
     SUPPORTED_FORMAT_VERSIONS,
@@ -62,5 +67,8 @@ __all__ = [
     "index_fingerprint",
     "index_paths",
     "model_fingerprint",
+    "pool_stats",
     "shard_size",
+    "SharedGraphView",
+    "shutdown_worker_pools",
 ]

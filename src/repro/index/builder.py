@@ -7,7 +7,10 @@ independent :class:`numpy.random.SeedSequence` child stream, and shards are
 merged in shard order.  The shard layout depends only on the requested
 counts and the root seed — never on the worker count — so building with 1
 worker or 16 yields bit-identical collections; workers only decide how many
-shards are sampled concurrently (via ``multiprocessing``).
+shards are sampled concurrently (via the warm shared-memory worker pools
+of :mod:`repro.index.pool`).  Shards travel as packed
+:class:`~repro.rrsets.coverage.PackedRRBatch` buffers and merge with one
+bulk CSR splice per call.
 
 :class:`ParallelRRSampler` is the callable plugged into
 :func:`~repro.rrsets.imm.run_imm_engine` (the ``workers=`` option of
@@ -19,12 +22,11 @@ with the instance fingerprint.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import warnings
 from pathlib import Path
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -35,8 +37,9 @@ from repro.exceptions import AlgorithmError, IndexStoreError
 from repro.graphs.graph import DirectedGraph
 from repro.index.fingerprint import index_fingerprint
 from repro.index.frozen import FrozenRRIndex
+from repro.index.pool import acquire_pool, discard_pool, release_pool
 from repro.obs.metrics import get_metrics
-from repro.rrsets.coverage import RRCollection
+from repro.rrsets.coverage import PackedRRBatch, RRCollection, min_id_dtype
 from repro.rrsets.imm import IMMOptions
 from repro.utility.model import UtilityModel
 
@@ -44,10 +47,17 @@ from repro.utility.model import UtilityModel
 SAMPLER_KINDS = ("standard", "marginal", "weighted")
 
 #: default RR sets per shard; small enough that smoke-scale builds still
-#: split across workers, large enough to amortize task dispatch
-DEFAULT_SHARD_SIZE = 2048
+#: split across workers (task *grouping* keeps dispatch amortized — see
+#: ParallelRRSampler.generate)
+DEFAULT_SHARD_SIZE = 512
 #: environment variable overriding the shard size
 SHARD_ENV_VAR = "REPRO_INDEX_SHARD"
+
+#: transport tasks dispatched per worker per generate() call; grouping
+#: consecutive shards into ~workers×this tasks bounds pickling overhead
+#: while leaving enough slack for load balancing.  Grouping never touches
+#: the per-shard seed streams, so results stay worker-count-invariant.
+TASKS_PER_WORKER = 2
 
 
 def shard_size() -> int:
@@ -98,84 +108,99 @@ class ShardSpec:
                              for k, v in self.node_block_utility.items())))
 
 
-def _sample_shard(spec: ShardSpec, seed_seq: np.random.SeedSequence,
-                  size: int) -> List[Tuple[np.ndarray, float]]:
-    """Sample one shard of ``size`` RR sets from its own seed stream."""
+def _sample_shard(spec: ShardSpec, graph, seed_seq: np.random.SeedSequence,
+                  size: int) -> PackedRRBatch:
+    """Sample one shard of ``size`` RR sets from its own seed stream.
+
+    ``graph`` is passed separately from ``spec`` so worker processes can
+    combine a graph-free (light) spec with their once-installed graph —
+    a :class:`~repro.graphs.graph.DirectedGraph` in the parent or on the
+    fork path, a :class:`~repro.index.pool.SharedGraphView` on the spawn
+    path.  Output is packed (:class:`PackedRRBatch`, ids narrowed to
+    :func:`min_id_dtype`) so a shard ships as three buffers.
+    """
     rng = np.random.default_rng(seed_seq)
+    id_dtype = min_id_dtype(graph.num_nodes)
     if spec.kind == "standard":
         if spec.engine == ENGINE_VECTORIZED:
-            from repro.engine.reverse import random_rr_sets
-            return [(nodes, 1.0)
-                    for nodes in random_rr_sets(spec.graph, size, rng)]
+            from repro.engine.reverse import random_rr_sets_packed
+            offsets, nodes = random_rr_sets_packed(graph, size, rng)
+            return PackedRRBatch.from_arrays(
+                offsets, nodes, np.ones(size, dtype=np.float64),
+                num_nodes=graph.num_nodes, id_dtype=id_dtype)
         from repro.rrsets.rrset import random_rr_set
-        return [(random_rr_set(spec.graph, rng), 1.0) for _ in range(size)]
+        return PackedRRBatch.from_pairs(
+            [(random_rr_set(graph, rng), 1.0) for _ in range(size)],
+            num_nodes=graph.num_nodes, id_dtype=id_dtype)
     if spec.kind == "marginal":
         blocked: Set[int] = set(spec.blocked)
         if spec.engine == ENGINE_VECTORIZED:
-            from repro.engine.reverse import marginal_rr_sets
-            return [(nodes, 1.0)
-                    for nodes in marginal_rr_sets(spec.graph, blocked,
-                                                  size, rng)]
+            from repro.engine.reverse import marginal_rr_sets_packed
+            offsets, nodes = marginal_rr_sets_packed(graph, blocked, size,
+                                                     rng)
+            return PackedRRBatch.from_arrays(
+                offsets, nodes, np.ones(size, dtype=np.float64),
+                num_nodes=graph.num_nodes, id_dtype=id_dtype)
         from repro.rrsets.rrset import marginal_rr_set
-        return [(marginal_rr_set(spec.graph, blocked, rng), 1.0)
-                for _ in range(size)]
+        return PackedRRBatch.from_pairs(
+            [(marginal_rr_set(graph, blocked, rng), 1.0)
+             for _ in range(size)],
+            num_nodes=graph.num_nodes, id_dtype=id_dtype)
     # weighted
     block_utility = dict(spec.node_block_utility)
     if spec.engine == ENGINE_VECTORIZED:
-        from repro.engine.reverse import weighted_rr_sets
-        return [(nodes, weight)
-                for nodes, weight, _root in weighted_rr_sets(
-                    spec.graph, block_utility, spec.superior_utility,
-                    size, rng)]
+        from repro.engine.reverse import weighted_rr_sets_packed
+        offsets, nodes, weights, _roots = weighted_rr_sets_packed(
+            graph, block_utility, spec.superior_utility, size, rng)
+        return PackedRRBatch.from_arrays(
+            offsets, nodes, weights,
+            num_nodes=graph.num_nodes, id_dtype=id_dtype)
     from repro.rrsets.rrset import WeightedRRSampler
-    sampler = WeightedRRSampler.from_state(spec.graph, block_utility,
+    sampler = WeightedRRSampler.from_state(graph, block_utility,
                                            spec.superior_utility)
-    out: List[Tuple[np.ndarray, float]] = []
+    pairs: List[Tuple[np.ndarray, float]] = []
     for _ in range(size):
         rr = sampler.sample(rng)
-        out.append((rr.nodes, rr.weight))
-    return out
-
-
-# pool-worker plumbing: the spec is installed once per worker process so it
-# is pickled once, not once per shard task
-_WORKER_SPEC: Optional[ShardSpec] = None
-
-
-def _init_worker(spec: ShardSpec) -> None:
-    global _WORKER_SPEC
-    _WORKER_SPEC = spec
-
-
-def _run_shard(task: Tuple[np.random.SeedSequence, int]
-               ) -> List[Tuple[np.ndarray, float]]:
-    seed_seq, size = task
-    assert _WORKER_SPEC is not None, "worker pool was not initialized"
-    return _sample_shard(_WORKER_SPEC, seed_seq, size)
+        pairs.append((rr.nodes, rr.weight))
+    return PackedRRBatch.from_pairs(pairs, num_nodes=graph.num_nodes,
+                                    id_dtype=id_dtype)
 
 
 class ParallelRRSampler:
     """Deterministic sharded RR-set generation, optionally multiprocess.
 
     ``generate(count)`` (also available as plain call syntax) returns
-    exactly ``count`` fresh ``(nodes, weight)`` pairs.  Successive calls
-    spawn fresh :class:`~numpy.random.SeedSequence` children, so a fixed
-    sequence of requested counts reproduces the same RR sets regardless of
-    ``workers`` — worker processes only change wall-clock time.
+    exactly ``count`` fresh RR sets as one
+    :class:`~repro.rrsets.coverage.PackedRRBatch` (iterable as the classic
+    ``(nodes, weight)`` pairs).  Successive calls spawn fresh
+    :class:`~numpy.random.SeedSequence` children, so a fixed sequence of
+    requested counts reproduces the same RR sets regardless of ``workers``
+    — worker processes only change wall-clock time.
 
-    Use as a context manager (or call :meth:`close`) to tear the worker
-    pool down; the pool is created lazily on the first parallel call and a
-    failure to spawn processes degrades gracefully to in-process sampling
-    with identical results.
+    Parallel calls go through the warm pool registry of
+    :mod:`repro.index.pool`: the first sampler over a graph pays process
+    startup once, every later sampler (PRIMA+ creates one per item) and
+    every later build over the same graph reuses the live workers.  The
+    graph ships to workers once — fork-inherited or via shared memory —
+    and each task carries only a graph-free spec plus seed handles, so
+    per-call transport is shard-count-, not set-count-, proportional.
+
+    Use as a context manager (or call :meth:`close`) to release the pool
+    reference; startup failures and workers dying mid-map both degrade to
+    in-process sampling with identical results.
     """
 
     def __init__(self, spec: ShardSpec, seed, workers: int = 1,
-                 shard_sets: Optional[int] = None) -> None:
+                 shard_sets: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
         self._spec = spec
         self._seed_seq = (seed if isinstance(seed, np.random.SeedSequence)
                           else np.random.SeedSequence(int(seed)))
         self._workers = max(1, int(workers))
         self._shard_sets = int(shard_sets or shard_size())
+        self._start_method = start_method
+        self._light_spec = replace(spec, graph=None) \
+            if self._workers > 1 else spec
         self._pool = None
         self._pool_broken = False
 
@@ -188,13 +213,9 @@ class ParallelRRSampler:
         if self._pool is not None or self._pool_broken:
             return self._pool
         try:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None)
-            self._pool = context.Pool(processes=self._workers,
-                                      initializer=_init_worker,
-                                      initargs=(self._spec,))
-        except (OSError, ValueError) as error:  # pragma: no cover - env dep
+            self._pool = acquire_pool(self._spec.graph, self._workers,
+                                      self._start_method)
+        except Exception as error:  # pragma: no cover - env dependent
             warnings.warn(
                 f"could not start {self._workers} sampling workers "
                 f"({error}); falling back to in-process sampling "
@@ -203,24 +224,61 @@ class ParallelRRSampler:
             self._pool = None
         return self._pool
 
-    def generate(self, count: int) -> List[Tuple[np.ndarray, float]]:
-        """Sample ``count`` RR sets across fixed-size shards."""
+    def _abandon_pool(self, error: BaseException) -> None:
+        """Mark the pool broken after a mid-map failure (worker death)."""
+        warnings.warn(
+            f"sampling worker pool failed mid-build ({error!r}); falling "
+            f"back to in-process sampling (results are identical by "
+            f"construction)", RuntimeWarning)
+        pool, self._pool = self._pool, None
+        self._pool_broken = True
+        if pool is not None:
+            discard_pool(pool)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_build_pool_fallbacks_total",
+                "Parallel generate() calls that fell back to in-process "
+                "sampling after a worker-pool failure").inc()
+
+    def generate(self, count: int) -> PackedRRBatch:
+        """Sample ``count`` RR sets across fixed-size shards.
+
+        The shard layout (sizes and seed streams) depends only on
+        ``count`` and the sampler's seed state.  Workers receive runs of
+        *consecutive* shards grouped into ~``workers × TASKS_PER_WORKER``
+        transport tasks; grouping affects pickling granularity only, so
+        the returned batch is bit-identical for every worker count.
+        """
         count = int(count)
         if count <= 0:
-            return []
+            return PackedRRBatch.empty(
+                id_dtype=min_id_dtype(self._spec.graph.num_nodes))
         started = time.perf_counter()
         sizes = [self._shard_sets] * (count // self._shard_sets)
         if count % self._shard_sets:
             sizes.append(count % self._shard_sets)
-        tasks = list(zip(self._seed_seq.spawn(len(sizes)), sizes))
-        pool = None
-        if self._workers > 1 and len(tasks) > 1:
+        jobs = list(zip(self._seed_seq.spawn(len(sizes)), sizes))
+        batches = None
+        if self._workers > 1 and len(jobs) > 1 and not self._pool_broken:
             pool = self._ensure_pool()
-        if pool is None:
-            shards = [_sample_shard(self._spec, seed_seq, size)
-                      for seed_seq, size in tasks]
-        else:
-            shards = pool.map(_run_shard, tasks, chunksize=1)
+            if pool is not None:
+                groups = min(len(jobs), self._workers * TASKS_PER_WORKER)
+                bounds = np.linspace(0, len(jobs), groups + 1).astype(int)
+                tasks = [(self._light_spec,
+                          tuple(jobs[bounds[g]:bounds[g + 1]]))
+                         for g in range(groups)
+                         if bounds[g] < bounds[g + 1]]
+                try:
+                    batches = pool.map_tasks(tasks)
+                except Exception as error:
+                    self._abandon_pool(error)
+                    batches = None
+        if batches is None:
+            batches = [_sample_shard(self._spec, self._spec.graph,
+                                     seed_seq, size)
+                       for seed_seq, size in jobs]
+        batch = PackedRRBatch.concat(batches)
         metrics = get_metrics()
         if metrics.enabled:
             elapsed = time.perf_counter() - started
@@ -237,16 +295,22 @@ class ParallelRRSampler:
                     "repro_build_sample_rate", "RR sets per second of the "
                     "most recent generate() call",
                     kind=self._spec.kind).set(count / elapsed)
-        return [pair for shard in shards for pair in shard]
+        return batch
 
     __call__ = generate
 
     def close(self) -> None:
-        """Terminate the worker pool (no-op if none was started)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Release the worker pool reference (no-op if none was started).
+
+        The pool itself stays warm in the :mod:`repro.index.pool`
+        registry for the next sampler over the same graph; registry
+        eviction, :func:`repro.index.pool.shutdown_worker_pools` and the
+        atexit hook close and join the workers — in-flight shards always
+        finish, nothing is terminated mid-sample.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            release_pool(pool)
 
     def __enter__(self) -> "ParallelRRSampler":
         return self
@@ -576,6 +640,7 @@ __all__ = [
     "SAMPLER_KINDS",
     "DEFAULT_SHARD_SIZE",
     "SHARD_ENV_VAR",
+    "TASKS_PER_WORKER",
     "shard_size",
     "ShardSpec",
     "ParallelRRSampler",

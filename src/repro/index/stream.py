@@ -38,7 +38,7 @@ from repro.exceptions import AlgorithmError, IndexStoreError
 from repro.index.frozen import FORMAT_VERSION, index_paths
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import get_metrics
-from repro.rrsets.coverage import min_id_dtype, min_set_dtype
+from repro.rrsets.coverage import PackedRRBatch, min_id_dtype, min_set_dtype
 
 _LOG = get_logger("repro.index.stream")
 
@@ -149,7 +149,14 @@ class StreamingIndexWriter:
         self._buffered = 0
 
     def append(self, sets: Iterable[Tuple[np.ndarray, float]]) -> None:
-        """Append ``(nodes, weight)`` pairs, spilling members as needed."""
+        """Append ``(nodes, weight)`` pairs, spilling members as needed.
+
+        A :class:`~repro.rrsets.coverage.PackedRRBatch` takes the bulk
+        path of :meth:`append_packed` instead of the per-pair loop.
+        """
+        if isinstance(sets, PackedRRBatch):
+            self.append_packed(sets)
+            return
         if self._finalized:
             raise IndexStoreError("the index writer is already finalized")
         for nodes, weight in sets:
@@ -164,6 +171,40 @@ class StreamingIndexWriter:
                 self._buffered += len(nodes)
                 if self._buffered >= self._chunk_members:
                     self._flush()
+
+    def append_packed(self, batch: PackedRRBatch) -> None:
+        """Append a packed batch with one offsets/weights splice.
+
+        The written file is bit-identical to feeding :meth:`append` the
+        batch's pairs: offsets and weights accumulate in the same order
+        and the member bytes hit the spill file in the same sequence —
+        only the spill-flush boundaries (an implementation detail of the
+        temporary file) may differ.
+        """
+        if self._finalized:
+            raise IndexStoreError("the index writer is already finalized")
+        new_sets = batch.num_sets
+        if new_sets == 0:
+            return
+        nodes = batch.nodes
+        # bounds-check at full width before narrowing (see RRCollection)
+        if len(nodes) and (int(nodes.min()) < 0
+                           or int(nodes.max()) >= self._num_nodes):
+            raise AlgorithmError(
+                f"RR-set members must be node ids in [0, {self._num_nodes})")
+        nodes = nodes.astype(self._id_dtype, copy=False)
+        self._reserve_sets(new_sets)
+        self._weights[self._num_sets:self._num_sets + new_sets] \
+            = batch.weights
+        self._offsets[self._num_sets + 1:self._num_sets + 1 + new_sets] \
+            = self._num_members + batch.offsets[1:]
+        self._num_sets += new_sets
+        self._num_members += batch.num_members
+        if batch.num_members:
+            self._buffer.append(nodes)
+            self._buffered += len(nodes)
+            if self._buffered >= self._chunk_members:
+                self._flush()
 
     # ------------------------------------------------------------------
     def _set_chunks(self, offsets: np.ndarray) -> Iterator[Tuple[int, int]]:

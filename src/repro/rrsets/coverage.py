@@ -279,6 +279,139 @@ class PackedCoverage:
         return self.covered_weight(seeds) / self.num_sets
 
 
+@dataclass
+class PackedRRBatch:
+    """A batch of RR sets packed as one contiguous set-major CSR triple.
+
+    This is the transport format of the sharded parallel builder: a worker
+    packs every RR set of a shard into ``(offsets, nodes, weights)`` and
+    ships three buffers — one pickle per shard instead of one per set —
+    and the consumer splices them into an :class:`RRCollection` or a
+    :class:`~repro.index.stream.StreamingIndexWriter` with a single bulk
+    copy.  Iterating a batch yields the classic ``(nodes, weight)`` pairs,
+    so any sink written against the pair protocol keeps working.
+
+    Layout invariants (validated on construction): ``offsets`` is int64 of
+    shape ``(num_sets + 1,)`` starting at 0 and non-decreasing,
+    ``offsets[-1] == len(nodes)``, and ``weights`` is float64 of shape
+    ``(num_sets,)``.  ``nodes`` keeps whatever (signed integer) id dtype
+    the producer packed — workers narrow to
+    :func:`min_id_dtype` to halve transport bytes.
+    """
+
+    offsets: np.ndarray
+    nodes: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        self.nodes = np.ascontiguousarray(self.nodes)
+        self.weights = np.ascontiguousarray(self.weights, dtype=np.float64)
+        if self.nodes.dtype.kind != "i":
+            raise AlgorithmError(
+                f"packed RR nodes must be a signed integer array, "
+                f"got {self.nodes.dtype}")
+        if len(self.offsets) != len(self.weights) + 1:
+            raise AlgorithmError(
+                f"packed RR offsets must have num_sets + 1 entries "
+                f"({len(self.offsets)} offsets for {len(self.weights)} sets)")
+        if len(self.offsets) == 0 or self.offsets[0] != 0 \
+                or self.offsets[-1] != len(self.nodes) \
+                or (len(self.offsets) > 1
+                    and bool((np.diff(self.offsets) < 0).any())):
+            raise AlgorithmError(
+                "packed RR offsets must be non-decreasing, start at 0 and "
+                "end at len(nodes)")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of RR sets in the batch (including empty ones)."""
+        return len(self.weights)
+
+    @property
+    def num_members(self) -> int:
+        """Total member entries across all sets."""
+        return len(self.nodes)
+
+    def __len__(self) -> int:
+        return self.num_sets
+
+    def __iter__(self):
+        """Yield ``(nodes, weight)`` pairs (views into the packed buffers)."""
+        offsets = self.offsets
+        for index, weight in enumerate(self.weights.tolist()):
+            yield self.nodes[offsets[index]:offsets[index + 1]], weight
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, id_dtype=np.int64) -> "PackedRRBatch":
+        """A batch with zero sets."""
+        return cls(np.zeros(1, dtype=np.int64),
+                   np.empty(0, dtype=id_dtype),
+                   np.empty(0, dtype=np.float64))
+
+    @classmethod
+    def from_arrays(cls, offsets, nodes, weights, *,
+                    num_nodes: Optional[int] = None,
+                    id_dtype=None) -> "PackedRRBatch":
+        """Build a batch, optionally bounds-checking and narrowing ids.
+
+        The bounds check runs at the incoming integer width *before* any
+        narrowing to ``id_dtype``, so an out-of-range id can never wrap
+        around an int32 cast into a valid-looking one (the same contract as
+        ``RRCollection._as_members``).
+        """
+        nodes = np.asarray(nodes)
+        if num_nodes is not None and len(nodes) \
+                and (int(nodes.min()) < 0
+                     or int(nodes.max()) >= int(num_nodes)):
+            raise AlgorithmError(
+                f"RR-set members must be node ids in [0, {int(num_nodes)})")
+        if id_dtype is not None:
+            nodes = nodes.astype(np.dtype(id_dtype), copy=False)
+        return cls(np.asarray(offsets), nodes, np.asarray(weights))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[np.ndarray, float]], *,
+                   num_nodes: Optional[int] = None,
+                   id_dtype=None) -> "PackedRRBatch":
+        """Pack ``(nodes, weight)`` pairs into one contiguous batch."""
+        arrays = []
+        weights = []
+        for nodes, weight in pairs:
+            arrays.append(np.asarray(nodes, dtype=np.int64).ravel())
+            weights.append(float(weight))
+        lengths = np.array([len(nodes) for nodes in arrays], dtype=np.int64)
+        offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        nodes = np.concatenate(arrays) if arrays \
+            else np.empty(0, dtype=np.int64)
+        return cls.from_arrays(offsets, nodes,
+                               np.array(weights, dtype=np.float64),
+                               num_nodes=num_nodes, id_dtype=id_dtype)
+
+    @classmethod
+    def concat(cls, batches: Sequence["PackedRRBatch"]) -> "PackedRRBatch":
+        """Concatenate batches in order (shard order → set order)."""
+        batches = [batch for batch in batches if batch is not None]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        total_sets = sum(batch.num_sets for batch in batches)
+        offsets = np.zeros(total_sets + 1, dtype=np.int64)
+        position = 0
+        base = 0
+        for batch in batches:
+            offsets[position + 1:position + 1 + batch.num_sets] = \
+                base + batch.offsets[1:]
+            position += batch.num_sets
+            base += batch.num_members
+        nodes = np.concatenate([batch.nodes for batch in batches])
+        weights = np.concatenate([batch.weights for batch in batches])
+        return cls(offsets, nodes, weights)
+
+
 #: initial buffer capacities (sets / member entries) before doubling kicks in
 _INITIAL_SETS = 16
 _INITIAL_MEMBERS = 64
@@ -420,9 +553,13 @@ class RRCollection(PackedCoverage):
         """Append many ``(nodes, weight)`` pairs in one batch.
 
         Equivalent to calling :meth:`add` per pair but the member buffer is
-        filled with one concatenate — this is the merge path the sharded
-        parallel builder relies on.
+        filled with one concatenate.  A :class:`PackedRRBatch` takes the
+        zero-copy splice of :meth:`extend_packed` — the merge path of the
+        sharded parallel builder.
         """
+        if isinstance(sets, PackedRRBatch):
+            self.extend_packed(sets)
+            return
         pairs = [(self._as_members(nodes), float(weight))
                  for nodes, weight in sets]
         if not pairs:
@@ -449,6 +586,45 @@ class RRCollection(PackedCoverage):
         for weight in new_weights.tolist():
             self._total_weight += weight
         if np.any((new_weights > 0.0) & (lengths > 0)):
+            self._inv = None
+            self._gains0 = None
+
+    def extend_packed(self, batch: PackedRRBatch) -> None:
+        """Splice a :class:`PackedRRBatch` with one bulk CSR copy.
+
+        Bit-identical to :meth:`extend` over the batch's ``(nodes,
+        weight)`` pairs — offsets, members, weights and the sequentially
+        accumulated total land byte for byte the same — but the member
+        buffer is written with a single slice assignment and the offsets
+        with one shifted copy, no per-set Python loop.
+        """
+        new_sets = batch.num_sets
+        if new_sets == 0:
+            return
+        nodes = batch.nodes
+        # bounds-check at the batch's full width BEFORE narrowing (the
+        # same wrap-around guard as _as_members)
+        if len(nodes) and (int(nodes.min()) < 0
+                           or int(nodes.max()) >= self._num_nodes):
+            raise AlgorithmError(
+                f"RR-set members must be node ids in [0, {self._num_nodes})")
+        nodes = nodes.astype(self._id_dtype, copy=False)
+        width = batch.num_members
+        self._reserve_sets(new_sets)
+        self._reserve_members(width)
+        start = self._num_members
+        if width:
+            self._members[start:start + width] = nodes
+        self._offsets[self._num_sets + 1:self._num_sets + 1 + new_sets] \
+            = start + batch.offsets[1:]
+        self._weights[self._num_sets:self._num_sets + new_sets] \
+            = batch.weights
+        self._num_sets += new_sets
+        self._num_members += width
+        # sequential accumulation: bit-identical to repeated add() calls
+        for weight in batch.weights.tolist():
+            self._total_weight += weight
+        if np.any((batch.weights > 0.0) & (np.diff(batch.offsets) > 0)):
             self._inv = None
             self._gains0 = None
 
@@ -752,6 +928,7 @@ __all__ = [
     "min_set_dtype",
     "build_inverted_csr",
     "PackedCoverage",
+    "PackedRRBatch",
     "RRCollection",
     "SelectionResult",
     "node_selection",

@@ -136,7 +136,10 @@ def run_imm_engine(num_nodes: int, k: int, sampler: Sampler,
     parallel_sampler:
         Optional callable producing ``count`` fresh RR sets with its own
         deterministic seeding (the sharded multiprocessing builder); takes
-        precedence over ``batch_sampler`` and ``sampler``.
+        precedence over ``batch_sampler`` and ``sampler``.  May return a
+        sequence of ``(nodes, weight)`` pairs or a packed
+        :class:`~repro.rrsets.coverage.PackedRRBatch` — collections and
+        streaming sinks splice packed batches without a per-pair loop.
     keep_collection:
         When true, the final RR collection is returned on
         ``IMMResult.collection`` so callers can freeze it into a persistent
